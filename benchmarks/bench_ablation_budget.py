@@ -1,0 +1,51 @@
+"""Ablation: sweep of the ``budget`` parameter (DESIGN.md ablation #1).
+
+The budget is GOFMM's knob between the HSS extreme (budget 0, everything
+low-rank) and direct evaluation (budget 1, every neighbor-voted pair dense).
+This sweep quantifies the accuracy / evaluation-cost trade-off that Figure 6
+samples at just a few points.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import GOFMMConfig
+from repro.matrices import build_matrix
+from repro.reporting import format_table
+
+from .harness import once, problem_size, run_gofmm
+
+BUDGETS = [0.0, 0.05, 0.1, 0.25, 0.5]
+
+
+def _experiment(matrix_name: str):
+    n = problem_size(1024)
+    runs = []
+    for budget in BUDGETS:
+        matrix = build_matrix(matrix_name, n, seed=0)
+        config = GOFMMConfig(
+            leaf_size=64, max_rank=32, tolerance=1e-10, neighbors=16,
+            budget=budget, distance="angle", adaptive_rank=False, seed=0,
+        )
+        runs.append(run_gofmm(matrix, config, num_rhs=32, name=f"budget={budget}"))
+    return runs
+
+
+@pytest.mark.parametrize("matrix_name", ["K02", "covtype"])
+def bench_ablation_budget(benchmark, matrix_name):
+    runs = once(benchmark, lambda: _experiment(matrix_name))
+
+    print()
+    print(format_table(
+        ["budget", "eps2", "eval [s]", "eval FLOPs", "entry evals"],
+        [[f"{b:.0%}", r.epsilon2, r.evaluation_seconds, r.flops, r.entry_evaluations] for b, r in zip(BUDGETS, runs)],
+        title=f"Budget ablation: {matrix_name} (N={problem_size(1024)}, fixed rank 32)",
+    ))
+
+    errors = [r.epsilon2 for r in runs]
+    flops = [r.flops for r in runs]
+    # Accuracy is monotone (within noise) in the budget, and cost grows with it.
+    assert errors[-1] <= errors[0] * 1.2 + 1e-12
+    assert min(errors) == pytest.approx(errors[-1], rel=5.0, abs=1e-12)
+    assert flops[-1] >= flops[0]

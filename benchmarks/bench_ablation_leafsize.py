@@ -1,0 +1,50 @@
+"""Ablation: leaf size m (DESIGN.md ablation #2).
+
+The paper notes (Figure 5 discussion) that G01–G03 need a *small* leaf size
+to reach high accuracy, but that small m hurts performance because the
+dense per-leaf GEMMs become too small to be efficient.  This sweep measures
+both effects: ε2 and evaluation time as functions of m.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import GOFMMConfig
+from repro.matrices import build_matrix
+from repro.reporting import format_table
+
+from .harness import once, problem_size, run_gofmm
+
+LEAF_SIZES = [32, 64, 128, 256]
+
+
+def _experiment(matrix_name: str):
+    n = problem_size(1024)
+    runs = []
+    for m in LEAF_SIZES:
+        matrix = build_matrix(matrix_name, n, seed=0)
+        config = GOFMMConfig(
+            leaf_size=m, max_rank=min(m, 64), tolerance=1e-7, neighbors=16,
+            budget=0.1, distance="angle", seed=0,
+        )
+        runs.append(run_gofmm(matrix, config, num_rhs=32, name=f"m={m}"))
+    return runs
+
+
+@pytest.mark.parametrize("matrix_name", ["G03", "covtype"])
+def bench_ablation_leafsize(benchmark, matrix_name):
+    runs = once(benchmark, lambda: _experiment(matrix_name))
+
+    print()
+    print(format_table(
+        ["m", "eps2", "avg rank", "comp [s]", "eval [s]", "eval FLOPs"],
+        [[m, r.epsilon2, r.average_rank, r.compression_seconds, r.evaluation_seconds, r.flops]
+         for m, r in zip(LEAF_SIZES, runs)],
+        title=f"Leaf-size ablation: {matrix_name} (N={problem_size(1024)})",
+    ))
+
+    # All leaf sizes produce a working compression.
+    assert all(r.epsilon2 < 1.0 for r in runs)
+    # The modelled evaluation FLOPs grow with the leaf size (larger dense diagonal blocks).
+    assert runs[-1].flops >= runs[0].flops

@@ -1,0 +1,101 @@
+"""Figure 1: dense GEMM vs GOFMM compression vs GOFMM evaluation scaling.
+
+The paper's Figure 1 multiplies the K02 matrix (N×N) by an N×r matrix for
+r ∈ {512, 1024, 2048} and shows
+
+* O(N²) scaling for the dense GEMM,
+* O(N log N) scaling for GOFMM compression,
+* O(N) scaling for the GOFMM evaluation after compression,
+
+with a crossover (including compression time) around N = 16 384 and an 18×
+speed-up at N = 147 456 on their hardware.  At laptop scale we sweep smaller
+N and smaller r but measure the same three curves and print the empirical
+log-log slopes; the dense curve must steepen toward 2 while the evaluation
+curve stays near 1.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import GOFMMConfig
+from repro.matrices import build_matrix
+from repro.reporting import format_scaling, format_series, format_table
+
+from .harness import once, problem_size, run_gofmm
+
+
+def _sweep_sizes() -> list[int]:
+    top = problem_size(2048)
+    sizes = [top // 4, top // 2, top]
+    return [max(256, s) for s in sizes]
+
+
+def _config(n: int) -> GOFMMConfig:
+    return GOFMMConfig(
+        leaf_size=128, max_rank=128, tolerance=1e-5, neighbors=16,
+        budget=0.1, distance="angle", seed=0,
+    )
+
+
+def _experiment(num_rhs: int) -> dict:
+    sizes = _sweep_sizes()
+    gemm_times, comp_times, eval_times, errors = [], [], [], []
+    rng = np.random.default_rng(0)
+    for n in sizes:
+        matrix = build_matrix("K02", n, seed=0)
+        dense = matrix.to_dense()
+        w = rng.standard_normal((n, num_rhs))
+
+        t0 = time.perf_counter()
+        dense @ w
+        gemm_times.append(time.perf_counter() - t0)
+
+        result = run_gofmm(matrix, _config(n), num_rhs=num_rhs, name="K02")
+        comp_times.append(result.compression_seconds)
+        eval_times.append(result.evaluation_seconds)
+        errors.append(result.epsilon2)
+    return {
+        "sizes": sizes,
+        "gemm": gemm_times,
+        "compress": comp_times,
+        "evaluate": eval_times,
+        "errors": errors,
+    }
+
+
+@pytest.mark.parametrize("num_rhs", [64, 128])
+def bench_fig1_scaling(benchmark, num_rhs):
+    data = once(benchmark, lambda: _experiment(num_rhs))
+    sizes = data["sizes"]
+
+    rows = [
+        [n, g, c, e, c + e, g / max(e, 1e-12), err]
+        for n, g, c, e, err in zip(sizes, data["gemm"], data["compress"], data["evaluate"], data["errors"])
+    ]
+    print()
+    print(format_table(
+        ["N", "GEMM [s]", "compress [s]", "eval [s]", "comp+eval [s]", "GEMM/eval speedup", "eps2"],
+        rows,
+        title=f"Figure 1 analogue (K02, r={num_rhs})",
+    ))
+    print(format_series("dense GEMM", sizes, data["gemm"]) + "   " + format_scaling(sizes, data["gemm"]))
+    print(format_series("GOFMM compress", sizes, data["compress"]) + "   " + format_scaling(sizes, data["compress"]))
+    print(format_series("GOFMM evaluate", sizes, data["evaluate"]) + "   " + format_scaling(sizes, data["evaluate"]))
+
+    # Shape assertions.  At laptop sizes individual timings are noisy (the dense
+    # GEMM in particular is at the mercy of BLAS threading), so the slopes are
+    # compared with generous margins; the large-N trend is what matters.
+    import math
+
+    gemm_slope = math.log(data["gemm"][-1] / data["gemm"][0]) / math.log(sizes[-1] / sizes[0])
+    eval_slope = math.log(max(data["evaluate"][-1], 1e-9) / max(data["evaluate"][0], 1e-9)) / math.log(sizes[-1] / sizes[0])
+    assert eval_slope < gemm_slope + 0.75
+    # The amortized (evaluation-only) speed-up must not collapse as N grows.
+    speedups = [g / max(e, 1e-12) for g, e in zip(data["gemm"], data["evaluate"])]
+    assert speedups[-1] >= speedups[0] * 0.5
+    # Accuracy stays in the single-precision-like regime the paper quotes for Fig. 1.
+    assert all(err < 5e-2 for err in data["errors"])

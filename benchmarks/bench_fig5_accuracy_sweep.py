@@ -1,0 +1,86 @@
+"""Figure 5: ε2 across the whole matrix testbed with the angle distance.
+
+The paper's experiment #5 compresses all 22 matrices (K02–K18, G01–G05)
+with m = s = 512 and two tolerances (1e-2 with 1% budget, 1e-5 with 3%
+budget), and reports which matrices compress: most do, K06/K15–K17 do not
+(high off-diagonal rank), K13/K14 need a tighter tolerance, G01–G03 need a
+smaller leaf size.
+
+At laptop scale we run every registry matrix (plus the ML kernel matrices)
+at N = ``GOFMM_BENCH_N`` with proportionally smaller m and s, for a loose
+and a tight tolerance, and print the ε2 table.  The assertion encodes the
+qualitative split between "compresses" and "does not compress at this rank".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import GOFMMConfig
+from repro.matrices import available_matrices, build_matrix, matrix_info
+from repro.reporting import format_table
+
+from .harness import once, problem_size, run_gofmm
+
+
+def _config(tolerance: float, budget: float, rank: int) -> GOFMMConfig:
+    return GOFMMConfig(
+        leaf_size=64, max_rank=rank, tolerance=tolerance, neighbors=16,
+        budget=budget, distance="angle", seed=0,
+    )
+
+
+def _sweep() -> list[dict]:
+    n = problem_size(1024)
+    rows = []
+    for name in available_matrices():
+        matrix_loose = build_matrix(name, n, seed=0)
+        loose = run_gofmm(matrix_loose, _config(1e-2, 0.05, 64), num_rhs=16, name=name)
+        matrix_tight = build_matrix(name, n, seed=0)
+        tight = run_gofmm(matrix_tight, _config(1e-5, 0.15, 128), num_rhs=16, name=name)
+        rows.append({
+            "name": name,
+            "compresses_well": matrix_info(name).compresses_well,
+            "loose": loose,
+            "tight": tight,
+        })
+    return rows
+
+
+def bench_fig5_accuracy_all_matrices(benchmark):
+    rows = once(benchmark, _sweep)
+
+    table = [
+        [
+            r["name"],
+            "yes" if r["compresses_well"] else "no",
+            r["loose"].epsilon2,
+            r["tight"].epsilon2,
+            r["tight"].average_rank,
+            r["tight"].compression_seconds,
+            r["tight"].evaluation_seconds,
+        ]
+        for r in rows
+    ]
+    print()
+    print(format_table(
+        ["matrix", "expected to compress", "eps2 (tau 1e-2)", "eps2 (tau 1e-5)", "avg rank", "comp [s]", "eval [s]"],
+        table,
+        title=f"Figure 5 analogue: accuracy across the testbed (N={problem_size(1024)}, angle distance)",
+    ))
+
+    compressible = [r for r in rows if r["compresses_well"]]
+    hard = [r for r in rows if not r["compresses_well"]]
+
+    # Most matrices the paper reports as compressible reach a usefully small
+    # error at the tight tolerance (the paper uses s = 512; at this scaled-down
+    # rank a few borderline members of the family land just above the cut).
+    good = [r for r in compressible if r["tight"].epsilon2 < 5e-2]
+    assert len(good) >= 0.75 * len(compressible), (
+        f"only {len(good)}/{len(compressible)} 'compressible' matrices reached eps2 < 5e-2"
+    )
+    # ...and the hard family (K06, K15–K17) is clearly worse than the median
+    # compressible matrix, mirroring the red labels in Figure 5.
+    if hard:
+        median_good = sorted(r["tight"].epsilon2 for r in compressible)[len(compressible) // 2]
+        assert min(r["tight"].epsilon2 for r in hard) > median_good

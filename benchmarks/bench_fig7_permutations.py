@@ -1,0 +1,111 @@
+"""Figure 7: comparison of the five permutation / distance schemes.
+
+Experiments #9–#12 compress four matrices under five orderings —
+Lexicographic, Random, Kernel (Gram ℓ2), Angle, and Geometric — and report
+relative error and average rank.  The paper's conclusions:
+
+* distance-based orderings (Kernel/Angle/Geometric) reach lower error
+  and/or lower average rank than the metric-free ones,
+* on the graph matrix (no coordinates) the geometric scheme is impossible,
+  yet the Gram distances still compress the matrix well, while the
+  lexicographic ordering achieves low rank but *large* error (its uniform
+  samples are poor).
+
+The harness runs the same five schemes on a kernel matrix (K04-like, with
+its input order scrambled so lexicographic really is uninformative), an
+advection-diffusion matrix (K12) and a graph matrix (G03).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import GOFMMConfig
+from repro.config import DistanceMetric
+from repro.matrices import KernelMatrix, build_matrix
+from repro.matrices.datasets import clustered_points
+from repro.matrices.kernels import GaussianKernel
+from repro.reporting import format_table
+
+from .harness import once, problem_size, run_gofmm
+
+
+def _scrambled_k04(n: int):
+    points = clustered_points(n, ambient_dim=6, intrinsic_dim=3, clusters=4, seed=0)
+    points = points[np.random.default_rng(1).permutation(n)]
+    return KernelMatrix(points, GaussianKernel(bandwidth=1.0), regularization=1e-8, name="K04-scrambled")
+
+
+MATRICES = {
+    "K04-scrambled": _scrambled_k04,
+    "K12": lambda n: build_matrix("K12", n, seed=0),
+    "G03": lambda n: build_matrix("G03", n, seed=0),
+}
+
+SCHEMES = [
+    DistanceMetric.LEXICOGRAPHIC,
+    DistanceMetric.RANDOM,
+    DistanceMetric.KERNEL,
+    DistanceMetric.ANGLE,
+    DistanceMetric.GEOMETRIC,
+]
+
+
+def _config(metric: DistanceMetric) -> GOFMMConfig:
+    return GOFMMConfig(
+        leaf_size=64, max_rank=64, tolerance=1e-7, neighbors=16,
+        budget=0.1 if metric.defines_distance else 0.0,
+        distance=metric, seed=0,
+    )
+
+
+def _experiment(matrix_name: str):
+    n = problem_size(1024)
+    results = {}
+    for metric in SCHEMES:
+        matrix = MATRICES[matrix_name](n)
+        if metric is DistanceMetric.GEOMETRIC and matrix.coordinates is None:
+            results[metric] = None  # impossible, as in the paper's #12
+            continue
+        results[metric] = run_gofmm(matrix, _config(metric), num_rhs=32, name=metric.value)
+    return results
+
+
+@pytest.mark.parametrize("matrix_name", list(MATRICES))
+def bench_fig7_permutations(benchmark, matrix_name):
+    results = once(benchmark, lambda: _experiment(matrix_name))
+
+    rows = []
+    for metric in SCHEMES:
+        run = results[metric]
+        if run is None:
+            rows.append([metric.value, "n/a (no coordinates)", "n/a", "n/a"])
+        else:
+            rows.append([metric.value, run.epsilon2, run.average_rank, run.compression_seconds])
+    print()
+    print(format_table(
+        ["ordering", "eps2", "avg rank", "comp [s]"],
+        rows,
+        title=f"Figure 7 analogue: {matrix_name} (N={problem_size(1024)})",
+    ))
+
+    gram_best = min(results[m].epsilon2 for m in (DistanceMetric.KERNEL, DistanceMetric.ANGLE))
+    metric_free_best = min(results[m].epsilon2 for m in (DistanceMetric.LEXICOGRAPHIC, DistanceMetric.RANDOM))
+    if matrix_name == "K12":
+        # K12's input (grid) order is already good — the distances should not lose badly.
+        assert gram_best <= metric_free_best * 10
+    else:
+        # Scrambled kernel matrix and graph matrix: Gram distances must win clearly.
+        assert gram_best < metric_free_best
+    if matrix_name == "K04-scrambled":
+        # For kernel matrices the Gram distances recover (essentially) the same
+        # clustering as the geometric reference, so the errors stay within a
+        # modest factor (the paper's "matrix-defined Gram distances work quite
+        # well").  For operator matrices like K12 the geometric ordering can be
+        # far better in absolute terms, which the paper's #10/#11 also show as a
+        # rank/accuracy gap — no assertion there beyond the table above.
+        assert results[DistanceMetric.GEOMETRIC] is not None
+        assert gram_best <= results[DistanceMetric.GEOMETRIC].epsilon2 * 100
+    if matrix_name == "G03":
+        assert results[DistanceMetric.GEOMETRIC] is None

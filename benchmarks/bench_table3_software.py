@@ -1,0 +1,96 @@
+"""Table 3: GOFMM vs HODLR vs STRUMPACK-like HSS.
+
+The paper compares wall-clock time and ε2 against HODLR and STRUMPACK on
+K02, K04, K07, K12, K17 and G03 with m = 512 and 1024 right-hand sides,
+targeting ε2 ≈ 1e-4.  Its findings:
+
+* on matrices whose lexicographic order is uninformative (the 6-D kernel
+  matrices K04/K07), the unpermuted codes must raise the rank dramatically
+  (STRUMPACK "fails to compress") while GOFMM succeeds at moderate rank,
+* K17 is hard for everyone,
+* on the graph matrix G03, GOFMM's sparse correction gives it a large lead.
+
+The harness runs the three codes on the same six matrices (scaled down) and
+prints the ε2 / compression-time / evaluation-time table.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import GOFMMConfig
+from repro.baselines import compress_hodlr, compress_hss_baseline
+from repro.core.accuracy import relative_error
+from repro.linalg.norms import sampled_relative_error
+from repro.matrices import build_matrix
+from repro.reporting import format_table
+
+from .harness import once, problem_size, run_gofmm
+
+MATRICES = ["K02", "K04", "K07", "K12", "K17", "G03"]
+RANK = 64
+LEAF = 64
+TOL = 1e-7
+NUM_RHS = 64
+
+
+def _baseline_run(matrix, compressor):
+    rng = np.random.default_rng(0)
+    t0 = time.perf_counter()
+    approx = compressor(matrix)
+    comp_seconds = time.perf_counter() - t0
+    w = rng.standard_normal((matrix.n, NUM_RHS))
+    t1 = time.perf_counter()
+    product = approx.matvec(w)
+    eval_seconds = time.perf_counter() - t1
+    eps2 = sampled_relative_error(product, lambda rows: matrix.entries(rows, np.arange(matrix.n)), w, num_samples=100, rng=rng)
+    return eps2, comp_seconds, eval_seconds
+
+
+def _experiment(name: str):
+    n = problem_size(1024)
+
+    hodlr = _baseline_run(
+        build_matrix(name, n, seed=0),
+        lambda m: compress_hodlr(m, leaf_size=LEAF, max_rank=RANK, tolerance=TOL),
+    )
+    strumpack = _baseline_run(
+        build_matrix(name, n, seed=0),
+        lambda m: compress_hss_baseline(m, leaf_size=LEAF, max_rank=RANK, tolerance=TOL),
+    )
+    config = GOFMMConfig(
+        leaf_size=LEAF, max_rank=RANK, tolerance=TOL, neighbors=16,
+        budget=0.1, distance="angle", seed=0,
+    )
+    gofmm = run_gofmm(build_matrix(name, n, seed=0), config, num_rhs=NUM_RHS, name=name)
+    return hodlr, strumpack, gofmm
+
+
+@pytest.mark.parametrize("name", MATRICES)
+def bench_table3_software_comparison(benchmark, name):
+    hodlr, strumpack, gofmm = once(benchmark, lambda: _experiment(name))
+
+    rows = [
+        ["HODLR", hodlr[0], hodlr[1], hodlr[2]],
+        ["STRUMPACK-like HSS", strumpack[0], strumpack[1], strumpack[2]],
+        ["GOFMM", gofmm.epsilon2, gofmm.compression_seconds, gofmm.evaluation_seconds],
+    ]
+    print()
+    print(format_table(
+        ["code", "eps2", "comp [s]", "eval [s]"],
+        rows,
+        title=f"Table 3 analogue: {name} (N={problem_size(1024)}, s={RANK}, m={LEAF}, r={NUM_RHS})",
+    ))
+
+    # Qualitative checks per matrix family.
+    if name in ("K04", "K07"):
+        # Unpermuted codes at the same rank cannot match GOFMM on scattered kernel matrices.
+        assert gofmm.epsilon2 < strumpack[0]
+    if name == "G03":
+        assert gofmm.epsilon2 < 10 * min(hodlr[0], strumpack[0]) + 1e-12
+    if name == "K17":
+        # Hard for everyone: no code reaches 1e-4 at this rank.
+        assert min(hodlr[0], strumpack[0], gofmm.epsilon2) > 1e-4

@@ -1,0 +1,102 @@
+"""Shared helpers for the benchmark harness.
+
+Every table and figure of the paper's §4 has one module in this directory;
+each prints the rows/series of the corresponding paper item (so the output
+can be pasted into EXPERIMENTS.md) and registers the heavy step with
+pytest-benchmark so ``pytest benchmarks/ --benchmark-only`` produces timing
+statistics.
+
+Problem sizes default to laptop scale and can be raised with the
+``GOFMM_BENCH_N`` environment variable (e.g. ``GOFMM_BENCH_N=8192``).  The
+paper's absolute numbers were measured on HPC nodes; what these harnesses
+reproduce is the *shape* of each result (who wins, scaling slopes,
+crossovers), as recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import GOFMMConfig, compress
+from repro.core.accuracy import relative_error
+from repro.matrices import build_matrix
+
+__all__ = ["problem_size", "sweep_scale", "GOFMMRun", "run_gofmm", "once"]
+
+
+def problem_size(default: int = 1024) -> int:
+    """Problem size used by the benchmarks (override with GOFMM_BENCH_N)."""
+    return int(os.environ.get("GOFMM_BENCH_N", default))
+
+
+def sweep_scale() -> float:
+    """Multiplier applied to sweep extents (override with GOFMM_BENCH_SCALE)."""
+    return float(os.environ.get("GOFMM_BENCH_SCALE", 1.0))
+
+
+@dataclass
+class GOFMMRun:
+    """One compress + evaluate measurement (a row of the paper's tables)."""
+
+    name: str
+    n: int
+    config: GOFMMConfig
+    epsilon2: float
+    compression_seconds: float
+    evaluation_seconds: float
+    average_rank: float
+    entry_evaluations: int
+    num_rhs: int
+
+    @property
+    def eval_gflops(self) -> float:
+        return 0.0 if self.evaluation_seconds <= 0 else self.flops / self.evaluation_seconds / 1e9
+
+    flops: float = 0.0
+
+
+def run_gofmm(matrix, config: GOFMMConfig, num_rhs: int = 64, name: str = "", rng=None) -> GOFMMRun:
+    """Compress, evaluate, and measure — the unit of work behind most harnesses."""
+    rng = rng or np.random.default_rng(0)
+    start_entries = matrix.entry_evaluations
+
+    t0 = time.perf_counter()
+    compressed = compress(matrix, config)
+    comp_seconds = time.perf_counter() - t0
+
+    # Evaluation is fast relative to compression, so take the best of a few
+    # repetitions — single measurements at millisecond scale are dominated by
+    # BLAS thread scheduling noise.
+    w = rng.standard_normal((matrix.n, num_rhs))
+    eval_seconds = float("inf")
+    for _ in range(3):
+        t1 = time.perf_counter()
+        compressed.matvec(w)
+        eval_seconds = min(eval_seconds, time.perf_counter() - t1)
+
+    eps2 = relative_error(compressed, matrix, num_rhs=min(num_rhs, 10), num_sample_rows=100, rng=rng)
+    return GOFMMRun(
+        name=name or getattr(matrix, "name", "matrix"),
+        n=matrix.n,
+        config=config,
+        epsilon2=eps2,
+        compression_seconds=comp_seconds,
+        evaluation_seconds=eval_seconds,
+        average_rank=compressed.rank_summary()["mean"],
+        entry_evaluations=matrix.entry_evaluations - start_entries,
+        num_rhs=num_rhs,
+        flops=compressed.evaluation_flops(num_rhs),
+    )
+
+
+def once(benchmark, fn):
+    """Register ``fn`` with pytest-benchmark but execute it exactly once.
+
+    The experiment functions are themselves long-running sweeps; statistical
+    repetition would multiply the harness cost for no benefit.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""FMM vs HSS on a PDE-constrained-optimization Hessian (the paper's K02).
+
+K02 is the regularized inverse Laplacian squared — the reduced Hessian of a
+2D PDE-constrained optimization problem.  The paper's Figure 6 shows that
+for such matrices the FMM variant (a small budget of direct evaluations plus
+*low* rank) reaches better accuracy in less time than the HSS variant
+(no direct evaluations, so all the accuracy must come from rank).
+
+This example sweeps (rank, budget) combinations and prints the trade-off
+table so the crossover is visible.
+
+Run:  python examples/pde_hessian.py [N]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import GOFMMConfig, compress
+from repro.core.accuracy import relative_error
+from repro.gofmm import run
+from repro.matrices import build_matrix
+from repro.reporting import format_table
+
+
+def main(n: int = 2048) -> None:
+    matrix = build_matrix("K02", n, seed=0)
+
+    # Note on budgets: the paper quotes budgets of 1–12% at N/m ≈ 128 leaves;
+    # at laptop scale the tree has far fewer leaves, so comparable amounts of
+    # direct evaluation correspond to larger percentages here.
+    cases = [
+        ("HSS", 0.00, 32),
+        ("HSS", 0.00, 64),
+        ("HSS", 0.00, 128),
+        ("FMM", 0.10, 32),
+        ("FMM", 0.10, 64),
+        ("FMM", 0.25, 32),
+        ("FMM", 0.25, 64),
+    ]
+
+    rows = []
+    for label, budget, rank in cases:
+        config = GOFMMConfig(
+            leaf_size=64, max_rank=rank, tolerance=1e-9, neighbors=16,
+            budget=budget, distance="angle", seed=0,
+        )
+        result = run(matrix, config, num_rhs=16)
+        rows.append([
+            label,
+            rank,
+            f"{budget:.0%}",
+            result.epsilon2,
+            result.average_rank,
+            result.compression_seconds,
+            result.evaluation_seconds,
+            result.compression_seconds + result.evaluation_seconds,
+        ])
+
+    print(format_table(
+        ["variant", "s", "budget", "eps2", "avg rank", "comp [s]", "eval [s]", "total [s]"],
+        rows,
+        title=f"K02 (inverse Laplacian squared), N={n}: HSS vs FMM trade-off (Figure 6 analogue)",
+    ))
+    print()
+    print("Expected shape: at equal rank, the FMM rows reach noticeably lower eps2 than")
+    print("the HSS rows for a small increase in evaluation time; matching the HSS accuracy")
+    print("by rank alone requires a much larger s (and hence O(s^3) skeletonization cost).")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 2048)

@@ -1,0 +1,11 @@
+"""Setuptools shim so `pip install -e .` works without network access.
+
+The environment has no `wheel` package, so the modern PEP 517/660 editable
+path (which builds a wheel) is unavailable; this shim lets pip fall back to
+the legacy `setup.py develop` editable install.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""GOFMM reproduction: geometry-oblivious FMM compression of dense SPD matrices.
+
+Reimplementation (in numpy/scipy) of
+
+    Yu, Levitt, Reiz, Biros.  "Geometry-Oblivious FMM for Compressing Dense
+    SPD Matrices."  SC'17.
+
+Public entry points:
+
+* :mod:`repro.gofmm` — the user API (``compress``, ``GOFMMConfig``,
+  ``CompressedMatrix``, ``run``),
+* :mod:`repro.matrices` — the SPD test-matrix registry (K02–K18, G01–G05,
+  COVTYPE/HIGGS/MNIST-like kernel matrices) and the entry-evaluation
+  interface,
+* :mod:`repro.baselines` — HODLR, STRUMPACK-like HSS and ASKIT-like
+  baselines used in the paper's comparisons,
+* :mod:`repro.runtime` — task DAG, schedulers (level-by-level, omp-task,
+  dynamic HEFT), machine models and a threaded executor, reproducing the
+  scheduling and architecture studies.
+"""
+
+from .config import DistanceMetric, GOFMMConfig, default_config, fmm_config, hss_config
+from .core.compress import CompressionReport, compress
+from .core.hmatrix import CompressedMatrix
+from .errors import (
+    CompressionError,
+    ConfigurationError,
+    EvaluationError,
+    GOFMMError,
+    MatrixDefinitionError,
+    NotSPDError,
+    RankDeficiencyError,
+    SchedulingError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "GOFMMConfig",
+    "DistanceMetric",
+    "default_config",
+    "hss_config",
+    "fmm_config",
+    "compress",
+    "CompressedMatrix",
+    "CompressionReport",
+    "GOFMMError",
+    "ConfigurationError",
+    "NotSPDError",
+    "CompressionError",
+    "RankDeficiencyError",
+    "EvaluationError",
+    "SchedulingError",
+    "MatrixDefinitionError",
+]

@@ -1,0 +1,24 @@
+"""Baseline hierarchical-compression codes the paper compares against (§4).
+
+* :mod:`repro.baselines.hodlr` — HODLR (Ambikasaran & Darve): lexicographic
+  ordering, off-diagonal blocks compressed per level with adaptive cross
+  approximation, non-nested factors, O(N log N) matvec.
+* :mod:`repro.baselines.hss` — a STRUMPACK-like HSS compressor: lexicographic
+  ordering, nested interpolative decompositions with *uniform* row
+  sampling (no neighbor information), O(N) matvec.
+* :mod:`repro.baselines.askit` — an ASKIT-like geometric FMM: requires point
+  coordinates, neighbor-driven near field sized by κ (not by a budget),
+  non-symmetric interaction lists.
+"""
+
+from .hodlr import HODLRMatrix, compress_hodlr
+from .hss import HSSMatrix, compress_hss_baseline
+from .askit import compress_askit
+
+__all__ = [
+    "HODLRMatrix",
+    "compress_hodlr",
+    "HSSMatrix",
+    "compress_hss_baseline",
+    "compress_askit",
+]

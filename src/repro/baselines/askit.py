@@ -1,0 +1,91 @@
+"""ASKIT-like baseline (Table 4): a geometric, level-by-level, κ-driven FMM.
+
+ASKIT (March, Xiao, Yu, Biros 2016) is the closest relative of GOFMM — it
+introduced the neighbor-based pruning and importance sampling GOFMM builds
+on — but it differs in exactly the ways Table 4 probes:
+
+* it **requires point coordinates** (the tree and the neighbor search use
+  the geometric ℓ2 distance; it cannot run on the graph matrices),
+* the amount of direct (near-field) evaluation is decided solely by the
+  **number of neighbors κ** — there is no ``budget`` knob to cap it,
+* the interaction lists are **not symmetrized**, so the resulting
+  approximation is generally non-symmetric,
+* its traversals are level-by-level (relevant to the runtime study, not to
+  accuracy).
+
+The implementation drives the same core substrates as GOFMM (tree, ANN,
+skeletonization) with those choices, so the accuracy/cost differences seen
+in the benchmark isolate the algorithmic distinctions rather than
+implementation noise — the same reasoning the paper applies when comparing
+against its own ASKIT code.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import DistanceMetric, GOFMMConfig
+from ..core.compress import CompressionReport, compress
+from ..core.hmatrix import CompressedMatrix
+from ..errors import ConfigurationError
+from ..matrices.base import SPDMatrix, as_spd_matrix
+
+__all__ = ["ASKITResult", "compress_askit"]
+
+
+@dataclass
+class ASKITResult:
+    """Compressed matrix plus the report, tagged with the ASKIT configuration."""
+
+    compressed: CompressedMatrix
+    report: CompressionReport
+    compression_seconds: float
+
+    def matvec(self, w: np.ndarray) -> np.ndarray:
+        return self.compressed.matvec(w)
+
+
+def compress_askit(
+    matrix,
+    coordinates: np.ndarray | None = None,
+    leaf_size: int = 256,
+    max_rank: int = 256,
+    tolerance: float = 1e-5,
+    neighbors: int = 32,
+    seed: int = 0,
+) -> ASKITResult:
+    """Compress with ASKIT's choices: geometric distance, κ-driven near field, no symmetrization.
+
+    Raises :class:`ConfigurationError` when neither ``coordinates`` nor
+    ``matrix.coordinates`` exist — ASKIT cannot operate without points,
+    which is precisely the case GOFMM was designed to handle.
+    """
+    matrix = as_spd_matrix(matrix)
+    coords = coordinates if coordinates is not None else matrix.coordinates
+    if coords is None:
+        raise ConfigurationError("ASKIT requires point coordinates; this matrix has none")
+
+    n = matrix.n
+    num_leaves = max(1, int(np.ceil(n / leaf_size)))
+    # κ neighbors can reach at most κ distinct leaves per leaf; expressing that
+    # as a budget fraction reproduces "the amount of direct evaluation is
+    # decided by κ" without a separate cap.
+    budget = min(1.0, neighbors / num_leaves)
+
+    config = GOFMMConfig(
+        leaf_size=leaf_size,
+        max_rank=max_rank,
+        tolerance=tolerance,
+        neighbors=neighbors,
+        budget=budget,
+        distance=DistanceMetric.GEOMETRIC,
+        symmetrize_lists=False,
+        seed=seed,
+    )
+    t0 = time.perf_counter()
+    compressed, report = compress(matrix, config, coordinates=coords, return_report=True)
+    seconds = time.perf_counter() - t0
+    return ASKITResult(compressed=compressed, report=report, compression_seconds=seconds)

@@ -1,0 +1,78 @@
+"""Accuracy metric ε2 (§3, Eq. (11)).
+
+The paper reports
+
+    ε2 = ||K̃ w − K w||_F / ||K w||_F,     w ∈ R^{N×r},
+
+estimated by sampling 100 rows of ``K`` so that the reference product does
+not cost O(r N²).  :func:`relative_error` implements the sampled estimator;
+:func:`exact_relative_error` computes the exact quantity (used by tests at
+small N).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..linalg.norms import relative_frobenius_error
+from ..matrices.base import SPDMatrix
+
+__all__ = ["relative_error", "exact_relative_error", "spectral_relative_error"]
+
+
+def relative_error(
+    compressed,
+    matrix: SPDMatrix,
+    num_rhs: int = 10,
+    num_sample_rows: int = 100,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Sampled ε2 of a compressed matrix against its source.
+
+    Draws ``num_rhs`` Gaussian right-hand sides, evaluates ``K̃ w`` with the
+    fast matvec, and compares ``num_sample_rows`` randomly chosen rows
+    against the exact rows of ``K w``.
+    """
+    rng = rng or np.random.default_rng(0)
+    n = matrix.n
+    w = rng.standard_normal((n, num_rhs))
+    approx = compressed.matvec(w)
+    rows = np.sort(rng.choice(n, size=min(num_sample_rows, n), replace=False))
+    exact_rows = matrix.entries(rows, np.arange(n, dtype=np.intp)) @ w
+    return relative_frobenius_error(approx[rows, :], exact_rows)
+
+
+def exact_relative_error(
+    compressed,
+    matrix: SPDMatrix,
+    num_rhs: int = 10,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Exact ε2 (full reference product) — O(r N²), tests only."""
+    rng = rng or np.random.default_rng(0)
+    n = matrix.n
+    w = rng.standard_normal((n, num_rhs))
+    approx = compressed.matvec(w)
+    exact = matrix.matvec(w)
+    return relative_frobenius_error(approx, exact)
+
+
+def spectral_relative_error(compressed, matrix: SPDMatrix, iterations: int = 25, rng: np.random.Generator | None = None) -> float:
+    """Power-method estimate of ``||K̃ − K||₂ / ||K||₂`` (diagnostic, small N)."""
+    rng = rng or np.random.default_rng(0)
+    n = matrix.n
+    dense = matrix.to_dense()
+    x = rng.standard_normal(n)
+    x /= np.linalg.norm(x)
+    num = 0.0
+    for _ in range(iterations):
+        y = compressed.matvec(x) - dense @ x
+        # Error operator is symmetric, so one-sided power iteration applies.
+        norm_y = float(np.linalg.norm(y))
+        if norm_y == 0.0:
+            num = 0.0
+            break
+        num = norm_y
+        x = y / norm_y
+    denom = float(np.linalg.norm(dense, 2))
+    return num / denom if denom else num

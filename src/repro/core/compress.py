@@ -1,0 +1,200 @@
+"""Compression phase (§2.2, Algorithm 2.2).
+
+The driver runs the paper's pipeline:
+
+1. iterative ANN search with randomized projection trees (tasks SPLI + ANN),
+2. metric ball-tree partitioning (task SPLI),
+3. Near-list construction with budget voting (LeafNear) and Far-list
+   construction (FindFar + MergeFar, or the symmetric dual-tree variant),
+4. nested skeletonization (tasks SKEL + COEF),
+5. optional caching of near and far submatrices (tasks Kba + SKba).
+
+and returns a :class:`repro.core.hmatrix.CompressedMatrix` plus a
+:class:`CompressionReport` with wall-clock time, entry-evaluation counts and
+rank statistics per phase — the numbers the paper's tables report as
+"Comp" time and average rank.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..config import DistanceMetric, GOFMMConfig
+from ..errors import CompressionError
+from ..matrices.base import SPDMatrix, as_spd_matrix
+from .distances import make_distance
+from .hmatrix import BlockProvider, CompressedMatrix
+from .interactions import build_interaction_lists, build_node_neighbor_lists
+from .neighbors import NeighborTable, all_nearest_neighbors
+from .skeletonization import skeletonize_tree
+from .tree import BallTree, build_tree
+
+__all__ = ["CompressionReport", "compress"]
+
+
+@dataclass
+class CompressionReport:
+    """Per-phase timings and statistics of one compression run."""
+
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    entry_evaluations: int = 0
+    average_rank: float = 0.0
+    max_rank: int = 0
+    num_leaves: int = 0
+    tree_depth: int = 0
+    near_pairs: int = 0
+    far_pairs: int = 0
+    neighbor_iterations: int = 0
+    neighbor_converged: bool = True
+
+    @property
+    def total_seconds(self) -> float:
+        return float(sum(self.phase_seconds.values()))
+
+    def summary(self) -> str:
+        phases = ", ".join(f"{k}={v:.3f}s" for k, v in self.phase_seconds.items())
+        return (
+            f"compression: {self.total_seconds:.3f}s ({phases}); "
+            f"avg rank {self.average_rank:.1f}, max rank {self.max_rank}, "
+            f"{self.num_leaves} leaves, {self.near_pairs} near pairs, {self.far_pairs} far pairs"
+        )
+
+
+class _PhaseTimer:
+    def __init__(self, report: CompressionReport) -> None:
+        self.report = report
+
+    def __call__(self, name: str):
+        return _Phase(self.report, name)
+
+
+class _Phase:
+    def __init__(self, report: CompressionReport, name: str) -> None:
+        self.report = report
+        self.name = name
+
+    def __enter__(self):
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self.report.phase_seconds[self.name] = self.report.phase_seconds.get(self.name, 0.0) + (
+            time.perf_counter() - self.start
+        )
+        return False
+
+
+def _cache_blocks(
+    tree: BallTree,
+    matrix: SPDMatrix,
+    config: GOFMMConfig,
+    near_blocks: BlockProvider,
+    far_blocks: BlockProvider,
+) -> None:
+    """Tasks Kba(β) and SKba(β): evaluate and store the direct and skeleton blocks."""
+    if config.cache_near_blocks:
+        for leaf in tree.leaves:
+            for alpha_id in leaf.near:
+                alpha = tree.node(alpha_id)
+                near_blocks.store((leaf.node_id, alpha_id), matrix.entries(leaf.indices, alpha.indices))
+    if config.cache_far_blocks:
+        for node in tree.nodes:
+            if not node.far or node.skeleton is None:
+                continue
+            for alpha_id in node.far:
+                alpha = tree.node(alpha_id)
+                cols = alpha.skeleton if alpha.skeleton is not None else np.empty(0, dtype=np.intp)
+                far_blocks.store((node.node_id, alpha_id), matrix.entries(node.skeleton, cols))
+
+
+def compress(
+    matrix,
+    config: Optional[GOFMMConfig] = None,
+    coordinates: Optional[np.ndarray] = None,
+    return_report: bool = False,
+):
+    """Compress an SPD matrix into a hierarchical (FMM/HSS) representation.
+
+    Parameters
+    ----------
+    matrix:
+        an :class:`repro.matrices.base.SPDMatrix`, a dense ``numpy`` array,
+        or a ``(callback, n)`` pair.
+    config:
+        :class:`repro.config.GOFMMConfig`; defaults to the paper's default
+        parameters (angle distance, 3 % budget).
+    coordinates:
+        optional point coordinates overriding ``matrix.coordinates`` (only
+        used by the geometric distance).
+    return_report:
+        when true, return ``(CompressedMatrix, CompressionReport)``.
+
+    Returns
+    -------
+    CompressedMatrix or (CompressedMatrix, CompressionReport)
+    """
+    matrix = as_spd_matrix(matrix)
+    config = config or GOFMMConfig()
+    report = CompressionReport()
+    phase = _PhaseTimer(report)
+    rng = np.random.default_rng(config.seed)
+    start_evals = matrix.entry_evaluations
+
+    if matrix.n < 2:
+        raise CompressionError("cannot compress a 1x1 matrix")
+
+    with phase("distance"):
+        distance = make_distance(matrix, config.distance, coordinates)
+
+    neighbors: Optional[NeighborTable] = None
+    if distance is not None and config.distance.defines_distance:
+        with phase("neighbors"):
+            neighbors = all_nearest_neighbors(distance, config, rng=rng)
+            report.neighbor_iterations = neighbors.iterations
+            report.neighbor_converged = neighbors.converged
+
+    with phase("tree"):
+        tree = build_tree(matrix.n, config, distance, rng=rng)
+        report.num_leaves = len(tree.leaves)
+        report.tree_depth = tree.depth
+
+    with phase("lists"):
+        if neighbors is not None:
+            build_node_neighbor_lists(
+                tree,
+                neighbors,
+                max_size=4 * config.effective_sample_size(),
+                rng=rng,
+            )
+        lists = build_interaction_lists(tree, neighbors, config)
+        report.near_pairs = lists.total_near_pairs()
+        report.far_pairs = lists.total_far_pairs()
+
+    with phase("skeletonization"):
+        stats = skeletonize_tree(tree, matrix, config, neighbors, rng=rng)
+        report.average_rank = stats.average_rank
+        report.max_rank = stats.max_rank
+
+    near_blocks = BlockProvider(tree, matrix, use_skeletons=False)
+    far_blocks = BlockProvider(tree, matrix, use_skeletons=True)
+    with phase("caching"):
+        _cache_blocks(tree, matrix, config, near_blocks, far_blocks)
+
+    report.entry_evaluations = matrix.entry_evaluations - start_evals
+
+    compressed = CompressedMatrix(
+        tree=tree,
+        lists=lists,
+        config=config,
+        near_blocks=near_blocks,
+        far_blocks=far_blocks,
+        matrix=matrix,
+        neighbors=neighbors,
+    )
+    if return_report:
+        return compressed, report
+    return compressed

@@ -1,0 +1,259 @@
+"""The compressed hierarchical matrix object produced by GOFMM.
+
+A :class:`CompressedMatrix` bundles everything Algorithm 2.2 produced — the
+metric tree (with per-node skeletons and interpolation coefficients), the
+Near/Far interaction lists, and (optionally cached) near/far submatrices —
+and exposes the operations a user of the library needs:
+
+* ``matvec(w)`` / ``@`` — the fast approximate product (Algorithm 2.7),
+* ``to_dense()`` — explicit ``K̃`` for small problems (tests, exact error),
+* storage / rank / FLOP reports used by the benchmark harness,
+* ``relative_error`` — the sampled ε2 metric of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..config import GOFMMConfig
+from ..errors import EvaluationError
+from ..matrices.base import SPDMatrix
+from .evaluate import EvaluationCounters, evaluate
+from .interactions import InteractionLists
+from .neighbors import NeighborTable
+from .tree import BallTree, TreeNode
+
+__all__ = ["BlockProvider", "CompressedMatrix"]
+
+
+class BlockProvider:
+    """Dict-like provider of near/far submatrices.
+
+    When caching is enabled at compression time the blocks are stored in an
+    internal dict (tasks ``Kba`` / ``SKba`` of Table 2).  When caching is
+    disabled, each request evaluates the block from the original matrix on
+    the fly — trading time for the O(N) cache memory, exactly the trade-off
+    the paper describes.
+    """
+
+    def __init__(self, tree: BallTree, matrix: Optional[SPDMatrix], use_skeletons: bool) -> None:
+        self._tree = tree
+        self._matrix = matrix
+        self._use_skeletons = use_skeletons
+        self._cache: Dict[tuple[int, int], np.ndarray] = {}
+
+    def store(self, key: tuple[int, int], block: np.ndarray) -> None:
+        self._cache[key] = block
+
+    def __contains__(self, key: tuple[int, int]) -> bool:
+        return key in self._cache
+
+    def get(self, key: tuple[int, int]) -> Optional[np.ndarray]:
+        block = self._cache.get(key)
+        if block is not None:
+            return block
+        if self._matrix is None:
+            return None
+        beta_id, alpha_id = key
+        beta = self._tree.node(beta_id)
+        alpha = self._tree.node(alpha_id)
+        if self._use_skeletons:
+            rows = beta.skeleton if beta.skeleton is not None else np.empty(0, dtype=np.intp)
+            cols = alpha.skeleton if alpha.skeleton is not None else np.empty(0, dtype=np.intp)
+        else:
+            rows = beta.indices
+            cols = alpha.indices
+        return self._matrix.entries(rows, cols)
+
+    @property
+    def cached_entries(self) -> int:
+        return sum(block.size for block in self._cache.values())
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+
+@dataclass
+class CompressedMatrix:
+    """Hierarchically compressed SPD matrix ``K̃ ≈ K`` (Eq. (1))."""
+
+    tree: BallTree
+    lists: InteractionLists
+    config: GOFMMConfig
+    near_blocks: BlockProvider
+    far_blocks: BlockProvider
+    matrix: Optional[SPDMatrix] = None
+    neighbors: Optional[NeighborTable] = None
+    counters: EvaluationCounters = field(default_factory=EvaluationCounters)
+
+    # -- linear operator interface -------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.tree.n, self.tree.n)
+
+    @property
+    def n(self) -> int:
+        return self.tree.n
+
+    def matvec(self, w: np.ndarray) -> np.ndarray:
+        """Approximate product ``K̃ w`` (Algorithm 2.7); accepts (N,) or (N, r)."""
+        return evaluate(self, w, counters=self.counters)
+
+    def __matmul__(self, w: np.ndarray) -> np.ndarray:
+        return self.matvec(w)
+
+    def matvec_transpose(self, w: np.ndarray) -> np.ndarray:
+        """Product with ``K̃ᵀ``.
+
+        With symmetric interaction lists ``K̃`` is symmetric by construction
+        and this equals :meth:`matvec`; it is provided so users can verify
+        symmetry numerically.
+        """
+        return self.matvec(w)
+
+    # -- explicit form (small problems only) ----------------------------------
+    def ordered_indices(self) -> Dict[int, np.ndarray]:
+        """Indices owned by each node in left-to-right *leaf* order.
+
+        A node's ``indices`` array preserves the order produced by its
+        parent's split, which generally differs from the concatenation of its
+        children's index arrays; the telescoping expression of Eq. (10)
+        stacks children blocks, so explicit reconstructions must use this
+        child-concatenated ordering.
+        """
+        ordered: Dict[int, np.ndarray] = {}
+        for node in self.tree.postorder():
+            if node.is_leaf:
+                ordered[node.node_id] = node.indices
+            else:
+                left, right = node.children()
+                ordered[node.node_id] = np.concatenate([ordered[left.node_id], ordered[right.node_id]])
+        return ordered
+
+    def telescoped_coefficients(self) -> Dict[int, np.ndarray]:
+        """Full coefficient matrices ``P_{α̃α}`` (Eq. (10)) for every non-root node.
+
+        Each entry maps the node's owned indices — in the left-to-right leaf
+        order returned by :meth:`ordered_indices` — to its skeleton.  Cost is
+        O(s · N log N) memory, so this is intended for diagnostics and
+        ``to_dense`` at test scale.
+        """
+        full: Dict[int, np.ndarray] = {}
+        for node in self.tree.postorder():
+            if node.is_root or node.coeffs is None:
+                continue
+            if node.is_leaf:
+                full[node.node_id] = node.coeffs
+            else:
+                left, right = node.children()
+                pl = full.get(left.node_id)
+                pr = full.get(right.node_id)
+                if pl is None or pr is None:
+                    full[node.node_id] = np.zeros((node.skeleton_rank, node.size))
+                    continue
+                stacked = np.zeros((pl.shape[0] + pr.shape[0], node.size))
+                stacked[: pl.shape[0], : left.size] = pl
+                stacked[pl.shape[0] :, left.size :] = pr
+                full[node.node_id] = node.coeffs @ stacked
+        return full
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize ``K̃`` (O(N²) memory; tests and small problems only)."""
+        if self.matrix is None and (len(self.near_blocks) == 0 and len(self.far_blocks) == 0):
+            raise EvaluationError("cannot materialize: no cached blocks and no source matrix")
+        n = self.tree.n
+        out = np.zeros((n, n))
+        telescoped = self.telescoped_coefficients()
+        ordered = self.ordered_indices()
+
+        for leaf in self.tree.leaves:
+            for alpha_id in leaf.near:
+                alpha = self.tree.node(alpha_id)
+                block = self.near_blocks.get((leaf.node_id, alpha_id))
+                if block is None:
+                    raise EvaluationError(f"missing near block ({leaf.node_id}, {alpha_id})")
+                out[np.ix_(leaf.indices, alpha.indices)] += block
+
+        for node in self.tree.nodes:
+            if not node.far:
+                continue
+            p_beta = telescoped.get(node.node_id)
+            if p_beta is None or node.skeleton_rank == 0:
+                continue
+            for alpha_id in node.far:
+                alpha = self.tree.node(alpha_id)
+                p_alpha = telescoped.get(alpha_id)
+                if p_alpha is None or alpha.skeleton_rank == 0:
+                    continue
+                block = self.far_blocks.get((node.node_id, alpha_id))
+                if block is None:
+                    raise EvaluationError(f"missing far block ({node.node_id}, {alpha_id})")
+                out[np.ix_(ordered[node.node_id], ordered[alpha_id])] += p_beta.T @ block @ p_alpha
+        return out
+
+    # -- accuracy ---------------------------------------------------------------
+    def relative_error(self, num_rhs: int = 10, num_sample_rows: int = 100, rng: np.random.Generator | None = None) -> float:
+        """Sampled ε2 = ||K̃w − Kw||_F / ||Kw||_F against the source matrix."""
+        if self.matrix is None:
+            raise EvaluationError("relative_error requires the source matrix to be attached")
+        from .accuracy import relative_error as _relative_error
+
+        return _relative_error(self, self.matrix, num_rhs=num_rhs, num_sample_rows=num_sample_rows, rng=rng)
+
+    # -- reports -----------------------------------------------------------------
+    def rank_summary(self) -> dict[str, float]:
+        """Skeleton-rank statistics (the "average rank" the paper reports)."""
+        ranks = [node.skeleton_rank for node in self.tree.nodes if not node.is_root]
+        if not ranks:
+            return {"mean": 0.0, "max": 0, "min": 0}
+        return {"mean": float(np.mean(ranks)), "max": int(np.max(ranks)), "min": int(np.min(ranks))}
+
+    def storage_report(self) -> dict[str, float]:
+        """Approximate storage of the representation, in number of float64 entries."""
+        coeff_entries = sum(node.coeffs.size for node in self.tree.nodes if node.coeffs is not None)
+        near_entries = self.near_blocks.cached_entries
+        far_entries = self.far_blocks.cached_entries
+        total = coeff_entries + near_entries + far_entries
+        dense = self.tree.n ** 2
+        return {
+            "coefficients": float(coeff_entries),
+            "near_blocks": float(near_entries),
+            "far_blocks": float(far_entries),
+            "total": float(total),
+            "dense_equivalent": float(dense),
+            "compression_ratio": float(dense / total) if total else float("inf"),
+        }
+
+    def interaction_report(self) -> dict[str, float]:
+        """Sizes of the interaction lists (how much of K is treated directly)."""
+        near_pairs = self.lists.total_near_pairs()
+        far_pairs = self.lists.total_far_pairs()
+        leaves = len(self.tree.leaves)
+        return {
+            "num_leaves": float(leaves),
+            "near_pairs": float(near_pairs),
+            "far_pairs": float(far_pairs),
+            "avg_near_per_leaf": float(near_pairs / leaves) if leaves else 0.0,
+            "budget_cap": float(self.lists.budget_cap),
+            "is_hss": float(self.lists.is_hss()),
+        }
+
+    def evaluation_flops(self, num_rhs: int = 1) -> float:
+        """Predicted FLOPs of one evaluation with ``num_rhs`` right-hand sides (Table 2 model)."""
+        total = 0.0
+        for node in self.tree.nodes:
+            if node.is_root or node.coeffs is None:
+                continue
+            total += 2.0 * node.coeffs.shape[0] * node.coeffs.shape[1] * num_rhs  # N2S
+            total += 2.0 * node.coeffs.shape[0] * node.coeffs.shape[1] * num_rhs  # S2N
+            for alpha_id in node.far:
+                alpha = self.tree.node(alpha_id)
+                total += 2.0 * node.skeleton_rank * alpha.skeleton_rank * num_rhs  # S2S
+        for leaf in self.tree.leaves:
+            for alpha_id in leaf.near:
+                alpha = self.tree.node(alpha_id)
+                total += 2.0 * leaf.size * alpha.size * num_rhs  # L2L
+        return total

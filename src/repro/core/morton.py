@@ -1,0 +1,92 @@
+"""Morton IDs: bit codes of the path from the root of the binary tree.
+
+The paper uses Morton IDs for two purposes (§2.2):
+
+* to name each tree node compactly (a bit string of "went left / went
+  right" decisions plus the depth), and
+* to test in O(1) whether a node ``α`` is an ancestor of a leaf containing a
+  given index — the test at the heart of ``FindFar`` (Algorithm 2.4).
+
+In a binary tree the code is simply: root = empty string; each left turn
+appends a ``0`` bit, each right turn a ``1`` bit.  We store it as the
+integer value of the bit string together with its length (the level), which
+makes ancestor checks a shift-and-compare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MortonID", "ROOT_MORTON"]
+
+
+@dataclass(frozen=True, order=True)
+class MortonID:
+    """Path code of a node in the binary partition tree.
+
+    Attributes
+    ----------
+    level:
+        depth of the node (root = 0).
+    bits:
+        integer whose binary expansion (``level`` bits, most significant bit
+        = first turn) encodes the path from the root.
+    """
+
+    level: int
+    bits: int
+
+    def __post_init__(self) -> None:
+        if self.level < 0:
+            raise ValueError("level must be non-negative")
+        if self.bits < 0 or (self.level < 64 and self.bits >= (1 << max(self.level, 0))):
+            raise ValueError(f"bits {self.bits} do not fit in {self.level} levels")
+
+    # -- tree navigation ----------------------------------------------------
+    def child(self, right: bool) -> "MortonID":
+        """Morton ID of the left (``right=False``) or right child."""
+        return MortonID(level=self.level + 1, bits=(self.bits << 1) | int(bool(right)))
+
+    def left_child(self) -> "MortonID":
+        return self.child(False)
+
+    def right_child(self) -> "MortonID":
+        return self.child(True)
+
+    def parent(self) -> "MortonID":
+        if self.level == 0:
+            raise ValueError("the root has no parent")
+        return MortonID(level=self.level - 1, bits=self.bits >> 1)
+
+    def sibling(self) -> "MortonID":
+        if self.level == 0:
+            raise ValueError("the root has no sibling")
+        return MortonID(level=self.level, bits=self.bits ^ 1)
+
+    # -- relations ------------------------------------------------------------
+    def is_ancestor_of(self, other: "MortonID") -> bool:
+        """True when ``self`` lies on the root-to-``other`` path (inclusive)."""
+        if other.level < self.level:
+            return False
+        return (other.bits >> (other.level - self.level)) == self.bits
+
+    def is_descendant_of(self, other: "MortonID") -> bool:
+        return other.is_ancestor_of(self)
+
+    def ancestor_at_level(self, level: int) -> "MortonID":
+        """The unique ancestor of ``self`` at the given (shallower) level."""
+        if level > self.level or level < 0:
+            raise ValueError(f"no ancestor of a level-{self.level} node at level {level}")
+        return MortonID(level=level, bits=self.bits >> (self.level - level))
+
+    def path(self) -> str:
+        """Human-readable bit-string path, e.g. ``'010'`` (root = ``''``)."""
+        if self.level == 0:
+            return ""
+        return format(self.bits, f"0{self.level}b")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Morton(level={self.level}, path='{self.path()}')"
+
+
+ROOT_MORTON = MortonID(level=0, bits=0)

@@ -1,0 +1,197 @@
+"""Nested interpolative-decomposition skeletonization (§2.2, Algorithm 2.6).
+
+For a leaf β the off-diagonal block ``K_{Iβ}`` (``I`` = everything outside
+β) is approximated by a column ID
+
+    K_{Iβ} ≈ K_{Iβ̃} P_{β̃β},
+
+where the *skeleton* β̃ ⊂ β holds at most ``s`` columns.  For an internal
+node α the same ID is computed on the columns ``[l̃ r̃]`` (the children's
+skeletons), which makes the skeletons *nested*, α̃ ⊂ l̃ ∪ r̃, and yields the
+telescoping coefficient expression of Eq. (10).
+
+Touching all of ``I`` would cost O(N) rows per node, so the rows are
+subsampled (``I' ⊂ I``) with *neighbor-based importance sampling*: rows that
+are neighbors of the node's indices are included first (they are where the
+off-diagonal block is largest and hardest to interpolate), and the rest of
+the sample is drawn uniformly from the remaining far-away rows.  The ID
+itself is a pivoted QR + triangular solve with adaptive rank
+(:func:`repro.linalg.id.interpolative_decomposition`).
+
+The per-node work is split into the two tasks of Table 2 — ``SKEL`` (select
+α̃, on the critical path) and ``COEF`` (form the interpolation matrix) — and
+the driver records both so the runtime substrate can schedule them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import GOFMMConfig
+from ..errors import RankDeficiencyError
+from ..linalg.id import interpolative_decomposition
+from ..matrices.base import SPDMatrix
+from .neighbors import NeighborTable
+from .tree import BallTree, TreeNode
+
+__all__ = ["SkeletonizationStats", "sample_rows", "skeletonize_node", "skeletonize_tree"]
+
+
+@dataclass
+class SkeletonizationStats:
+    """Aggregate statistics of a skeletonization pass (reported by benchmarks)."""
+
+    num_nodes: int = 0
+    total_rank: int = 0
+    max_rank: int = 0
+    ranks: list[int] | None = None
+
+    def record(self, rank: int) -> None:
+        self.num_nodes += 1
+        self.total_rank += rank
+        self.max_rank = max(self.max_rank, rank)
+        if self.ranks is None:
+            self.ranks = []
+        self.ranks.append(rank)
+
+    @property
+    def average_rank(self) -> float:
+        return self.total_rank / self.num_nodes if self.num_nodes else 0.0
+
+
+def sample_rows(
+    node: TreeNode,
+    n: int,
+    sample_size: int,
+    neighbors: NeighborTable | None,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Importance-sampled row set ``I' ⊂ {0..N-1} \\ node.indices``.
+
+    Neighbor rows (from ``N(α)``) that lie outside the node come first; the
+    remainder of the budget is filled uniformly from the other outside rows.  If
+    the complement is smaller than the requested sample, the whole
+    complement is returned.
+    """
+    inside = np.zeros(n, dtype=bool)
+    inside[node.indices] = True
+    complement_size = n - node.indices.size
+    if complement_size <= 0:
+        return np.empty(0, dtype=np.intp)
+    if complement_size <= sample_size:
+        return np.nonzero(~inside)[0].astype(np.intp)
+
+    chosen: list[np.ndarray] = []
+    taken = np.zeros(n, dtype=bool)
+    count = 0
+
+    if neighbors is not None and node.neighbor_list is not None:
+        cand = node.neighbor_list[~inside[node.neighbor_list]]
+        if cand.size > sample_size:
+            cand = rng.choice(cand, size=sample_size, replace=False)
+        if cand.size:
+            chosen.append(cand.astype(np.intp))
+            taken[cand] = True
+            count += cand.size
+
+    if count < sample_size:
+        # Fill with uniform samples from rows not yet chosen and outside the node.
+        pool = np.nonzero(~inside & ~taken)[0]
+        need = min(sample_size - count, pool.size)
+        if need > 0:
+            extra = rng.choice(pool, size=need, replace=False)
+            chosen.append(extra.astype(np.intp))
+
+    if not chosen:
+        return np.empty(0, dtype=np.intp)
+    return np.unique(np.concatenate(chosen))
+
+
+def skeletonize_node(
+    node: TreeNode,
+    matrix: SPDMatrix,
+    config: GOFMMConfig,
+    neighbors: NeighborTable | None,
+    rng: np.random.Generator,
+) -> int:
+    """Tasks SKEL(α) + COEF(α): compute ``node.skeleton`` and ``node.coeffs``.
+
+    Returns the selected rank.  Raises :class:`RankDeficiencyError` when
+    ``config.secure_accuracy`` is set and the node could not produce a
+    nonzero skeleton.
+    """
+    if node.is_leaf:
+        columns = node.indices
+    else:
+        left, right = node.children()
+        if left.skeleton is None or right.skeleton is None:
+            raise RankDeficiencyError(
+                f"children of node {node.node_id} have not been skeletonized (postorder violated)"
+            )
+        columns = np.concatenate([left.skeleton, right.skeleton])
+
+    if columns.size == 0:
+        node.skeleton = np.empty(0, dtype=np.intp)
+        node.coeffs = np.zeros((0, 0))
+        node.skeleton_rank = 0
+        if config.secure_accuracy:
+            raise RankDeficiencyError(f"node {node.node_id} has no columns to skeletonize")
+        return 0
+
+    sample_size = config.effective_sample_size()
+    rows = sample_rows(node, matrix.n, sample_size, neighbors, rng)
+    if rows.size == 0:
+        # Root-like node: nothing outside it, so no off-diagonal block exists.
+        node.skeleton = np.empty(0, dtype=np.intp)
+        node.coeffs = np.zeros((0, columns.size))
+        node.skeleton_rank = 0
+        return 0
+
+    block = matrix.entries(rows, columns)
+    decomposition = interpolative_decomposition(
+        block,
+        max_rank=config.max_rank,
+        tolerance=config.tolerance,
+        adaptive=config.adaptive_rank,
+    )
+
+    if decomposition.rank == 0:
+        if config.secure_accuracy:
+            raise RankDeficiencyError(
+                f"node {node.node_id}: adaptive ID selected rank 0 "
+                f"(block norm {np.abs(block).max() if block.size else 0.0:g})"
+            )
+        node.skeleton = np.empty(0, dtype=np.intp)
+        node.coeffs = np.zeros((0, columns.size))
+        node.skeleton_rank = 0
+        return 0
+
+    node.skeleton = columns[decomposition.skeleton]
+    node.coeffs = decomposition.coeffs.astype(config.dtype)
+    node.skeleton_rank = decomposition.rank
+    return decomposition.rank
+
+
+def skeletonize_tree(
+    tree: BallTree,
+    matrix: SPDMatrix,
+    config: GOFMMConfig,
+    neighbors: NeighborTable | None,
+    rng: np.random.Generator | None = None,
+) -> SkeletonizationStats:
+    """Algorithm 2.6 over the whole tree (postorder), skipping the root.
+
+    The root has an empty complement (no off-diagonal block), so it is never
+    skeletonized; its "skeleton" is irrelevant because ``Far(root)`` is
+    always empty.
+    """
+    rng = rng or np.random.default_rng(config.seed)
+    stats = SkeletonizationStats()
+    for node in tree.postorder():
+        if node.is_root:
+            continue
+        rank = skeletonize_node(node, matrix, config, neighbors, rng)
+        stats.record(rank)
+    return stats

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the GOFMM reproduction.
+
+All library-raised exceptions derive from :class:`GOFMMError` so callers can
+catch everything the package raises with a single ``except`` clause while the
+more specific subclasses carry enough context to act on programmatically.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "GOFMMError",
+    "ConfigurationError",
+    "NotSPDError",
+    "CompressionError",
+    "RankDeficiencyError",
+    "EvaluationError",
+    "SchedulingError",
+    "MatrixDefinitionError",
+]
+
+
+class GOFMMError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class ConfigurationError(GOFMMError, ValueError):
+    """A user-supplied parameter is invalid or inconsistent.
+
+    Raised at configuration time (before any expensive work) so parameter
+    mistakes are surfaced immediately.
+    """
+
+
+class NotSPDError(GOFMMError, ValueError):
+    """The supplied matrix violates a symmetric-positive-definite requirement.
+
+    GOFMM's Gram distances (kernel / angle) are only proper metrics when the
+    input is SPD; a non-positive diagonal entry, for instance, makes the
+    Gram-space geometry ill-defined.
+    """
+
+
+class CompressionError(GOFMMError, RuntimeError):
+    """The compression phase failed to produce a usable hierarchical matrix."""
+
+
+class RankDeficiencyError(CompressionError):
+    """A skeletonization produced an empty or invalid skeleton.
+
+    Typically means a leaf's off-diagonal block is numerically zero, or the
+    sampling set was degenerate.
+    """
+
+
+class EvaluationError(GOFMMError, RuntimeError):
+    """The evaluation (matvec) phase was invoked in an invalid state."""
+
+
+class SchedulingError(GOFMMError, RuntimeError):
+    """The task runtime was given an inconsistent DAG or machine model."""
+
+
+class MatrixDefinitionError(GOFMMError, ValueError):
+    """A test-matrix generator was asked for an impossible configuration."""

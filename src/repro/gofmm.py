@@ -1,0 +1,136 @@
+"""Top-level user API of the GOFMM reproduction.
+
+Typical usage::
+
+    import numpy as np
+    from repro import gofmm
+    from repro.matrices import build_matrix
+
+    K = build_matrix("K02", n=2048)
+    config = gofmm.GOFMMConfig(leaf_size=128, max_rank=128, tolerance=1e-5, budget=0.05)
+    Ktilde, report = gofmm.compress(K, config, return_report=True)
+
+    w = np.random.default_rng(0).standard_normal((K.n, 4))
+    u = Ktilde.matvec(w)                      # ≈ K @ w in O(N) / O(N log N)
+    eps2 = Ktilde.relative_error()            # the paper's ε2 metric
+
+The heavy lifting lives in :mod:`repro.core`; this module re-exports the
+pieces a downstream user needs, and adds small conveniences
+(:func:`compress_hss`, :func:`compress_fmm`, :func:`compare_fmm_hss`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import time
+from typing import Optional
+
+import numpy as np
+
+from .config import DistanceMetric, GOFMMConfig, default_config, fmm_config, hss_config
+from .core.accuracy import exact_relative_error, relative_error
+from .core.compress import CompressionReport, compress
+from .core.hmatrix import CompressedMatrix
+
+__all__ = [
+    "GOFMMConfig",
+    "DistanceMetric",
+    "default_config",
+    "hss_config",
+    "fmm_config",
+    "compress",
+    "compress_hss",
+    "compress_fmm",
+    "CompressedMatrix",
+    "CompressionReport",
+    "RunResult",
+    "run",
+    "compare_fmm_hss",
+]
+
+
+def compress_hss(matrix, **config_overrides) -> CompressedMatrix:
+    """Compress with ``budget = 0`` (pure HSS / HODLR structure, S = 0 in Eq. (1))."""
+    return compress(matrix, hss_config(**config_overrides))
+
+
+def compress_fmm(matrix, budget: float = 0.03, **config_overrides) -> CompressedMatrix:
+    """Compress with a nonzero direct-evaluation budget (the FMM variant)."""
+    return compress(matrix, fmm_config(budget=budget, **config_overrides))
+
+
+@dataclass
+class RunResult:
+    """One full compress + evaluate run, as reported in the paper's tables.
+
+    ``compression_seconds`` and ``evaluation_seconds`` correspond to the
+    "Comp" and "Eval" columns; ``epsilon2`` to the accuracy column; and
+    ``average_rank`` to the average skeleton rank the text quotes.
+    """
+
+    compressed: CompressedMatrix
+    report: CompressionReport
+    compression_seconds: float
+    evaluation_seconds: float
+    epsilon2: float
+    average_rank: float
+    num_rhs: int
+
+    def summary(self) -> str:
+        return (
+            f"eps2={self.epsilon2:.2e}  comp={self.compression_seconds:.3f}s  "
+            f"eval={self.evaluation_seconds:.3f}s  avg-rank={self.average_rank:.1f}"
+        )
+
+
+def run(
+    matrix,
+    config: Optional[GOFMMConfig] = None,
+    num_rhs: int = 16,
+    exact_error: bool = False,
+    rng: Optional[np.random.Generator] = None,
+) -> RunResult:
+    """Compress, evaluate ``num_rhs`` right-hand sides, and measure ε2.
+
+    This is the unit of work behind every table/figure harness in
+    ``benchmarks/``: it mirrors the paper's experiment workflow (compress,
+    evaluate, report runtime and accuracy).
+    """
+    rng = rng or np.random.default_rng(0)
+    config = config or GOFMMConfig()
+
+    t0 = time.perf_counter()
+    compressed, report = compress(matrix, config, return_report=True)
+    compression_seconds = time.perf_counter() - t0
+
+    w = rng.standard_normal((compressed.n, num_rhs))
+    t1 = time.perf_counter()
+    compressed.matvec(w)
+    evaluation_seconds = time.perf_counter() - t1
+
+    if exact_error:
+        eps2 = exact_relative_error(compressed, compressed.matrix, num_rhs=min(num_rhs, 10), rng=rng)
+    else:
+        eps2 = relative_error(compressed, compressed.matrix, num_rhs=min(num_rhs, 10), rng=rng)
+
+    return RunResult(
+        compressed=compressed,
+        report=report,
+        compression_seconds=compression_seconds,
+        evaluation_seconds=evaluation_seconds,
+        epsilon2=eps2,
+        average_rank=compressed.rank_summary()["mean"],
+        num_rhs=num_rhs,
+    )
+
+
+def compare_fmm_hss(
+    matrix,
+    budget: float = 0.03,
+    num_rhs: int = 16,
+    **config_overrides,
+) -> dict[str, RunResult]:
+    """Run the same matrix as HSS (budget 0) and FMM (given budget) — the Figure 6 experiment."""
+    hss = run(matrix, hss_config(**config_overrides), num_rhs=num_rhs)
+    fmm = run(matrix, fmm_config(budget=budget, **config_overrides), num_rhs=num_rhs)
+    return {"hss": hss, "fmm": fmm}

@@ -1,0 +1,182 @@
+"""Interpolative decomposition (ID) via rank-revealing pivoted QR.
+
+GOFMM's skeletonization (§2.2, Eq. (7)) approximates a sampled off-diagonal
+block ``A = K_{I'β}`` of shape ``(p, n)`` by a column ID
+
+    A ≈ A[:, skeleton] @ P,
+
+where ``skeleton`` is a subset of ``s`` column indices (the *skeletons* β̃)
+and ``P`` is an ``s × n`` interpolation matrix whose restriction to the
+skeleton columns is the identity.  The skeletons are the first ``s`` pivots
+of a pivoted QR factorization (LAPACK GEQP3); ``P`` is obtained from a
+triangular solve with the leading ``s × s`` block of ``R`` (TRSM).
+
+The rank ``s`` is chosen adaptively: the diagonal of ``R`` is a cheap proxy
+for the singular values of ``A``, and we truncate at the first diagonal
+entry falling below ``tolerance`` relative to the largest one (matching the
+paper's ``σ_{s+1}(K_{I'β}) < τ`` criterion on the sampled block).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.linalg as sla
+
+__all__ = ["InterpolativeDecomposition", "interpolative_decomposition", "id_reconstruction"]
+
+
+@dataclass(frozen=True)
+class InterpolativeDecomposition:
+    """Result of a column interpolative decomposition ``A ≈ A[:, skeleton] @ coeffs``.
+
+    Attributes
+    ----------
+    skeleton:
+        integer array of ``rank`` column indices into the original matrix.
+    coeffs:
+        ``(rank, n)`` interpolation matrix ``P``.  ``P[:, skeleton]`` is (up
+        to round-off) the identity.
+    rank:
+        the selected rank ``s``.
+    diag_r:
+        absolute values of the diagonal of the pivoted-QR ``R`` factor —
+        useful as singular-value estimates for diagnostics.
+    """
+
+    skeleton: np.ndarray
+    coeffs: np.ndarray
+    rank: int
+    diag_r: np.ndarray
+
+    def reconstruct(self, columns: np.ndarray) -> np.ndarray:
+        """Reconstruct ``A`` from its skeleton columns: ``columns @ coeffs``."""
+        return np.asarray(columns) @ self.coeffs
+
+
+def _select_rank(diag_r: np.ndarray, tolerance: float, max_rank: int, relative: bool) -> int:
+    """Pick the adaptive rank from |diag(R)| of a pivoted QR.
+
+    Keeps pivots while ``|r_kk|`` stays above ``tolerance`` (relative to
+    ``|r_00|`` when ``relative`` is true), capped at ``max_rank``.  At least
+    one pivot is always kept when the matrix is nonzero.
+    """
+    if diag_r.size == 0:
+        return 0
+    scale = diag_r[0] if relative else 1.0
+    if scale <= 0.0 or not np.isfinite(scale):
+        return 0
+    keep = np.nonzero(diag_r >= tolerance * scale)[0]
+    if keep.size == 0:
+        rank = 1 if diag_r[0] > 0.0 else 0
+    else:
+        rank = int(keep[-1]) + 1
+    return int(min(rank, max_rank, diag_r.size))
+
+
+def interpolative_decomposition(
+    matrix: np.ndarray,
+    max_rank: int,
+    tolerance: float = 0.0,
+    adaptive: bool = True,
+    relative: bool = True,
+) -> InterpolativeDecomposition:
+    """Compute a column ID of ``matrix`` with at most ``max_rank`` skeleton columns.
+
+    Parameters
+    ----------
+    matrix:
+        ``(p, n)`` dense array.  Rows are the sampled "observer" indices
+        ``I'``, columns are the indices of the node being skeletonized.
+    max_rank:
+        hard cap ``s`` on the number of skeleton columns.
+    tolerance:
+        adaptive truncation threshold ``τ`` applied to the diagonal of the
+        pivoted-QR ``R`` factor.  Ignored when ``adaptive`` is false.
+    adaptive:
+        when false, keep exactly ``min(max_rank, n, p)`` columns regardless
+        of ``tolerance``.
+    relative:
+        interpret ``tolerance`` relative to the largest pivot magnitude
+        (the paper's behaviour) instead of as an absolute threshold.
+
+    Returns
+    -------
+    InterpolativeDecomposition
+        skeleton indices, interpolation coefficients, selected rank, and the
+        pivot magnitudes.
+    """
+    a = np.ascontiguousarray(matrix, dtype=np.float64)
+    p, n = a.shape
+    hard_cap = int(min(max_rank, n, p)) if p > 0 else 0
+    if n == 0 or p == 0 or hard_cap == 0:
+        return InterpolativeDecomposition(
+            skeleton=np.empty(0, dtype=np.intp),
+            coeffs=np.zeros((0, n)),
+            rank=0,
+            diag_r=np.empty(0),
+        )
+
+    # Rank-revealing QR with column pivoting (GEQP3).  mode="r" avoids
+    # forming Q, which we never need.
+    r, piv = sla.qr(a, mode="r", pivoting=True, check_finite=False)
+    k = min(r.shape[0], n)
+    diag_r = np.abs(np.diag(r[:k, :k]))
+
+    if adaptive:
+        rank = _select_rank(diag_r, tolerance, hard_cap, relative)
+    else:
+        rank = hard_cap
+    if rank == 0:
+        # Zero matrix: represent it with an empty skeleton and zero coeffs.
+        return InterpolativeDecomposition(
+            skeleton=np.empty(0, dtype=np.intp),
+            coeffs=np.zeros((0, n)),
+            rank=0,
+            diag_r=diag_r,
+        )
+
+    r11 = r[:rank, :rank]
+    r12 = r[:rank, rank:n]
+    # Guard against an exactly singular leading block (can happen when the
+    # adaptive rule keeps a pivot that is numerically zero).
+    if rank > 0 and np.abs(r11[-1, -1]) <= np.finfo(np.float64).tiny:
+        nz = np.nonzero(np.abs(np.diag(r11)) > np.finfo(np.float64).tiny)[0]
+        rank = int(nz[-1]) + 1 if nz.size else 0
+        if rank == 0:
+            return InterpolativeDecomposition(
+                skeleton=np.empty(0, dtype=np.intp),
+                coeffs=np.zeros((0, n)),
+                rank=0,
+                diag_r=diag_r,
+            )
+        r11 = r[:rank, :rank]
+        r12 = r[:rank, rank:n]
+
+    if n > rank:
+        t = sla.solve_triangular(r11, r12, lower=False, check_finite=False)
+    else:
+        t = np.zeros((rank, 0))
+
+    # Assemble P in the *original* (unpivoted) column order: the skeleton
+    # columns get identity coefficients, the rest get T.
+    coeffs = np.zeros((rank, n))
+    coeffs[:, piv[:rank]] = np.eye(rank)
+    if n > rank:
+        coeffs[:, piv[rank:n]] = t
+
+    return InterpolativeDecomposition(
+        skeleton=np.asarray(piv[:rank], dtype=np.intp),
+        coeffs=coeffs,
+        rank=int(rank),
+        diag_r=diag_r,
+    )
+
+
+def id_reconstruction(matrix: np.ndarray, decomposition: InterpolativeDecomposition) -> np.ndarray:
+    """Reconstruct the full block from an ID of it (for testing/diagnostics)."""
+    if decomposition.rank == 0:
+        return np.zeros_like(np.asarray(matrix, dtype=np.float64))
+    cols = np.asarray(matrix, dtype=np.float64)[:, decomposition.skeleton]
+    return cols @ decomposition.coeffs

@@ -1,0 +1,95 @@
+"""Norm and error estimators.
+
+The paper measures accuracy with the relative error
+
+    ε2 = ||K̃ w − K w||_F / ||K w||_F,        w ∈ R^{N×r},
+
+and, because computing ``K w`` exactly costs ``O(r N²)``, estimates it by
+sampling 100 rows of ``K`` (§3).  The helpers here implement both the exact
+and the sampled version, plus a power-method spectral-norm estimate used in
+diagnostics and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "relative_frobenius_error",
+    "sampled_relative_error",
+    "sampled_spectral_norm",
+    "power_method_norm",
+]
+
+
+def relative_frobenius_error(approx: np.ndarray, exact: np.ndarray) -> float:
+    """``||approx − exact||_F / ||exact||_F`` with a safe zero-denominator fallback."""
+    approx = np.asarray(approx, dtype=np.float64)
+    exact = np.asarray(exact, dtype=np.float64)
+    denom = float(np.linalg.norm(exact))
+    if denom == 0.0:
+        return float(np.linalg.norm(approx))
+    return float(np.linalg.norm(approx - exact) / denom)
+
+
+def sampled_relative_error(
+    approx_product: np.ndarray,
+    row_fn: Callable[[np.ndarray], np.ndarray],
+    weights: np.ndarray,
+    num_samples: int = 100,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Sampled ε2: compare ``num_samples`` rows of ``K w`` against the approximation.
+
+    Parameters
+    ----------
+    approx_product:
+        the full approximate product ``K̃ w`` of shape ``(N, r)``.
+    row_fn:
+        callback mapping an index array ``I`` to the exact rows ``K[I, :]``.
+    weights:
+        the multiplied matrix ``w`` of shape ``(N, r)``.
+    num_samples:
+        how many rows to sample (paper: 100).
+    """
+    approx_product = np.atleast_2d(np.asarray(approx_product, dtype=np.float64))
+    weights = np.atleast_2d(np.asarray(weights, dtype=np.float64))
+    if approx_product.ndim == 2 and approx_product.shape[0] == 1 and weights.shape[0] > 1:
+        approx_product = approx_product.T
+    if weights.shape[0] == 1 and approx_product.shape[0] > 1:
+        weights = weights.T
+    n = approx_product.shape[0]
+    rng = rng or np.random.default_rng(0)
+    num_samples = min(num_samples, n)
+    rows = np.sort(rng.choice(n, size=num_samples, replace=False))
+    exact_rows = np.asarray(row_fn(rows), dtype=np.float64) @ weights
+    return relative_frobenius_error(approx_product[rows, :], exact_rows)
+
+
+def power_method_norm(
+    matvec: Callable[[np.ndarray], np.ndarray],
+    n: int,
+    iterations: int = 20,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Estimate the spectral norm of a symmetric operator by power iteration."""
+    rng = rng or np.random.default_rng(0)
+    x = rng.standard_normal(n)
+    x /= np.linalg.norm(x)
+    estimate = 0.0
+    for _ in range(iterations):
+        y = np.asarray(matvec(x), dtype=np.float64).reshape(n)
+        norm_y = float(np.linalg.norm(y))
+        if norm_y == 0.0:
+            return 0.0
+        estimate = norm_y
+        x = y / norm_y
+    return estimate
+
+
+def sampled_spectral_norm(matrix: np.ndarray, iterations: int = 20, rng: np.random.Generator | None = None) -> float:
+    """Power-method spectral norm of an explicit (symmetric) matrix."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    return power_method_norm(lambda x: matrix @ x, matrix.shape[0], iterations=iterations, rng=rng)

@@ -1,0 +1,45 @@
+"""SPD test matrices and the entry-evaluation interface GOFMM consumes.
+
+GOFMM's only required input is a routine returning ``K[I, J]`` for arbitrary
+index sets (the paper's problem statement).  :class:`repro.matrices.base.SPDMatrix`
+is that interface; everything else in this subpackage builds concrete
+instances of it:
+
+* :mod:`repro.matrices.kernels` — kernel functions (Gaussian, exponential,
+  inverse-multiquadric Green's-like, polynomial, cosine similarity),
+* :mod:`repro.matrices.stencils` — finite-difference operators (Laplacian,
+  Helmholtz, variable-coefficient advection–diffusion) and their regularized
+  inverses / squared inverses,
+* :mod:`repro.matrices.spectral` — pseudo-spectral operators,
+* :mod:`repro.matrices.graphs` — (regularized inverse) graph Laplacians of
+  synthetic graphs emulating the paper's UFL graphs G01–G05,
+* :mod:`repro.matrices.datasets` — synthetic point clouds standing in for
+  COVTYPE / HIGGS / MNIST,
+* :mod:`repro.matrices.registry` — the named testbed K02–K18, G01–G05, plus
+  the machine-learning kernel matrices.
+"""
+
+from .base import CallbackMatrix, DenseSPD, KernelMatrix, SPDMatrix
+from .kernels import (
+    CosineKernel,
+    GaussianKernel,
+    InverseMultiquadricKernel,
+    LaplaceKernel,
+    PolynomialKernel,
+)
+from .registry import available_matrices, build_matrix, matrix_info
+
+__all__ = [
+    "SPDMatrix",
+    "DenseSPD",
+    "KernelMatrix",
+    "CallbackMatrix",
+    "GaussianKernel",
+    "LaplaceKernel",
+    "InverseMultiquadricKernel",
+    "PolynomialKernel",
+    "CosineKernel",
+    "build_matrix",
+    "available_matrices",
+    "matrix_info",
+]

@@ -1,0 +1,330 @@
+"""Finite-difference stencil operators and their regularized inverses.
+
+These generators emulate the paper's PDE-derived test matrices:
+
+* ``K02`` — 2D regularized inverse Laplacian squared (Hessian of a
+  PDE-constrained optimization problem),
+* ``K03`` — the same construction with an oscillatory Helmholtz operator
+  (10 points per wavelength),
+* ``K12``–``K14`` — 2D advection–diffusion operators with highly variable
+  coefficients,
+* ``K18`` — 3D inverse squared Laplacian with variable coefficients.
+
+All operators are discretized with standard central finite differences on a
+regular grid with Dirichlet boundary conditions.  Non-symmetric operators
+(advection) are symmetrized through the normal-equations form ``AᵀA`` so the
+resulting test matrix is SPD, and inverses are regularized (``+ λI``) before
+inversion — both steps mirror what is required to make the paper's matrices
+SPD in the first place (it calls them "regularized").
+
+The returned objects are :class:`repro.matrices.base.DenseSPD` instances
+carrying the grid coordinates, so the geometric-distance reference
+permutation of Figure 7 can be evaluated against them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from ..errors import MatrixDefinitionError
+from .base import DenseSPD
+
+__all__ = [
+    "laplacian_1d",
+    "laplacian_2d",
+    "laplacian_3d",
+    "helmholtz_2d",
+    "advection_diffusion_2d",
+    "variable_coefficient_field",
+    "inverse_operator_matrix",
+    "regularized_inverse_squared_laplacian_2d",
+    "regularized_inverse_helmholtz_squared_2d",
+    "advection_diffusion_matrix",
+    "inverse_squared_laplacian_3d",
+    "grid_coordinates_2d",
+    "grid_coordinates_3d",
+]
+
+
+# ---------------------------------------------------------------------------
+# sparse stencil operators
+# ---------------------------------------------------------------------------
+
+def laplacian_1d(n: int) -> sp.csr_matrix:
+    """1D Dirichlet Laplacian (−u'') on ``n`` interior points, scaled by 1/h²."""
+    if n < 1:
+        raise MatrixDefinitionError("grid must have at least one point")
+    h = 1.0 / (n + 1)
+    main = 2.0 * np.ones(n)
+    off = -1.0 * np.ones(n - 1)
+    return sp.diags([off, main, off], [-1, 0, 1], format="csr") / h**2
+
+
+def laplacian_2d(n: int) -> sp.csr_matrix:
+    """2D 5-point Dirichlet Laplacian on an ``n × n`` interior grid."""
+    l1 = laplacian_1d(n)
+    eye = sp.identity(n, format="csr")
+    return (sp.kron(l1, eye) + sp.kron(eye, l1)).tocsr()
+
+
+def laplacian_3d(n: int) -> sp.csr_matrix:
+    """3D 7-point Dirichlet Laplacian on an ``n × n × n`` interior grid."""
+    l1 = laplacian_1d(n)
+    eye = sp.identity(n, format="csr")
+    return (
+        sp.kron(sp.kron(l1, eye), eye)
+        + sp.kron(sp.kron(eye, l1), eye)
+        + sp.kron(sp.kron(eye, eye), l1)
+    ).tocsr()
+
+
+def helmholtz_2d(n: int, points_per_wavelength: float = 10.0) -> sp.csr_matrix:
+    """2D Helmholtz operator ``−Δ − k²`` with ``k`` set from the grid resolution.
+
+    Following the paper's setup (10 points per wavelength): the wavenumber is
+    chosen so that one wavelength spans ``points_per_wavelength`` grid cells,
+    i.e. ``k = 2π (n+1) / points_per_wavelength`` on the unit square.
+    """
+    lap = laplacian_2d(n)
+    k = 2.0 * np.pi * (n + 1) / points_per_wavelength
+    return (lap - (k**2) * sp.identity(n * n, format="csr")).tocsr()
+
+
+def variable_coefficient_field(n: int, contrast: float, seed: int, dim: int = 2) -> np.ndarray:
+    """Smooth, highly variable positive coefficient field on an ``n^dim`` grid.
+
+    A superposition of a few random low-frequency sines, exponentiated so the
+    field is positive with ratio ``max/min ≈ contrast``.
+    """
+    rng = np.random.default_rng(seed)
+    axes = [np.linspace(0.0, 1.0, n) for _ in range(dim)]
+    grids = np.meshgrid(*axes, indexing="ij")
+    field = np.zeros_like(grids[0])
+    for _ in range(4):
+        freqs = rng.integers(1, 4, size=dim)
+        phases = rng.uniform(0.0, 2.0 * np.pi, size=dim)
+        amp = rng.uniform(0.5, 1.0)
+        wave = np.ones_like(field)
+        for g, f, p in zip(grids, freqs, phases):
+            wave = wave * np.sin(np.pi * f * g + p)
+        field += amp * wave
+    field -= field.min()
+    if field.max() > 0:
+        field /= field.max()
+    log_contrast = np.log(max(contrast, 1.0 + 1e-12))
+    return np.exp(field * log_contrast).ravel()
+
+
+def advection_diffusion_2d(
+    n: int,
+    diffusion_contrast: float = 100.0,
+    advection_strength: float = 10.0,
+    seed: int = 0,
+) -> sp.csr_matrix:
+    """2D advection–diffusion operator ``−∇·(a ∇u) + b·∇u`` with variable ``a`` and ``b``.
+
+    The diffusion coefficient ``a`` is a rough positive field with the given
+    contrast; the advection field ``b`` is a random smooth rotational field
+    scaled by ``advection_strength``.  The operator is *not* symmetric; use
+    :func:`advection_diffusion_matrix` for the SPD test matrix built from it.
+    """
+    h = 1.0 / (n + 1)
+    a = variable_coefficient_field(n, diffusion_contrast, seed).reshape(n, n)
+    rng = np.random.default_rng(seed + 1)
+    bx = advection_strength * np.cos(2.0 * np.pi * rng.uniform()) * np.ones((n, n))
+    by = advection_strength * np.sin(2.0 * np.pi * rng.uniform()) * np.ones((n, n))
+
+    size = n * n
+
+    def idx(i: np.ndarray, j: np.ndarray) -> np.ndarray:
+        return i * n + j
+
+    rows: list[np.ndarray] = []
+    cols: list[np.ndarray] = []
+    vals: list[np.ndarray] = []
+
+    ii, jj = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+    ii = ii.ravel()
+    jj = jj.ravel()
+    center = idx(ii, jj)
+
+    # Harmonic-mean face coefficients for the divergence-form diffusion term.
+    def face_coeff(di: int, dj: int) -> np.ndarray:
+        ni = np.clip(ii + di, 0, n - 1)
+        nj = np.clip(jj + dj, 0, n - 1)
+        a_c = a[ii, jj]
+        a_n = a[ni, nj]
+        return 2.0 * a_c * a_n / (a_c + a_n)
+
+    diag = np.zeros(size)
+    for di, dj in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+        coeff = face_coeff(di, dj) / h**2
+        diag += coeff
+        inside = (ii + di >= 0) & (ii + di < n) & (jj + dj >= 0) & (jj + dj < n)
+        rows.append(center[inside])
+        cols.append(idx(ii[inside] + di, jj[inside] + dj))
+        vals.append(-coeff[inside])
+
+    # First-order upwind advection.
+    bx_flat = bx.ravel()
+    by_flat = by.ravel()
+    diag += (np.abs(bx_flat) + np.abs(by_flat)) / h
+    for vec, di, dj in ((bx_flat, 1, 0), (bx_flat, -1, 0), (by_flat, 0, 1), (by_flat, 0, -1)):
+        direction = -1.0 if (di + dj) > 0 else 1.0
+        take = vec * direction > 0  # upwind side
+        inside = (ii + di >= 0) & (ii + di < n) & (jj + dj >= 0) & (jj + dj < n) & take
+        rows.append(center[inside])
+        cols.append(idx(ii[inside] + di, jj[inside] + dj))
+        vals.append(-np.abs(vec[inside]) / h)
+
+    rows.append(center)
+    cols.append(center)
+    vals.append(diag)
+
+    data = np.concatenate(vals)
+    r = np.concatenate(rows)
+    c = np.concatenate(cols)
+    return sp.csr_matrix((data, (r, c)), shape=(size, size))
+
+
+# ---------------------------------------------------------------------------
+# dense SPD test matrices built from the operators
+# ---------------------------------------------------------------------------
+
+def grid_coordinates_2d(n: int) -> np.ndarray:
+    """Coordinates of the interior points of the ``n × n`` unit-square grid."""
+    pts = np.linspace(0.0, 1.0, n + 2)[1:-1]
+    xx, yy = np.meshgrid(pts, pts, indexing="ij")
+    return np.column_stack([xx.ravel(), yy.ravel()])
+
+
+def grid_coordinates_3d(n: int) -> np.ndarray:
+    """Coordinates of the interior points of the ``n³`` unit-cube grid."""
+    pts = np.linspace(0.0, 1.0, n + 2)[1:-1]
+    xx, yy, zz = np.meshgrid(pts, pts, pts, indexing="ij")
+    return np.column_stack([xx.ravel(), yy.ravel(), zz.ravel()])
+
+
+def _grid_side_for(n_target: int, dim: int) -> int:
+    side = int(np.ceil(n_target ** (1.0 / dim)))
+    while side**dim < n_target:
+        side += 1
+    return side
+
+
+def inverse_operator_matrix(
+    operator: sp.spmatrix,
+    n_target: int,
+    regularization: float,
+    squared: bool = True,
+    normal_equations: bool = False,
+    coordinates: np.ndarray | None = None,
+    name: str = "inverse-operator",
+) -> DenseSPD:
+    """Dense SPD matrix ``(AᵀA + λI)^{-1}`` (or ``(A + λI)^{-1}`` symmetric) truncated to ``n_target``.
+
+    Parameters
+    ----------
+    operator:
+        sparse operator ``A`` on the full grid.
+    n_target:
+        number of rows/columns to keep (leading principal submatrix — a
+        principal submatrix of an SPD matrix is SPD, so truncation is safe).
+    regularization:
+        diagonal shift ``λ`` relative to the mean diagonal of the (possibly
+        squared) operator.
+    squared:
+        build the inverse of the *squared* operator, matching the paper's
+        "inverse Laplacian squared" Hessian-like matrices.
+    normal_equations:
+        symmetrize a non-symmetric ``A`` through ``AᵀA`` before inverting.
+    """
+    a = operator.tocsr()
+    if normal_equations or squared:
+        sym = (a.T @ a).tocsc()
+    else:
+        sym = ((a + a.T) * 0.5).tocsc()
+    scale = float(np.mean(sym.diagonal()))
+    shifted = (sym + regularization * scale * sp.identity(sym.shape[0], format="csc")).tocsc()
+    solver = spla.factorized(shifted)
+    rhs = np.eye(shifted.shape[0], n_target)
+    dense = np.column_stack([solver(rhs[:, j]) for j in range(n_target)])
+    dense = dense[:n_target, :]
+    dense = 0.5 * (dense + dense.T)
+    coords = None if coordinates is None else coordinates[:n_target]
+    # Normalize so matrices of different provenance have comparable norms.
+    dense /= max(np.abs(dense).max(), np.finfo(np.float64).tiny)
+    return DenseSPD(dense, coordinates=coords, validate=False, name=name)
+
+
+def regularized_inverse_squared_laplacian_2d(n_target: int, regularization: float = 1e-2, name: str = "K02") -> DenseSPD:
+    """K02: 2D regularized inverse Laplacian squared on a regular grid."""
+    side = _grid_side_for(n_target, 2)
+    lap = laplacian_2d(side)
+    # Scale to O(1) entries before squaring to keep conditioning reasonable.
+    lap = lap * (1.0 / (side + 1) ** 2)
+    coords = grid_coordinates_2d(side)
+    return inverse_operator_matrix(lap, n_target, regularization, squared=True, coordinates=coords, name=name)
+
+
+def regularized_inverse_helmholtz_squared_2d(
+    n_target: int,
+    points_per_wavelength: float = 10.0,
+    regularization: float = 1e-2,
+    name: str = "K03",
+) -> DenseSPD:
+    """K03: same construction as K02 with the oscillatory Helmholtz operator."""
+    side = _grid_side_for(n_target, 2)
+    helm = helmholtz_2d(side, points_per_wavelength) * (1.0 / (side + 1) ** 2)
+    coords = grid_coordinates_2d(side)
+    return inverse_operator_matrix(helm, n_target, regularization, squared=True, coordinates=coords, name=name)
+
+
+def advection_diffusion_matrix(
+    n_target: int,
+    diffusion_contrast: float = 100.0,
+    advection_strength: float = 10.0,
+    seed: int = 0,
+    invert: bool = False,
+    regularization: float = 1e-2,
+    name: str = "K12",
+) -> DenseSPD:
+    """K12–K14: SPD matrices derived from variable-coefficient advection–diffusion.
+
+    The operator itself is non-symmetric, so the SPD test matrix is the
+    normal-equations form ``AᵀA`` (scaled), or its regularized inverse when
+    ``invert`` is set.  Different seeds / contrasts give the K12, K13, K14
+    variants.
+    """
+    side = _grid_side_for(n_target, 2)
+    op = advection_diffusion_2d(side, diffusion_contrast, advection_strength, seed)
+    op = op * (1.0 / (side + 1) ** 2)
+    coords = grid_coordinates_2d(side)
+    if invert:
+        return inverse_operator_matrix(
+            op, n_target, regularization, squared=True, normal_equations=True, coordinates=coords, name=name
+        )
+    sym = (op.T @ op).toarray()[:n_target, :n_target]
+    sym = 0.5 * (sym + sym.T)
+    scale = float(np.mean(np.diag(sym)))
+    sym += regularization * scale * np.eye(n_target)
+    sym /= max(np.abs(sym).max(), np.finfo(np.float64).tiny)
+    return DenseSPD(sym, coordinates=coords[:n_target], validate=False, name=name)
+
+
+def inverse_squared_laplacian_3d(
+    n_target: int,
+    contrast: float = 10.0,
+    seed: int = 0,
+    regularization: float = 1e-2,
+    name: str = "K18",
+) -> DenseSPD:
+    """K18: 3D inverse squared Laplacian with variable coefficients."""
+    side = _grid_side_for(n_target, 3)
+    lap = laplacian_3d(side) * (1.0 / (side + 1) ** 2)
+    coeff = variable_coefficient_field(side, contrast, seed, dim=3)
+    scaled = sp.diags(np.sqrt(coeff)) @ lap @ sp.diags(np.sqrt(coeff))
+    coords = grid_coordinates_3d(side)
+    return inverse_operator_matrix(scaled, n_target, regularization, squared=True, coordinates=coords, name=name)

@@ -1,0 +1,65 @@
+"""Small plain-text reporting helpers shared by the examples and benchmarks.
+
+The paper reports its results as tables (time, GFLOPS, ε2) and log-log
+scaling plots.  Matplotlib is not assumed to be available, so the harnesses
+render ASCII tables and simple text "plots" (value columns per series) that
+can be diffed / inspected in a terminal and pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_series", "format_scaling"]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1e4 or abs(value) < 1e-3:
+            return f"{value:.2e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence], title: str | None = None) -> str:
+    """Render a list of rows as a fixed-width ASCII table."""
+    rows = [[_fmt(v) for v in row] for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence, ys: Sequence[float]) -> str:
+    """One named series as aligned (x, y) pairs — the text analogue of one plot curve."""
+    pairs = ", ".join(f"{_fmt(x)}:{_fmt(y)}" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"
+
+
+def format_scaling(xs: Sequence[float], ys: Sequence[float]) -> str:
+    """Empirical scaling exponent between consecutive points (slope on log-log axes).
+
+    Used to verify the O(N²) / O(N log N) / O(N) claims of Figure 1: the
+    printed exponents should hover around 2, ~1.1, and 1 respectively.
+    """
+    import math
+
+    slopes = []
+    for (x0, y0), (x1, y1) in zip(zip(xs, ys), zip(xs[1:], ys[1:])):
+        if x0 <= 0 or x1 <= 0 or y0 <= 0 or y1 <= 0:
+            slopes.append(float("nan"))
+            continue
+        slopes.append(math.log(y1 / y0) / math.log(x1 / x0))
+    return "slopes: " + ", ".join(f"{s:.2f}" for s in slopes)

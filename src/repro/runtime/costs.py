@@ -1,0 +1,142 @@
+"""The Table 2 cost model.
+
+Each GOFMM task has a FLOP estimate parameterized by the leaf size ``m``,
+skeleton rank ``s``, number of right-hand sides ``r``, point dimension ``d``
+(only when kernel entries are evaluated on the fly), and the sizes of the
+Near/Far lists:
+
+=========  =============================================  ================
+task       operation                                      FLOPS (Table 2)
+=========  =============================================  ================
+SPLI(α)    split α into l, r                              |α|
+ANN(α)     exhaustive κ-NN inside a leaf                  m²
+SKEL(α)    pivoted QR of the sampled block                2s³ + 2m³
+COEF(α)    triangular solve for P                         s³
+N2S(α)     skeleton weights                               2msr (leaf) / 2s²r
+SKba(β)    cache far blocks                               d s² |Far(β)|
+S2S(β)     skeleton-to-skeleton products                  2s²r |Far(β)|
+S2N(β)     push potentials down                           2msr (leaf) / 2s²r
+Kba(β)     cache near blocks                              m² |Near(β)|
+L2L(β)     direct leaf products                           2m²r |Near(β)|
+=========  =============================================  ================
+
+The scheduler simulation divides these counts by each worker's effective
+throughput (peak GFLOPS × discount), or by memory bandwidth for
+memory-bound tasks, mirroring footnote 2 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CostModel"]
+
+
+# Task kinds that are dominated by memory traffic / irregular access rather
+# than dense FLOPS; the machine model charges them against bandwidth.
+MEMORY_BOUND_KINDS = {"SPLI", "ANN", "Kba", "SKba"}
+
+# Task kinds the paper offloads to the GPU (large, regular GEMMs).
+GPU_ELIGIBLE_KINDS = {"L2L", "S2S"}
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """FLOP/byte estimates for every task kind of Table 2.
+
+    Parameters
+    ----------
+    leaf_size, rank, num_rhs:
+        the ``m``, ``s`` and ``r`` of the paper.
+    point_dim:
+        ``d``; nonzero only when kernel entries are evaluated on the fly
+        (affects the caching tasks' cost).
+    dtype_bytes:
+        bytes per matrix entry (4 for single, 8 for double precision).
+    """
+
+    leaf_size: int
+    rank: int
+    num_rhs: int = 1
+    point_dim: int = 0
+    dtype_bytes: int = 8
+
+    # -- per-kind FLOP estimates -------------------------------------------
+    def spli(self, node_size: int) -> float:
+        return float(node_size)
+
+    def ann(self) -> float:
+        return float(self.leaf_size) ** 2
+
+    def skel(self) -> float:
+        return 2.0 * self.rank**3 + 2.0 * self.leaf_size**3
+
+    def coef(self) -> float:
+        return float(self.rank) ** 3
+
+    def n2s(self, is_leaf: bool) -> float:
+        if is_leaf:
+            return 2.0 * self.leaf_size * self.rank * self.num_rhs
+        return 2.0 * self.rank**2 * self.num_rhs
+
+    def s2n(self, is_leaf: bool) -> float:
+        return self.n2s(is_leaf)
+
+    def s2s(self, far_size: int) -> float:
+        return 2.0 * self.rank**2 * self.num_rhs * max(far_size, 0)
+
+    def l2l(self, near_size: int) -> float:
+        return 2.0 * self.leaf_size**2 * self.num_rhs * max(near_size, 0)
+
+    def kba(self, near_size: int) -> float:
+        return float(self.leaf_size) ** 2 * max(near_size, 0) * max(self.point_dim, 1)
+
+    def skba(self, far_size: int) -> float:
+        return float(max(self.point_dim, 1)) * self.rank**2 * max(far_size, 0)
+
+    # -- generic interface ----------------------------------------------------
+    def flops(self, kind: str, *, node_size: int = 0, is_leaf: bool = True, near_size: int = 0, far_size: int = 0) -> float:
+        kind = kind.upper()
+        if kind == "SPLI":
+            return self.spli(node_size)
+        if kind == "ANN":
+            return self.ann()
+        if kind == "SKEL":
+            return self.skel()
+        if kind == "COEF":
+            return self.coef()
+        if kind == "N2S":
+            return self.n2s(is_leaf)
+        if kind == "S2N":
+            return self.s2n(is_leaf)
+        if kind == "S2S":
+            return self.s2s(far_size)
+        if kind == "L2L":
+            return self.l2l(near_size)
+        if kind == "KBA":
+            return self.kba(near_size)
+        if kind == "SKBA":
+            return self.skba(far_size)
+        raise KeyError(f"unknown task kind {kind!r}")
+
+    def bytes_moved(self, kind: str, *, node_size: int = 0, near_size: int = 0, far_size: int = 0) -> float:
+        """Rough memory traffic estimate used for the memory-bound task kinds."""
+        kind = kind.upper()
+        if kind == "SPLI":
+            return float(node_size) * self.dtype_bytes * 4
+        if kind == "ANN":
+            return float(self.leaf_size) ** 2 * self.dtype_bytes
+        if kind == "KBA":
+            return float(self.leaf_size) ** 2 * max(near_size, 0) * self.dtype_bytes
+        if kind == "SKBA":
+            return float(self.rank) ** 2 * max(far_size, 0) * self.dtype_bytes
+        # Compute-bound tasks: traffic roughly proportional to operands.
+        return float(self.rank) * self.leaf_size * self.dtype_bytes
+
+    @staticmethod
+    def is_memory_bound(kind: str) -> bool:
+        return kind.upper() in MEMORY_BOUND_KINDS
+
+    @staticmethod
+    def is_gpu_eligible(kind: str) -> bool:
+        return kind.upper() in GPU_ELIGIBLE_KINDS

@@ -1,0 +1,184 @@
+"""Analytic machine models for the scheduling simulation.
+
+The paper runs on four platforms (§3, §5.2) with these theoretical peaks
+(double precision):
+
+* Haswell node (2 × 12 cores, 2.6 GHz):        998 GFLOPS, ~68 GB/s/socket
+* KNL node (68 cores, 1.4 GHz):              3 046 GFLOPS, ~90 GB/s (DDR)
+* ARM Open-Q 820 (4 cores, 2.2 GHz):          35.2 GFLOPS, ~15 GB/s
+* NVIDIA P100 (attached to a 12-core host):  4 700 GFLOPS + PCIe ~12 GB/s
+
+A :class:`Worker` is one scheduling slot (one core, or the whole GPU); a
+:class:`MachineModel` is a collection of workers plus the conversion from a
+task's FLOP / byte estimate to seconds, including the efficiency discount
+the paper applies (small GEMMs do not reach peak — footnote 2 and the
+Table 5 discussion) and PCIe transfer cost for GPU workers.
+
+These models are deliberately simple: the studies they feed (Figure 4,
+Table 5) compare *relative* behaviour across schedulers and architectures,
+which depends on the DAG shape, the per-task costs and the worker
+throughput ratios — all of which are captured here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..errors import SchedulingError
+from .costs import CostModel
+from .task import Task
+
+__all__ = ["Worker", "MachineModel", "haswell_24", "knl_68", "arm_4", "haswell_p100", "scaled_machine"]
+
+
+@dataclass(frozen=True)
+class Worker:
+    """One scheduling slot of a machine.
+
+    ``peak_gflops`` is the slot's theoretical peak; ``efficiency`` the
+    discount applied to dense compute (what fraction of peak a typical
+    GOFMM-sized GEMM reaches); ``bandwidth_gbs`` the memory bandwidth seen by
+    a single worker; ``transfer_gbs`` the PCIe bandwidth (GPU only,
+    ``None`` otherwise); ``task_overhead`` a fixed per-task dispatch cost in
+    seconds (larger for GPU launches).
+    """
+
+    name: str
+    kind: str  # "cpu" | "gpu"
+    peak_gflops: float
+    efficiency: float = 0.7
+    bandwidth_gbs: float = 10.0
+    transfer_gbs: float | None = None
+    task_overhead: float = 2e-6
+
+    def compute_seconds(self, flops: float) -> float:
+        rate = self.peak_gflops * 1e9 * self.efficiency
+        return flops / rate if rate > 0 else float("inf")
+
+    def memory_seconds(self, bytes_moved: float) -> float:
+        rate = self.bandwidth_gbs * 1e9
+        return bytes_moved / rate if rate > 0 else float("inf")
+
+    def transfer_seconds(self, bytes_moved: float) -> float:
+        if self.transfer_gbs is None:
+            return 0.0
+        return bytes_moved / (self.transfer_gbs * 1e9)
+
+
+@dataclass
+class MachineModel:
+    """A named collection of workers plus task-time estimation."""
+
+    name: str
+    workers: list[Worker]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.workers:
+            raise SchedulingError(f"machine {self.name!r} has no workers")
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.workers)
+
+    @property
+    def peak_gflops(self) -> float:
+        return sum(w.peak_gflops for w in self.workers)
+
+    def task_seconds(self, task: Task, worker: Worker) -> float:
+        """Estimated wall-clock seconds for one task on one worker.
+
+        Memory-bound tasks are charged against bandwidth; compute-bound
+        tasks against (discounted) peak FLOPS; GPU workers additionally pay
+        the PCIe transfer of the task's operands, and cannot run tasks that
+        are not GPU-eligible (the simulation treats that as "infinitely
+        slow" so schedulers simply never pick them).
+        """
+        if worker.kind == "gpu" and not task.gpu_eligible:
+            return float("inf")
+        if task.memory_bound:
+            base = worker.memory_seconds(task.bytes_moved if task.bytes_moved > 0 else task.flops * 8.0)
+        else:
+            base = worker.compute_seconds(task.flops)
+        transfer = worker.transfer_seconds(task.bytes_moved) if worker.kind == "gpu" else 0.0
+        return base + transfer + worker.task_overhead
+
+    def best_case_seconds(self, task: Task) -> float:
+        return min(self.task_seconds(task, w) for w in self.workers)
+
+    def with_workers(self, count: int) -> "MachineModel":
+        """Same machine restricted to the first ``count`` workers (strong-scaling sweeps)."""
+        if count < 1 or count > len(self.workers):
+            raise SchedulingError(f"cannot restrict {self.name} to {count} workers (has {len(self.workers)})")
+        return MachineModel(name=f"{self.name}-{count}w", workers=self.workers[:count], description=self.description)
+
+
+def _cpu_workers(count: int, per_core_gflops: float, efficiency: float, bandwidth: float, prefix: str) -> list[Worker]:
+    # Bandwidth is shared: each worker sees total/count when all are busy.
+    per_worker_bw = bandwidth / count
+    return [
+        Worker(
+            name=f"{prefix}-core{i}",
+            kind="cpu",
+            peak_gflops=per_core_gflops,
+            efficiency=efficiency,
+            bandwidth_gbs=per_worker_bw,
+        )
+        for i in range(count)
+    ]
+
+
+def haswell_24() -> MachineModel:
+    """Two-socket Xeon E5-2690 v3 (24 cores, 998 DP GFLOPS, ~136 GB/s)."""
+    return MachineModel(
+        name="haswell",
+        workers=_cpu_workers(24, per_core_gflops=998.0 / 24, efficiency=0.75, bandwidth=136.0, prefix="hsw"),
+        description="2x12-core Xeon E5-2690 v3 (Lonestar 5 node)",
+    )
+
+
+def knl_68() -> MachineModel:
+    """Xeon Phi 7250 (68 cores, 3 046 DP GFLOPS, ~90 GB/s DDR + MCDRAM boost).
+
+    Per-core efficiency on small GEMMs is much lower than Haswell's — the
+    behaviour behind the paper's observation that KNL reaches a smaller
+    fraction of peak for small-rank problems.
+    """
+    return MachineModel(
+        name="knl",
+        workers=_cpu_workers(68, per_core_gflops=3046.0 / 68, efficiency=0.4, bandwidth=380.0, prefix="knl"),
+        description="68-core Xeon Phi 7250 (Stampede 2 node)",
+    )
+
+
+def arm_4() -> MachineModel:
+    """Quad-core Qualcomm Kyro (35.2 DP GFLOPS, ~15 GB/s, passively cooled)."""
+    return MachineModel(
+        name="arm",
+        workers=_cpu_workers(4, per_core_gflops=35.2 / 4, efficiency=0.5, bandwidth=15.0, prefix="arm"),
+        description="Intrinsyc Open-Q 820 (quad-core Kyro)",
+    )
+
+
+def haswell_p100() -> MachineModel:
+    """12-core Haswell host plus one NVIDIA Tesla P100 worker (Piz Daint node)."""
+    cpu = _cpu_workers(12, per_core_gflops=416.0 / 12, efficiency=0.7, bandwidth=68.0, prefix="host")
+    gpu = Worker(
+        name="p100",
+        kind="gpu",
+        peak_gflops=4700.0,
+        efficiency=0.6,
+        bandwidth_gbs=720.0,
+        transfer_gbs=12.0,
+        task_overhead=2e-5,
+    )
+    return MachineModel(
+        name="haswell+p100",
+        workers=cpu + [gpu],
+        description="12-core Xeon E5-2650 v3 + Tesla P100 (Piz Daint node)",
+    )
+
+
+def scaled_machine(base: MachineModel, num_workers: int) -> MachineModel:
+    """Convenience wrapper used by the strong-scaling benchmark."""
+    return base.with_workers(num_workers)

@@ -1,0 +1,316 @@
+"""Scheduler simulations: level-by-level, omp-task, and dynamic HEFT.
+
+The paper's §2.3 compares three shared-memory parallelization schemes for
+the tree traversals:
+
+* **level-by-level** — the traditional approach: all tasks of one tree level
+  (of one task family) run, then a barrier, then the next level.  High
+  synchronization cost and poor load balance when per-node work varies.
+* **omp task (depend)** — out-of-order execution driven by the dependency
+  DAG, but with OpenMP's default scheduler: no per-task cost estimates, so
+  long tasks can be started last, and no job stealing.
+* **dynamic HEFT (the GOFMM runtime)** — out-of-order execution where each
+  ready task is placed on the worker queue with the minimum *estimated
+  finish time* (using the Table 2 cost model), plus job stealing when
+  estimates prove wrong, plus heterogeneous workers (a GPU slave only takes
+  FLOP-heavy tasks).
+
+Each scheduler here is an event-driven simulation over a
+:class:`repro.runtime.task.TaskGraph` and a
+:class:`repro.runtime.machine.MachineModel`; it returns the makespan, the
+per-worker utilization, and a task timeline.  The simulations obey two
+provable invariants the tests check: the makespan is never below the DAG's
+critical path, and never below ``total work / aggregate throughput``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import SchedulingError
+from .machine import MachineModel, Worker
+from .task import Task, TaskGraph
+
+__all__ = [
+    "ScheduledTask",
+    "ScheduleResult",
+    "LevelByLevelScheduler",
+    "OmpTaskScheduler",
+    "HEFTScheduler",
+    "simulate_all_schedulers",
+]
+
+
+@dataclass(frozen=True)
+class ScheduledTask:
+    """One entry of the simulated timeline."""
+
+    task_id: str
+    worker: str
+    start: float
+    finish: float
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of one scheduler simulation."""
+
+    scheduler: str
+    machine: str
+    makespan: float
+    timeline: list[ScheduledTask]
+    worker_busy: dict[str, float]
+    total_flops: float
+
+    @property
+    def utilization(self) -> float:
+        """Mean fraction of the makespan each worker spent busy."""
+        if not self.worker_busy or self.makespan <= 0:
+            return 0.0
+        return sum(self.worker_busy.values()) / (len(self.worker_busy) * self.makespan)
+
+    @property
+    def gflops(self) -> float:
+        """Achieved GFLOPS over the whole simulated execution."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.total_flops / self.makespan / 1e9
+
+    def efficiency_vs_peak(self, machine: MachineModel) -> float:
+        peak = machine.peak_gflops
+        return self.gflops / peak if peak > 0 else 0.0
+
+
+class _BaseScheduler:
+    name = "base"
+
+    def schedule(self, graph: TaskGraph, machine: MachineModel) -> ScheduleResult:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    @staticmethod
+    def _result(name: str, machine: MachineModel, timeline: list[ScheduledTask], graph: TaskGraph) -> ScheduleResult:
+        busy: dict[str, float] = {w.name: 0.0 for w in machine.workers}
+        for entry in timeline:
+            busy[entry.worker] += entry.finish - entry.start
+        makespan = max((entry.finish for entry in timeline), default=0.0)
+        return ScheduleResult(
+            scheduler=name,
+            machine=machine.name,
+            makespan=makespan,
+            timeline=timeline,
+            worker_busy=busy,
+            total_flops=graph.total_flops(),
+        )
+
+
+def _greedy_pack(
+    tasks: list[Task],
+    machine: MachineModel,
+    worker_ready: dict[str, float],
+    earliest_start: dict[str, float],
+    use_cost_model: bool,
+) -> list[ScheduledTask]:
+    """List-schedule a set of independent tasks onto the workers.
+
+    ``use_cost_model=True`` sorts tasks longest-first and picks the worker
+    with the minimal estimated finish time (HEFT-style); ``False`` keeps the
+    given order and assigns round-robin to the earliest-free worker
+    (omp-task-style).
+    """
+    timeline: list[ScheduledTask] = []
+    workers = machine.workers
+    if use_cost_model:
+        tasks = sorted(tasks, key=lambda t: -machine.best_case_seconds(t))
+    for task in tasks:
+        best: Optional[tuple[float, float, Worker]] = None
+        for worker in workers:
+            duration = machine.task_seconds(task, worker)
+            if duration == float("inf"):
+                continue
+            start = max(worker_ready[worker.name], earliest_start.get(task.task_id, 0.0))
+            finish = start + duration
+            if best is None or finish < best[0]:
+                best = (finish, start, worker)
+        if best is None:
+            raise SchedulingError(f"no worker can execute task {task.task_id!r}")
+        finish, start, worker = best
+        worker_ready[worker.name] = finish
+        timeline.append(ScheduledTask(task.task_id, worker.name, start, finish))
+    return timeline
+
+
+class LevelByLevelScheduler(_BaseScheduler):
+    """Barrier-synchronized traversal: one (task kind, tree level) group at a time.
+
+    Groups are ordered so every dependency crosses a barrier (postorder
+    kinds walk levels bottom-up, preorder kinds top-down); inside a group
+    tasks are load balanced greedily, but *no* task of the next group may
+    start before the whole previous group has finished — the extra
+    synchronization the paper's runtime removes.
+    """
+
+    name = "level-by-level"
+
+    # Which direction each task family walks the tree.
+    _BOTTOM_UP = {"SKEL", "N2S"}
+    _TOP_DOWN = {"SPLI", "S2N"}
+
+    def schedule(self, graph: TaskGraph, machine: MachineModel) -> ScheduleResult:
+        graph.validate()
+        max_level = max((t.level for t in graph.tasks.values()), default=0)
+
+        # Build the barrier-ordered group sequence.
+        kind_order = ["SPLI", "ANN", "SKEL", "COEF", "Kba", "SKba", "N2S", "S2S", "S2N", "L2L"]
+        groups: list[list[Task]] = []
+        for kind in kind_order:
+            tasks = graph.tasks_of_kind(kind)
+            if not tasks:
+                continue
+            if kind in self._BOTTOM_UP:
+                level_range = range(max_level, -1, -1)
+            elif kind in self._TOP_DOWN:
+                level_range = range(0, max_level + 1)
+            else:
+                level_range = None  # any-order kinds form a single group
+            if level_range is None:
+                groups.append(tasks)
+            else:
+                for level in level_range:
+                    level_tasks = [t for t in tasks if t.level == level]
+                    if level_tasks:
+                        groups.append(level_tasks)
+
+        timeline: list[ScheduledTask] = []
+        barrier = 0.0
+        for group in groups:
+            worker_ready = {w.name: barrier for w in machine.workers}
+            earliest = {t.task_id: barrier for t in group}
+            entries = _greedy_pack(group, machine, worker_ready, earliest, use_cost_model=True)
+            timeline.extend(entries)
+            barrier = max((e.finish for e in entries), default=barrier)
+        return self._result(self.name, machine, timeline, graph)
+
+
+class _EventDrivenScheduler(_BaseScheduler):
+    """Shared event-driven engine for the two out-of-order schedulers."""
+
+    use_cost_model = True
+    job_stealing = True
+
+    def schedule(self, graph: TaskGraph, machine: MachineModel) -> ScheduleResult:
+        graph.validate()
+        pending = {tid: len(graph.predecessors(tid)) for tid in graph.tasks}
+        ready: list[tuple[float, int, str]] = []
+        counter = 0
+
+        def push_ready(tid: str, time_now: float) -> None:
+            nonlocal counter
+            task = graph.tasks[tid]
+            if self.use_cost_model:
+                # HEFT-like priority: longest estimated task first.
+                priority = -machine.best_case_seconds(task)
+            else:
+                # omp task: FIFO creation order, no cost knowledge.
+                priority = counter
+            heapq.heappush(ready, (priority, counter, tid))
+            counter += 1
+
+        ready_time: dict[str, float] = {}
+        for tid in graph.roots():
+            ready_time[tid] = 0.0
+            push_ready(tid, 0.0)
+
+        worker_free = {w.name: 0.0 for w in machine.workers}
+        workers_by_name = {w.name: w for w in machine.workers}
+        timeline: list[ScheduledTask] = []
+        finish_time: dict[str, float] = {}
+        # Event queue of task completions.
+        completions: list[tuple[float, str, str]] = []  # (finish, task_id, worker)
+        running = 0
+
+        def dispatch(now: float) -> None:
+            """Assign as many ready tasks as possible to idle workers at time ``now``."""
+            nonlocal running
+            skipped: list[str] = []
+            while ready:
+                idle = [w for w in machine.workers if worker_free[w.name] <= now]
+                if not idle:
+                    break
+                # Take the highest-priority ready task.
+                _, _, tid = heapq.heappop(ready)
+                task = graph.tasks[tid]
+                eligible = [w for w in idle if machine.task_seconds(task, w) != float("inf")]
+                if not eligible:
+                    # Only non-eligible (e.g. GPU-only-idle) workers are free right
+                    # now; set the task aside and keep trying the rest of the queue.
+                    skipped.append(tid)
+                    continue
+                if self.job_stealing:
+                    candidates = eligible
+                else:
+                    candidates = [min(eligible, key=lambda w: worker_free[w.name])]
+                best = None
+                for worker in candidates:
+                    duration = machine.task_seconds(task, worker)
+                    start = max(now, ready_time.get(tid, 0.0), worker_free[worker.name])
+                    finish = start + duration
+                    if self.use_cost_model:
+                        key = finish
+                    else:
+                        key = worker_free[worker.name]  # first idle worker, ignore cost
+                    if best is None or key < best[0]:
+                        best = (key, start, finish, worker)
+                assert best is not None
+                _, start, finish, worker = best
+                worker_free[worker.name] = finish
+                timeline.append(ScheduledTask(tid, worker.name, start, finish))
+                heapq.heappush(completions, (finish, tid, worker.name))
+                running += 1
+            for tid in skipped:
+                push_ready(tid, now)
+
+        now = 0.0
+        dispatch(now)
+        scheduled = len(timeline)
+        while completions:
+            now, tid, _worker = heapq.heappop(completions)
+            finish_time[tid] = now
+            for succ in graph.successors(tid):
+                pending[succ] -= 1
+                if pending[succ] == 0:
+                    ready_time[succ] = now
+                    push_ready(succ, now)
+            dispatch(now)
+            scheduled = len(timeline)
+
+        if scheduled != len(graph.tasks):
+            raise SchedulingError(
+                f"{self.name}: scheduled {scheduled} of {len(graph.tasks)} tasks (machine cannot run some task kind)"
+            )
+        return self._result(self.name, machine, timeline, graph)
+
+
+class OmpTaskScheduler(_EventDrivenScheduler):
+    """Out-of-order execution without cost estimates or stealing (omp task depend)."""
+
+    name = "omp-task"
+    use_cost_model = False
+    job_stealing = False
+
+
+class HEFTScheduler(_EventDrivenScheduler):
+    """GOFMM's runtime: dynamic HEFT with cost estimates and job stealing."""
+
+    name = "heft"
+    use_cost_model = True
+    job_stealing = True
+
+
+def simulate_all_schedulers(graph: TaskGraph, machine: MachineModel) -> dict[str, ScheduleResult]:
+    """Run the three schedulers of Figure 4 on one DAG/machine pair."""
+    results = {}
+    for scheduler in (LevelByLevelScheduler(), OmpTaskScheduler(), HEFTScheduler()):
+        results[scheduler.name] = scheduler.schedule(graph, machine)
+    return results

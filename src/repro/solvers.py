@@ -1,0 +1,170 @@
+"""Iterative solvers built on top of the compressed matvec.
+
+The paper notes that the usual end goal of an H-matrix approximation is a
+factorization / solver for ``K x = b`` (its future work).  This module
+provides the piece that is well defined for the FMM-style representation
+GOFMM produces: Krylov solvers whose matrix products use the compressed
+operator, optionally preconditioned with the block-Jacobi preconditioner
+that falls out of the compression for free (the dense leaf diagonal blocks
+are already cached by the ``Kba`` task).
+
+* :func:`conjugate_gradient` — CG for ``(A + shift·I) x = b`` given any
+  matvec callable (dense, compressed, or matrix-free),
+* :class:`BlockJacobiPreconditioner` — Cholesky factors of the leaf diagonal
+  blocks of a :class:`repro.core.hmatrix.CompressedMatrix`,
+* :func:`solve` — convenience wrapper: compressed operator + optional
+  block-Jacobi preconditioning + (P)CG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+import scipy.linalg as sla
+
+from .core.hmatrix import CompressedMatrix
+from .errors import EvaluationError
+
+__all__ = ["CGResult", "conjugate_gradient", "BlockJacobiPreconditioner", "solve"]
+
+
+@dataclass
+class CGResult:
+    """Outcome of a (preconditioned) conjugate-gradient solve."""
+
+    solution: np.ndarray
+    iterations: int
+    residual_norm: float
+    converged: bool
+    residual_history: list[float]
+
+
+def conjugate_gradient(
+    matvec: Callable[[np.ndarray], np.ndarray],
+    rhs: np.ndarray,
+    shift: float = 0.0,
+    tolerance: float = 1e-8,
+    max_iterations: int = 500,
+    preconditioner: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    x0: Optional[np.ndarray] = None,
+) -> CGResult:
+    """Preconditioned CG for ``(A + shift·I) x = b`` with ``A`` SPD.
+
+    ``matvec`` only needs to implement products with ``A``; the shift is
+    applied here so callers can regularize without touching the compressed
+    representation.  Convergence is declared when the true (unpreconditioned)
+    residual norm drops below ``tolerance · ||b||``.
+    """
+    b = np.asarray(rhs, dtype=np.float64)
+    if b.ndim != 1:
+        raise EvaluationError("conjugate_gradient expects a single right-hand side vector")
+    n = b.shape[0]
+
+    def apply(x: np.ndarray) -> np.ndarray:
+        return np.asarray(matvec(x), dtype=np.float64).reshape(n) + shift * x
+
+    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    r = b - apply(x)
+    z = preconditioner(r) if preconditioner is not None else r
+    p = z.copy()
+    rz = float(r @ z)
+    b_norm = float(np.linalg.norm(b)) or 1.0
+
+    history = [float(np.linalg.norm(r))]
+    converged = history[-1] <= tolerance * b_norm
+    iterations = 0
+    while not converged and iterations < max_iterations:
+        ap = apply(p)
+        denom = float(p @ ap)
+        if denom <= 0.0:
+            # Numerical loss of positive definiteness (heavy compression error):
+            # stop rather than diverge; the caller sees converged=False.
+            break
+        alpha = rz / denom
+        x += alpha * p
+        r -= alpha * ap
+        iterations += 1
+        res_norm = float(np.linalg.norm(r))
+        history.append(res_norm)
+        if res_norm <= tolerance * b_norm:
+            converged = True
+            break
+        z = preconditioner(r) if preconditioner is not None else r
+        rz_new = float(r @ z)
+        if rz_new <= 0.0 or not np.isfinite(rz_new):
+            # Loss of positive definiteness in the (preconditioned) operator —
+            # typically a sign that the compression error exceeds the shift.
+            break
+        beta = rz_new / rz
+        rz = rz_new
+        p = z + beta * p
+
+    return CGResult(
+        solution=x,
+        iterations=iterations,
+        residual_norm=history[-1],
+        converged=converged,
+        residual_history=history,
+    )
+
+
+class BlockJacobiPreconditioner:
+    """Block-Jacobi preconditioner from the leaf diagonal blocks of a compression.
+
+    The compression already stores (or can lazily evaluate) every dense leaf
+    block ``K_{ββ}``; their Cholesky factors define the preconditioner
+    ``M⁻¹ = blockdiag(K_{ββ})⁻¹`` — the standard cheap preconditioner for
+    kernel systems, obtained here with no extra entry evaluations.
+
+    ``shift`` must match the shift passed to the solver so the preconditioner
+    approximates the actual system matrix ``K + shift·I``.
+    """
+
+    def __init__(self, compressed: CompressedMatrix, shift: float = 0.0) -> None:
+        self.n = compressed.n
+        self._factors: list[tuple[np.ndarray, np.ndarray]] = []
+        for leaf in compressed.tree.leaves:
+            block = compressed.near_blocks.get((leaf.node_id, leaf.node_id))
+            if block is None:
+                raise EvaluationError(
+                    f"leaf {leaf.node_id} has no cached or computable diagonal block; "
+                    "compress with cache_near_blocks=True or attach the source matrix"
+                )
+            shifted = block + shift * np.eye(block.shape[0])
+            try:
+                factor = sla.cho_factor(shifted, check_finite=False)
+            except sla.LinAlgError as exc:
+                raise EvaluationError(
+                    f"leaf {leaf.node_id} diagonal block is not positive definite "
+                    f"(shift={shift}): {exc}"
+                ) from exc
+            self._factors.append((leaf.indices, factor))
+
+    def __call__(self, residual: np.ndarray) -> np.ndarray:
+        residual = np.asarray(residual, dtype=np.float64)
+        out = np.empty_like(residual)
+        for indices, factor in self._factors:
+            out[indices] = sla.cho_solve(factor, residual[indices], check_finite=False)
+        return out
+
+
+def solve(
+    compressed: CompressedMatrix,
+    rhs: np.ndarray,
+    shift: float = 0.0,
+    tolerance: float = 1e-8,
+    max_iterations: int = 500,
+    use_preconditioner: bool = True,
+) -> CGResult:
+    """Solve ``(K̃ + shift·I) x = b`` with (block-Jacobi preconditioned) CG."""
+    preconditioner = BlockJacobiPreconditioner(compressed, shift=shift) if use_preconditioner else None
+    return conjugate_gradient(
+        matvec=compressed.matvec,
+        rhs=rhs,
+        shift=shift,
+        tolerance=tolerance,
+        max_iterations=max_iterations,
+        preconditioner=preconditioner,
+    )

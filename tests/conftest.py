@@ -1,0 +1,72 @@
+"""Shared fixtures for the test suite.
+
+Fixtures keep the problem sizes small (N ≤ 512) so the whole suite runs in
+a couple of minutes while still exercising multi-level trees (several
+levels below the root) and every code path of the compression pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import GOFMMConfig
+from repro.matrices import DenseSPD, KernelMatrix
+from repro.matrices.kernels import GaussianKernel
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+def make_gaussian_kernel_matrix(n: int = 256, d: int = 3, bandwidth: float = 1.0, seed: int = 0) -> KernelMatrix:
+    """Well-conditioned Gaussian kernel matrix on clustered points."""
+    gen = np.random.default_rng(seed)
+    centers = gen.standard_normal((4, d)) * 3.0
+    points = np.vstack([c + gen.standard_normal((n // 4 + 1, d)) for c in centers])[:n]
+    return KernelMatrix(points, GaussianKernel(bandwidth=bandwidth), regularization=1e-8, name="test-gaussian")
+
+
+def make_random_spd(n: int = 64, seed: int = 0, decay: float = 2.0) -> DenseSPD:
+    """Random SPD matrix with controllable spectral decay (no geometric structure)."""
+    gen = np.random.default_rng(seed)
+    q, _ = np.linalg.qr(gen.standard_normal((n, n)))
+    eigenvalues = np.array([1.0 / (1 + k) ** decay for k in range(n)])
+    a = (q * eigenvalues) @ q.T
+    a = 0.5 * (a + a.T) + 1e-10 * np.eye(n)
+    return DenseSPD(a, name="random-spd")
+
+
+@pytest.fixture(scope="session")
+def kernel_matrix() -> KernelMatrix:
+    return make_gaussian_kernel_matrix(n=256, d=3, bandwidth=1.5, seed=0)
+
+
+@pytest.fixture(scope="session")
+def small_kernel_matrix() -> KernelMatrix:
+    return make_gaussian_kernel_matrix(n=96, d=2, bandwidth=1.0, seed=1)
+
+
+@pytest.fixture(scope="session")
+def random_spd_matrix() -> DenseSPD:
+    return make_random_spd(n=96, seed=2)
+
+
+@pytest.fixture()
+def small_config() -> GOFMMConfig:
+    """Configuration sized for N≈100–300 test problems (multi-level tree)."""
+    return GOFMMConfig(
+        leaf_size=32,
+        max_rank=32,
+        tolerance=1e-7,
+        neighbors=8,
+        budget=0.25,
+        num_neighbor_trees=4,
+        seed=0,
+    )
+
+
+@pytest.fixture()
+def hss_small_config(small_config) -> GOFMMConfig:
+    return small_config.replace(budget=0.0)

@@ -1,0 +1,120 @@
+"""End-to-end compression of the paper's testbed matrices (laptop scale).
+
+These are the integration analogues of Figure 5: compress each registry
+matrix with the angle distance and check that the error behaves as the
+paper reports — most matrices compress well, the pseudo-spectral family
+(K15–K17) and the narrow-bandwidth Gaussian (K06) do not compress at
+moderate rank.
+"""
+
+import numpy as np
+import pytest
+
+from repro import GOFMMConfig, compress
+from repro.config import DistanceMetric
+from repro.core.accuracy import exact_relative_error
+from repro.matrices import build_matrix, matrix_info
+
+N = 512
+GOOD_MATRICES = ["K02", "K03", "K04", "K05", "K07", "K08", "K11", "K12", "K18", "G01", "G02", "G03", "G04", "G05", "covtype", "mnist"]
+HARD_MATRICES = ["K15", "K16", "K17"]
+
+
+def angle_config(budget=0.15, rank=96, tol=1e-6):
+    return GOFMMConfig(
+        leaf_size=64,
+        max_rank=rank,
+        tolerance=tol,
+        neighbors=16,
+        budget=budget,
+        num_neighbor_trees=5,
+        distance=DistanceMetric.ANGLE,
+        seed=0,
+    )
+
+
+@pytest.mark.parametrize("name", GOOD_MATRICES)
+def test_compressible_matrices_reach_low_error(name):
+    matrix = build_matrix(name, N, seed=0)
+    compressed = compress(matrix, angle_config())
+    eps2 = exact_relative_error(compressed, matrix, num_rhs=4)
+    assert eps2 < 5e-2, f"{name}: eps2={eps2:.2e}"
+    # The representation must actually be hierarchical, not dense fallback.
+    assert compressed.rank_summary()["max"] <= 96
+
+
+@pytest.mark.parametrize("name", HARD_MATRICES)
+def test_high_rank_matrices_do_not_compress_at_low_rank(name):
+    """K15–K17 have high off-diagonal rank: at small s the error must stay large.
+
+    This mirrors the red-labelled matrices of Figure 5 — a useful guard that
+    our generators really produce hard instances rather than trivially
+    compressible ones.
+    """
+    matrix = build_matrix(name, N, seed=0)
+    compressed = compress(matrix, angle_config(rank=32, tol=1e-10))
+    eps2 = exact_relative_error(compressed, matrix, num_rhs=4)
+    assert eps2 > 1e-3, f"{name} unexpectedly compressed to eps2={eps2:.2e} at rank 32"
+
+
+def test_symmetry_of_compressed_operator():
+    matrix = build_matrix("K04", N, seed=0)
+    compressed = compress(matrix, angle_config())
+    dense = compressed.to_dense()
+    asym = np.linalg.norm(dense - dense.T) / np.linalg.norm(dense)
+    assert asym < 1e-12
+
+
+def test_compression_report_phases_present():
+    matrix = build_matrix("K02", N, seed=0)
+    compressed, report = compress(matrix, angle_config(), return_report=True)
+    for phase in ("neighbors", "tree", "lists", "skeletonization", "caching"):
+        assert phase in report.phase_seconds
+    assert report.entry_evaluations > 0
+    # At this tiny N the constant factors (neighbor search, caching) dominate;
+    # the asymptotic sub-quadratic behaviour is covered by
+    # test_entry_evaluation_count_subquadratic which measures growth with N.
+    assert report.entry_evaluations < 4 * N * N
+    assert report.num_leaves == len(compressed.tree.leaves)
+
+
+def test_entry_evaluation_count_subquadratic():
+    """GOFMM sampling cost grows roughly like O(N log N · s), far below N²."""
+    evaluations = []
+    for n in (256, 512):
+        matrix = build_matrix("K04", n, seed=0)
+        config = angle_config(rank=32, budget=0.1)
+        compress(matrix, config)
+        evaluations.append(matrix.entry_evaluations)
+    growth = evaluations[1] / evaluations[0]
+    assert growth < 3.5, f"entry evaluations grew by {growth:.1f}x when N doubled"
+
+
+def test_tolerance_controls_error_monotonically():
+    matrix = build_matrix("K02", N, seed=0)
+    errors = []
+    for tol in (1e-1, 1e-3, 1e-7):
+        compressed = compress(matrix, angle_config(tol=tol, rank=128))
+        errors.append(exact_relative_error(compressed, matrix, num_rhs=4))
+    assert errors[2] <= errors[0] + 1e-12
+    assert errors[2] <= 1e-3
+
+
+@pytest.mark.parametrize("metric", [DistanceMetric.ANGLE, DistanceMetric.KERNEL, DistanceMetric.GEOMETRIC])
+def test_all_distances_work_on_kernel_matrix(metric):
+    matrix = build_matrix("K04", N, seed=0)
+    config = angle_config().replace(distance=metric)
+    compressed = compress(matrix, config)
+    eps2 = exact_relative_error(compressed, matrix, num_rhs=4)
+    assert eps2 < 5e-2
+
+
+def test_geometry_oblivious_on_graph_matrix_matches_paper_story():
+    """Angle distance compresses G03 well; lexicographic ordering is much worse (Fig. 7 #12)."""
+    matrix = build_matrix("G03", N, seed=0)
+    angle = compress(matrix, angle_config(rank=64, budget=0.1))
+    lex = compress(matrix, angle_config(rank=64, budget=0.0).replace(distance=DistanceMetric.LEXICOGRAPHIC))
+    err_angle = exact_relative_error(angle, matrix, num_rhs=4)
+    err_lex = exact_relative_error(lex, matrix, num_rhs=4)
+    assert err_angle < err_lex
+    assert err_angle < 1e-3

@@ -1,0 +1,90 @@
+"""Integration tests for the FMM vs HSS comparison (Figure 6 behaviour)."""
+
+import numpy as np
+import pytest
+
+from repro import GOFMMConfig
+from repro.config import DistanceMetric
+from repro.core.accuracy import exact_relative_error
+from repro.gofmm import compare_fmm_hss, compress_fmm, compress_hss, run
+from repro.matrices import KernelMatrix, build_matrix
+from repro.matrices.datasets import clustered_points
+from repro.matrices.kernels import GaussianKernel
+
+N = 512
+
+
+def narrow_kernel_matrix(n=N, bandwidth=0.35, seed=0):
+    """Narrow-bandwidth Gaussian kernel: near-field heavy, the case where FMM shines."""
+    points = clustered_points(n, ambient_dim=6, intrinsic_dim=3, clusters=4, seed=seed)
+    return KernelMatrix(points, GaussianKernel(bandwidth=bandwidth), regularization=1e-8)
+
+
+COMMON = dict(
+    leaf_size=64, max_rank=24, tolerance=1e-10, neighbors=16,
+    num_neighbor_trees=5, distance=DistanceMetric.ANGLE, seed=0,
+)
+
+
+class TestFMMvsHSS:
+    def test_fmm_more_accurate_than_hss_at_same_rank(self):
+        matrix = narrow_kernel_matrix()
+        hss = compress_hss(**COMMON, matrix=matrix)
+        fmm = compress_fmm(matrix, budget=0.25, **COMMON)
+        err_hss = exact_relative_error(hss, matrix, num_rhs=4)
+        err_fmm = exact_relative_error(fmm, matrix, num_rhs=4)
+        assert err_fmm < err_hss
+
+    def test_fmm_with_low_rank_beats_hss_with_higher_rank(self):
+        """The headline of Figure 6: small rank + 3% budget can beat a larger-rank HSS."""
+        matrix = narrow_kernel_matrix()
+        fmm_small = compress_fmm(matrix, budget=0.25, **{**COMMON, "max_rank": 16})
+        hss_large = compress_hss(matrix=matrix, **{**COMMON, "max_rank": 48})
+        err_fmm = exact_relative_error(fmm_small, matrix, num_rhs=4)
+        err_hss = exact_relative_error(hss_large, matrix, num_rhs=4)
+        assert err_fmm < 5 * err_hss  # comparable or better despite 3x smaller rank
+
+    def test_budget_monotonically_improves_accuracy(self):
+        matrix = narrow_kernel_matrix()
+        errors = []
+        for budget in (0.0, 0.2, 0.6):
+            cm = compress_fmm(matrix, budget=budget, **COMMON)
+            errors.append(exact_relative_error(cm, matrix, num_rhs=4))
+        assert errors[1] <= errors[0] + 1e-12
+        assert errors[2] <= errors[1] + 1e-12
+
+    def test_full_budget_is_nearly_exact(self):
+        """budget=1 lets every neighbor-voted leaf pair be evaluated directly.
+
+        The near field is still neighbor-driven (pairs no index ever votes
+        for stay low-rank), so the error is not exactly zero — but it should
+        be far below the rank-truncation error of the HSS variant.
+        """
+        matrix = narrow_kernel_matrix(n=256)
+        full = compress_fmm(matrix, budget=1.0, **COMMON)
+        hss = compress_hss(matrix=matrix, **COMMON)
+        err_full = exact_relative_error(full, matrix, num_rhs=4)
+        err_hss = exact_relative_error(hss, matrix, num_rhs=4)
+        assert err_full < 1e-4
+        assert err_full < err_hss
+
+    def test_hss_storage_smaller_than_fmm(self):
+        matrix = narrow_kernel_matrix()
+        hss = compress_hss(matrix=matrix, **COMMON)
+        fmm = compress_fmm(matrix, budget=0.5, **COMMON)
+        assert hss.storage_report()["near_blocks"] <= fmm.storage_report()["near_blocks"]
+
+    def test_compare_helper(self):
+        matrix = narrow_kernel_matrix()
+        results = compare_fmm_hss(matrix, budget=0.25, num_rhs=8, **COMMON)
+        assert set(results) == {"hss", "fmm"}
+        assert results["fmm"].epsilon2 <= results["hss"].epsilon2 * 1.5
+        for res in results.values():
+            assert res.compression_seconds > 0
+            assert res.evaluation_seconds > 0
+
+    def test_run_result_summary_strings(self):
+        matrix = build_matrix("K02", 256)
+        result = run(matrix, GOFMMConfig(leaf_size=64, max_rank=64, budget=0.1, seed=0), num_rhs=4)
+        text = result.summary()
+        assert "eps2=" in text and "comp=" in text

@@ -1,0 +1,76 @@
+"""Integration tests for the permutation / distance study (Figure 7 behaviour)."""
+
+import numpy as np
+import pytest
+
+from repro import GOFMMConfig, compress
+from repro.config import DistanceMetric
+from repro.core.accuracy import exact_relative_error
+from repro.matrices import KernelMatrix, build_matrix
+from repro.matrices.kernels import GaussianKernel
+
+N = 512
+
+
+def scrambled_kernel_matrix(n=N, bandwidth=0.8, seed=0):
+    """Kernel matrix whose input ordering carries no locality (points shuffled)."""
+    from repro.matrices.datasets import clustered_points
+
+    points = clustered_points(n, ambient_dim=6, intrinsic_dim=3, clusters=4, seed=seed)
+    points = points[np.random.default_rng(seed + 1).permutation(n)]
+    return KernelMatrix(points, GaussianKernel(bandwidth=bandwidth), regularization=1e-8)
+
+
+def config_for(metric: DistanceMetric, budget: float) -> GOFMMConfig:
+    return GOFMMConfig(
+        leaf_size=64, max_rank=48, tolerance=1e-8, neighbors=16,
+        budget=budget, num_neighbor_trees=5, distance=metric, seed=0,
+    )
+
+
+def error_with(matrix, metric: DistanceMetric) -> float:
+    budget = 0.1 if metric.defines_distance else 0.0
+    compressed = compress(matrix, config_for(metric, budget))
+    return exact_relative_error(compressed, matrix, num_rhs=4)
+
+
+class TestPermutationStudy:
+    def test_distance_based_orderings_beat_metric_free_on_scrambled_kernel(self):
+        matrix = scrambled_kernel_matrix()
+        err = {metric: error_with(matrix, metric) for metric in DistanceMetric}
+        # Figure 7: kernel / angle / geometric orderings reach (much) lower error
+        # than lexicographic / random at the same rank.
+        for good in (DistanceMetric.KERNEL, DistanceMetric.ANGLE, DistanceMetric.GEOMETRIC):
+            for bad in (DistanceMetric.LEXICOGRAPHIC, DistanceMetric.RANDOM):
+                assert err[good] < err[bad], f"{good.value} ({err[good]:.2e}) should beat {bad.value} ({err[bad]:.2e})"
+
+    def test_gram_distances_close_to_geometric_reference(self):
+        """Geometry-oblivious distances should be competitive with the geometric reference."""
+        matrix = scrambled_kernel_matrix()
+        err_geo = error_with(matrix, DistanceMetric.GEOMETRIC)
+        err_angle = error_with(matrix, DistanceMetric.ANGLE)
+        err_kernel = error_with(matrix, DistanceMetric.KERNEL)
+        assert err_angle < 50 * err_geo + 1e-12
+        assert err_kernel < 50 * err_geo + 1e-12
+
+    def test_average_rank_lower_for_distance_based_orderings(self):
+        """Good permutations concentrate energy: the adaptive ID needs lower rank (Fig. 7 #9)."""
+        matrix = build_matrix("K02", N, seed=0)
+        ranks = {}
+        for metric in (DistanceMetric.KERNEL, DistanceMetric.RANDOM):
+            budget = 0.1 if metric.defines_distance else 0.0
+            config = config_for(metric, budget).replace(tolerance=1e-4, max_rank=64)
+            compressed = compress(matrix, config)
+            ranks[metric] = compressed.rank_summary()["mean"]
+        assert ranks[DistanceMetric.KERNEL] <= ranks[DistanceMetric.RANDOM] + 1.0
+
+    def test_graph_matrix_has_no_geometric_option(self):
+        matrix = build_matrix("G03", 256, seed=0)
+        with pytest.raises(Exception):
+            compress(matrix, config_for(DistanceMetric.GEOMETRIC, 0.1))
+
+    def test_angle_and_kernel_orderings_both_work_on_graph(self):
+        matrix = build_matrix("G03", 256, seed=0)
+        for metric in (DistanceMetric.ANGLE, DistanceMetric.KERNEL):
+            err = error_with(matrix, metric)
+            assert err < 1e-2

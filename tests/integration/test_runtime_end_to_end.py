@@ -1,0 +1,106 @@
+"""Integration tests of the runtime substrate against a real compression.
+
+These reproduce, at test scale, the qualitative claims of the scheduling
+study (Figure 4) and the architecture study (Table 5):
+
+* dynamic (out-of-order) scheduling never loses to level-by-level and wins
+  when per-node work varies,
+* strong scaling saturates when the critical path dominates (the
+  small-average-rank case the paper highlights on KNL),
+* a GPU worker helps workloads dominated by large L2L GEMMs much more than
+  it helps skeleton-dominated (small-rank) workloads.
+"""
+
+import numpy as np
+import pytest
+
+from repro import GOFMMConfig, compress
+from repro.config import DistanceMetric
+from repro.matrices import build_matrix
+from repro.runtime import (
+    CostModel,
+    HEFTScheduler,
+    build_compression_dag,
+    build_evaluation_dag,
+    haswell_24,
+    haswell_p100,
+    knl_68,
+    parallel_evaluate,
+    simulate_all_schedulers,
+)
+
+N = 512
+
+
+@pytest.fixture(scope="module")
+def fmm_compressed():
+    matrix = build_matrix("covtype", N, seed=0)
+    config = GOFMMConfig(
+        leaf_size=64, max_rank=48, tolerance=1e-5, neighbors=16,
+        budget=0.25, num_neighbor_trees=4, distance=DistanceMetric.ANGLE, seed=0,
+    )
+    return compress(matrix, config)
+
+
+def evaluation_dag(compressed, num_rhs=64):
+    cost = CostModel(
+        leaf_size=compressed.config.leaf_size,
+        rank=max(1, int(compressed.rank_summary()["mean"])),
+        num_rhs=num_rhs,
+    )
+    return build_evaluation_dag(compressed.tree, cost)
+
+
+class TestSchedulingStudy:
+    def test_dynamic_scheduling_beats_level_by_level_on_both_phases(self, fmm_compressed):
+        cost = CostModel(leaf_size=64, rank=48, num_rhs=64)
+        for dag in (evaluation_dag(fmm_compressed), build_compression_dag(fmm_compressed.tree, cost)):
+            results = simulate_all_schedulers(dag, haswell_24())
+            assert results["heft"].makespan <= results["level-by-level"].makespan * 1.001
+
+    def test_strong_scaling_curve_monotone_until_saturation(self, fmm_compressed):
+        dag = evaluation_dag(fmm_compressed)
+        machine = haswell_24()
+        scheduler = HEFTScheduler()
+        makespans = [scheduler.schedule(dag, machine.with_workers(c)).makespan for c in (1, 2, 4, 8, 16, 24)]
+        # Monotone non-increasing (within tolerance) and bounded by the critical path.
+        for a, b in zip(makespans, makespans[1:]):
+            assert b <= a * 1.05
+        critical = dag.critical_path_time(machine.best_case_seconds)
+        assert makespans[-1] >= critical - 1e-12
+
+    def test_knl_needs_more_cores_for_same_time(self, fmm_compressed):
+        """Per-core KNL is slower; with few cores it must trail Haswell (as in Fig. 4)."""
+        dag = evaluation_dag(fmm_compressed)
+        scheduler = HEFTScheduler()
+        hsw = scheduler.schedule(dag, haswell_24().with_workers(8)).makespan
+        knl = scheduler.schedule(dag, knl_68().with_workers(8)).makespan
+        assert knl > hsw
+
+    def test_gpu_benefit_larger_for_l2l_heavy_workload(self, fmm_compressed):
+        """Table 5 #45/#46: the GPU pays off on direct-evaluation-heavy (L2L) workloads."""
+        scheduler = HEFTScheduler()
+        # L2L-heavy: large leaves, many right-hand sides.
+        heavy = CostModel(leaf_size=512, rank=32, num_rhs=512)
+        heavy_dag = build_evaluation_dag(fmm_compressed.tree, heavy)
+        # Skeleton-heavy: tiny ranks and few right-hand sides (nothing for the GPU).
+        light = CostModel(leaf_size=64, rank=8, num_rhs=1)
+        light_dag = build_evaluation_dag(fmm_compressed.tree, light)
+
+        def gpu_speedup(dag):
+            cpu_only = scheduler.schedule(dag, haswell_p100().with_workers(12)).makespan
+            hybrid = scheduler.schedule(dag, haswell_p100()).makespan
+            return cpu_only / hybrid
+
+        assert gpu_speedup(heavy_dag) > gpu_speedup(light_dag)
+
+    def test_threaded_execution_matches_sequential_for_fmm_and_hss(self):
+        for budget in (0.0, 0.25):
+            matrix = build_matrix("K02", 256, seed=0)
+            config = GOFMMConfig(
+                leaf_size=32, max_rank=32, tolerance=1e-7, neighbors=8,
+                budget=budget, num_neighbor_trees=3, distance=DistanceMetric.ANGLE, seed=0,
+            )
+            compressed = compress(matrix, config)
+            w = np.random.default_rng(0).standard_normal((256, 4))
+            assert np.allclose(parallel_evaluate(compressed, w, num_workers=4), compressed.matvec(w), atol=1e-10)

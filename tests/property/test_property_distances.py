@@ -1,0 +1,110 @@
+"""Property-based tests for the Gram-space distances.
+
+These check the paper's central claim of §2.1 — that the kernel and angle
+expressions define *proper* (pseudo-)distances for **any** SPD matrix — on
+randomly generated SPD matrices rather than a handful of hand-picked ones.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.distances import AngleDistance, GeometricDistance, KernelDistance
+from repro.matrices import DenseSPD
+
+
+def spd_from_factor(factor: np.ndarray, shift: float = 1e-6) -> DenseSPD:
+    n = factor.shape[1]
+    k = factor.T @ factor
+    k = 0.5 * (k + k.T) + shift * (1.0 + np.abs(np.diag(k)).max()) * np.eye(n)
+    return DenseSPD(k, validate=False)
+
+
+factors = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(2, 8), st.integers(2, 12)),
+    elements=st.floats(-5.0, 5.0, allow_nan=False, allow_infinity=False),
+)
+
+
+@st.composite
+def spd_matrices(draw):
+    return spd_from_factor(draw(factors))
+
+
+class TestKernelDistanceProperties:
+    @given(spd_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_nonnegative_symmetric_zero_diagonal(self, matrix):
+        dist = KernelDistance(matrix)
+        idx = np.arange(matrix.n)
+        d = dist.pairwise(idx, idx)
+        assert np.all(d >= 0.0)
+        assert np.allclose(d, d.T, atol=1e-8)
+        assert np.allclose(np.diag(d), 0.0, atol=1e-6)
+
+    @given(spd_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_triangle_inequality(self, matrix):
+        """√(Gram-ℓ2²) is a true metric: d(i,k) ≤ d(i,j) + d(j,k)."""
+        dist = KernelDistance(matrix)
+        idx = np.arange(matrix.n)
+        d = np.sqrt(dist.pairwise(idx, idx))
+        n = matrix.n
+        for i in range(n):
+            for j in range(n):
+                lhs = d[i, :]
+                rhs = d[i, j] + d[j, :]
+                assert np.all(lhs <= rhs + 1e-6)
+
+    @given(spd_matrices())
+    @settings(max_examples=30, deadline=None)
+    def test_centroid_distance_nonnegative(self, matrix):
+        dist = KernelDistance(matrix)
+        idx = np.arange(matrix.n)
+        sample = idx[: max(1, matrix.n // 2)]
+        assert np.all(dist.to_centroid(idx, sample) >= 0.0)
+
+
+class TestAngleDistanceProperties:
+    @given(spd_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_bounded_and_symmetric(self, matrix):
+        dist = AngleDistance(matrix)
+        idx = np.arange(matrix.n)
+        d = dist.pairwise(idx, idx)
+        assert np.all(d >= 0.0)
+        assert np.all(d <= 1.0 + 1e-10)
+        assert np.allclose(d, d.T, atol=1e-8)
+        assert np.allclose(np.diag(d), 0.0, atol=1e-8)
+
+    @given(spd_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_scaling_invariance(self, matrix):
+        """Angle distance is invariant to diagonal scaling K -> D K D (Gram vectors rescaled)."""
+        gen = np.random.default_rng(0)
+        scale = gen.uniform(0.5, 2.0, size=matrix.n)
+        scaled = DenseSPD(scale[:, None] * matrix.array * scale[None, :], validate=False)
+        idx = np.arange(matrix.n)
+        d0 = AngleDistance(matrix).pairwise(idx, idx)
+        d1 = AngleDistance(scaled).pairwise(idx, idx)
+        assert np.allclose(d0, d1, atol=1e-8)
+
+
+class TestGeometricDistanceProperties:
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(3, 15), st.integers(1, 4)),
+            elements=st.floats(-10.0, 10.0, allow_nan=False, allow_infinity=False),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_kernel_distance_of_gram_matrix(self, points):
+        """Geometric distance on points equals Gram distance of K = X Xᵀ (+shift on the diagonal)."""
+        gram = points @ points.T
+        gram = 0.5 * (gram + gram.T) + 1e-9 * (1.0 + np.abs(gram).max()) * np.eye(points.shape[0])
+        geo = GeometricDistance(points)
+        ker = KernelDistance(DenseSPD(gram, validate=False))
+        idx = np.arange(points.shape[0])
+        assert np.allclose(geo.pairwise(idx, idx), ker.pairwise(idx, idx), atol=1e-5)

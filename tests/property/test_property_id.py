@@ -1,0 +1,64 @@
+"""Property-based tests for the interpolative decomposition."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.linalg import interpolative_decomposition
+from repro.linalg.id import id_reconstruction
+
+matrices = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(1, 30), st.integers(1, 25)),
+    elements=st.floats(-100.0, 100.0, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestIDProperties:
+    @given(matrices, st.integers(1, 30))
+    @settings(max_examples=60, deadline=None)
+    def test_structural_invariants(self, a, max_rank):
+        dec = interpolative_decomposition(a, max_rank=max_rank, tolerance=1e-10)
+        # Rank never exceeds the cap nor the matrix dimensions.
+        assert dec.rank <= min(max_rank, a.shape[0], a.shape[1])
+        # Skeleton indices are distinct, valid column indices.
+        assert len(np.unique(dec.skeleton)) == dec.rank
+        if dec.rank:
+            assert dec.skeleton.min() >= 0 and dec.skeleton.max() < a.shape[1]
+        # Coefficient matrix has the right shape and identity on the skeleton.
+        assert dec.coeffs.shape == (dec.rank, a.shape[1])
+        if dec.rank:
+            assert np.allclose(dec.coeffs[:, dec.skeleton], np.eye(dec.rank), atol=1e-6)
+
+    @given(matrices)
+    @settings(max_examples=60, deadline=None)
+    def test_full_rank_reconstruction_is_exact(self, a):
+        """With the rank cap at min(p, n) and no truncation, the ID reproduces the matrix."""
+        cap = min(a.shape)
+        dec = interpolative_decomposition(a, max_rank=cap, tolerance=0.0, adaptive=False)
+        recon = id_reconstruction(a, dec)
+        scale = max(1.0, np.abs(a).max())
+        assert np.allclose(recon, a, atol=1e-6 * scale)
+
+    @given(
+        st.integers(2, 20),  # rows
+        st.integers(2, 15),  # cols
+        st.integers(1, 5),   # true rank
+        st.integers(0, 100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_exact_low_rank_matrices_recovered(self, p, n, true_rank, seed):
+        gen = np.random.default_rng(seed)
+        true_rank = min(true_rank, p, n)
+        a = gen.standard_normal((p, true_rank)) @ gen.standard_normal((true_rank, n))
+        dec = interpolative_decomposition(a, max_rank=min(p, n), tolerance=1e-9)
+        assert dec.rank <= true_rank + 1
+        recon = id_reconstruction(a, dec)
+        assert np.linalg.norm(recon - a) <= 1e-6 * max(1.0, np.linalg.norm(a))
+
+    @given(matrices, st.floats(1e-12, 1e-1))
+    @settings(max_examples=40, deadline=None)
+    def test_rank_monotone_in_tolerance(self, a, tol):
+        loose = interpolative_decomposition(a, max_rank=min(a.shape), tolerance=tol)
+        tight = interpolative_decomposition(a, max_rank=min(a.shape), tolerance=tol * 1e-3)
+        assert loose.rank <= tight.rank

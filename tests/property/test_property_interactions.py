@@ -1,0 +1,94 @@
+"""Property-based tests for the Near/Far interaction-list invariants.
+
+The invariant that makes the evaluation phase correct is *exactly-once
+coverage*: every ordered pair of leaves is accounted for by exactly one
+Near or Far relation.  We check it across random geometries, budgets, leaf
+sizes and both Far-list constructions.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import GOFMMConfig
+from repro.config import DistanceMetric
+from repro.core.distances import GeometricDistance
+from repro.core.interactions import build_interaction_lists, build_node_neighbor_lists, coverage_matrix
+from repro.core.neighbors import all_nearest_neighbors
+from repro.core.tree import build_tree
+
+
+@st.composite
+def interaction_cases(draw):
+    n = draw(st.integers(20, 160))
+    leaf_size = draw(st.integers(4, 32))
+    budget = draw(st.sampled_from([0.0, 0.1, 0.3, 0.7, 1.0]))
+    kappa = draw(st.integers(1, 8))
+    symmetrize = draw(st.booleans())
+    seed = draw(st.integers(0, 5000))
+    return n, leaf_size, budget, kappa, symmetrize, seed
+
+
+def build_lists(case):
+    n, leaf_size, budget, kappa, symmetrize, seed = case
+    points = np.random.default_rng(seed).standard_normal((n, 2))
+    config = GOFMMConfig(
+        leaf_size=leaf_size,
+        max_rank=4,
+        neighbors=kappa,
+        budget=budget,
+        num_neighbor_trees=2,
+        distance=DistanceMetric.GEOMETRIC,
+        symmetrize_lists=symmetrize,
+        seed=seed,
+    )
+    distance = GeometricDistance(points)
+    rng = np.random.default_rng(seed)
+    neighbors = all_nearest_neighbors(distance, config, rng=rng)
+    tree = build_tree(n, config, distance, rng=rng)
+    build_node_neighbor_lists(tree, neighbors, rng=rng)
+    lists = build_interaction_lists(tree, neighbors, config)
+    return tree, lists, config
+
+
+class TestCoverageInvariant:
+    @given(interaction_cases())
+    @settings(max_examples=50, deadline=None)
+    def test_every_leaf_pair_covered_exactly_once(self, case):
+        tree, lists, _ = build_lists(case)
+        coverage = coverage_matrix(tree, lists)
+        assert np.all(coverage == 1)
+
+    @given(interaction_cases())
+    @settings(max_examples=50, deadline=None)
+    def test_every_leaf_near_itself(self, case):
+        tree, lists, _ = build_lists(case)
+        for leaf in tree.leaves:
+            assert leaf.node_id in lists.near[leaf.node_id]
+
+    @given(interaction_cases())
+    @settings(max_examples=50, deadline=None)
+    def test_far_nodes_never_overlap_owner(self, case):
+        tree, lists, _ = build_lists(case)
+        for node in tree.nodes:
+            owned = set(node.indices.tolist())
+            for alpha_id in lists.far[node.node_id]:
+                assert owned.isdisjoint(tree.node(alpha_id).indices.tolist())
+
+    @given(interaction_cases())
+    @settings(max_examples=30, deadline=None)
+    def test_symmetric_construction_yields_symmetric_lists(self, case):
+        n, leaf_size, budget, kappa, _, seed = case
+        tree, lists, config = build_lists((n, leaf_size, budget, kappa, True, seed))
+        for beta, members in lists.near.items():
+            for alpha in members:
+                assert beta in lists.near[alpha]
+        for beta, members in lists.far.items():
+            for alpha in members:
+                assert beta in lists.far[alpha]
+
+    @given(interaction_cases())
+    @settings(max_examples=30, deadline=None)
+    def test_budget_zero_is_hss(self, case):
+        n, leaf_size, _, kappa, symmetrize, seed = case
+        tree, lists, _ = build_lists((n, leaf_size, 0.0, kappa, symmetrize, seed))
+        assert lists.is_hss()

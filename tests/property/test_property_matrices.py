@@ -1,0 +1,66 @@
+"""Property-based tests on the SPD test-matrix generators."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.matrices import build_matrix
+from repro.matrices.kernels import GaussianKernel, InverseMultiquadricKernel, LaplaceKernel, MaternKernel, pairwise_sq_dists
+
+# Generators cheap enough for property testing at many random sizes.
+CHEAP_NAMES = ["K02", "K04", "K06", "K10", "K12", "K15", "G01", "G03", "covtype"]
+
+
+class TestGeneratorProperties:
+    @given(st.sampled_from(CHEAP_NAMES), st.integers(16, 96), st.integers(0, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_generated_matrices_are_spd(self, name, n, seed):
+        matrix = build_matrix(name, n, seed=seed)
+        assert matrix.shape == (n, n)
+        dense = matrix.to_dense()
+        assert np.allclose(dense, dense.T, atol=1e-8 * max(1.0, np.abs(dense).max()))
+        eigenvalues = np.linalg.eigvalsh(0.5 * (dense + dense.T))
+        assert eigenvalues.min() > -1e-8 * abs(eigenvalues.max())
+        assert np.all(np.diag(dense) > 0.0)
+
+    @given(st.sampled_from(CHEAP_NAMES), st.integers(16, 64), st.integers(0, 20))
+    @settings(max_examples=20, deadline=None)
+    def test_entries_consistent_with_dense(self, name, n, seed):
+        matrix = build_matrix(name, n, seed=seed)
+        dense = matrix.to_dense()
+        gen = np.random.default_rng(seed)
+        rows = gen.choice(n, size=min(8, n), replace=False)
+        cols = gen.choice(n, size=min(6, n), replace=False)
+        assert np.allclose(matrix.entries(rows, cols), dense[np.ix_(rows, cols)], atol=1e-10)
+
+
+POSITIVE_DEFINITE_KERNELS = [
+    GaussianKernel(bandwidth=0.7),
+    GaussianKernel(bandwidth=2.0),
+    LaplaceKernel(bandwidth=1.0),
+    InverseMultiquadricKernel(shift=1.0, power=1.0),
+    MaternKernel(bandwidth=1.5),
+]
+
+
+class TestKernelPositiveDefiniteness:
+    @given(
+        st.sampled_from(POSITIVE_DEFINITE_KERNELS),
+        st.integers(3, 40),
+        st.integers(1, 6),
+        st.integers(0, 100),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_gram_matrix_psd_on_random_points(self, kernel, n, d, seed):
+        points = np.random.default_rng(seed).standard_normal((n, d)) * 2.0
+        gram = kernel(points, points)
+        eigenvalues = np.linalg.eigvalsh(0.5 * (gram + gram.T))
+        assert eigenvalues.min() > -1e-7
+
+    @given(st.integers(2, 30), st.integers(1, 5), st.integers(0, 100))
+    @settings(max_examples=50, deadline=None)
+    def test_pairwise_sq_dists_properties(self, n, d, seed):
+        points = np.random.default_rng(seed).standard_normal((n, d)) * 3.0
+        d2 = pairwise_sq_dists(points, points)
+        assert np.all(d2 >= 0.0)
+        assert np.allclose(d2, d2.T, atol=1e-8)
+        assert np.allclose(np.diag(d2), 0.0, atol=1e-8)

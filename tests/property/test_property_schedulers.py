@@ -1,0 +1,107 @@
+"""Property-based tests for the scheduler simulations on random DAGs."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime import HEFTScheduler, LevelByLevelScheduler, MachineModel, OmpTaskScheduler, Task, TaskGraph, Worker
+
+
+MAX_LEVEL = 4
+
+
+def _group_order(kind: str, level: int) -> int:
+    """Barrier-group ordering used by the level-by-level scheduler.
+
+    N2S walks the tree bottom-up, S2N top-down; S2S and L2L are single
+    any-order groups.  Random DAGs below only contain edges compatible with
+    this ordering, which is exactly the class of DAGs GOFMM produces (its
+    dependencies always cross a barrier).
+    """
+    if kind == "N2S":
+        return MAX_LEVEL - level            # bottom-up
+    if kind == "S2S":
+        return MAX_LEVEL + 1
+    if kind == "S2N":
+        return MAX_LEVEL + 2 + level        # top-down
+    return 3 * MAX_LEVEL + 10               # L2L: independent, last group
+
+
+@st.composite
+def random_dags(draw):
+    """Random GOFMM-shaped DAGs: random costs, edges compatible with the traversal order."""
+    num_tasks = draw(st.integers(1, 40))
+    seed = draw(st.integers(0, 10_000))
+    gen = np.random.default_rng(seed)
+    graph = TaskGraph()
+    kinds = ["N2S", "S2S", "S2N", "L2L"]
+    meta = []
+    for i in range(num_tasks):
+        kind = kinds[int(gen.integers(0, len(kinds)))]
+        level = int(gen.integers(0, MAX_LEVEL + 1))
+        meta.append((kind, level))
+        graph.add_task(
+            Task(
+                task_id=f"t{i}",
+                kind=kind,
+                node_id=i,
+                level=level,
+                flops=float(gen.uniform(1e3, 1e7)),
+                gpu_eligible=bool(i % 3 == 0),
+            )
+        )
+    for j in range(1, num_tasks):
+        for i in range(j):
+            if gen.uniform() < 0.08 and _group_order(*meta[i]) < _group_order(*meta[j]):
+                graph.add_dependency(f"t{i}", f"t{j}")
+    return graph
+
+
+@st.composite
+def machines(draw):
+    cores = draw(st.integers(1, 8))
+    gflops = draw(st.floats(1.0, 100.0))
+    workers = [Worker(name=f"c{i}", kind="cpu", peak_gflops=gflops, efficiency=0.8, bandwidth_gbs=10.0) for i in range(cores)]
+    return MachineModel(name="random", workers=workers)
+
+
+SCHEDULERS = [LevelByLevelScheduler(), OmpTaskScheduler(), HEFTScheduler()]
+
+
+class TestSchedulerInvariants:
+    @given(random_dags(), machines(), st.sampled_from(SCHEDULERS))
+    @settings(max_examples=60, deadline=None)
+    def test_schedule_is_valid(self, graph, machine, scheduler):
+        result = scheduler.schedule(graph, machine)
+        # 1. every task appears exactly once
+        assert sorted(e.task_id for e in result.timeline) == sorted(graph.tasks)
+        finish = {e.task_id: e.finish for e in result.timeline}
+        start = {e.task_id: e.start for e in result.timeline}
+        # 2. dependencies respected
+        for tid in graph.tasks:
+            for pred in graph.predecessors(tid):
+                assert finish[pred] <= start[tid] + 1e-9
+        # 3. no overlap per worker
+        per_worker: dict[str, list] = {}
+        for e in result.timeline:
+            per_worker.setdefault(e.worker, []).append((e.start, e.finish))
+        for intervals in per_worker.values():
+            intervals.sort()
+            for (s0, f0), (s1, f1) in zip(intervals, intervals[1:]):
+                assert f0 <= s1 + 1e-9
+
+    @given(random_dags(), machines(), st.sampled_from(SCHEDULERS))
+    @settings(max_examples=60, deadline=None)
+    def test_makespan_lower_bounds(self, graph, machine, scheduler):
+        result = scheduler.schedule(graph, machine)
+        critical = graph.critical_path_time(machine.best_case_seconds)
+        work_bound = sum(machine.best_case_seconds(t) for t in graph.tasks.values()) / machine.num_workers
+        assert result.makespan >= critical - 1e-9
+        assert result.makespan >= work_bound - 1e-9
+
+    @given(random_dags(), machines())
+    @settings(max_examples=40, deadline=None)
+    def test_heft_not_significantly_worse_than_level_by_level(self, graph, machine):
+        """Out-of-order HEFT removes barriers; list-scheduling anomalies may cost a little, never a lot."""
+        heft = HEFTScheduler().schedule(graph, machine)
+        lbl = LevelByLevelScheduler().schedule(graph, machine)
+        assert heft.makespan <= lbl.makespan * 1.5 + 1e-9

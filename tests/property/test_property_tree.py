@@ -1,0 +1,65 @@
+"""Property-based tests for the partition tree invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import GOFMMConfig
+from repro.config import DistanceMetric
+from repro.core.distances import GeometricDistance
+from repro.core.tree import build_tree
+
+
+@st.composite
+def tree_cases(draw):
+    n = draw(st.integers(5, 200))
+    leaf_size = draw(st.integers(2, 64))
+    dim = draw(st.integers(1, 4))
+    seed = draw(st.integers(0, 10_000))
+    return n, leaf_size, dim, seed
+
+
+class TestTreeInvariants:
+    @given(tree_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_partition_and_balance(self, case):
+        n, leaf_size, dim, seed = case
+        points = np.random.default_rng(seed).standard_normal((n, dim))
+        config = GOFMMConfig(leaf_size=leaf_size, max_rank=4, neighbors=2, distance=DistanceMetric.GEOMETRIC, seed=seed)
+        tree = build_tree(n, config, GeometricDistance(points))
+        tree.check_invariants(leaf_size)
+        # Permutation covers all indices exactly once.
+        assert np.array_equal(np.sort(tree.permutation), np.arange(n))
+        # Complete binary tree with all leaves on the bottom level.
+        assert len(tree.leaves) == 2**tree.depth
+        assert len(tree.nodes) == 2 ** (tree.depth + 1) - 1
+
+    @given(tree_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_leaf_lookup_consistency(self, case):
+        n, leaf_size, dim, seed = case
+        points = np.random.default_rng(seed).standard_normal((n, dim))
+        config = GOFMMConfig(leaf_size=leaf_size, max_rank=4, neighbors=2, distance=DistanceMetric.GEOMETRIC, seed=seed)
+        tree = build_tree(n, config, GeometricDistance(points))
+        for i in range(0, n, max(1, n // 13)):
+            leaf = tree.leaf_of(i)
+            assert i in leaf.indices
+            assert leaf.morton == tree.morton_of_index(i)
+
+    @given(tree_cases())
+    @settings(max_examples=30, deadline=None)
+    def test_depth_is_minimal(self, case):
+        n, leaf_size, dim, seed = case
+        points = np.random.default_rng(seed).standard_normal((n, dim))
+        config = GOFMMConfig(leaf_size=leaf_size, max_rank=4, neighbors=2, distance=DistanceMetric.GEOMETRIC, seed=seed)
+        tree = build_tree(n, config, GeometricDistance(points))
+        assert n <= leaf_size * 2**tree.depth
+        if tree.depth > 0:
+            assert n > leaf_size * 2 ** (tree.depth - 1)
+
+    @given(st.integers(5, 150), st.integers(2, 32), st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_metric_free_orderings(self, n, leaf_size, seed):
+        config = GOFMMConfig(leaf_size=leaf_size, max_rank=4, distance=DistanceMetric.RANDOM, seed=seed)
+        tree = build_tree(n, config, distance=None)
+        tree.check_invariants(leaf_size)
+        assert np.array_equal(np.sort(tree.permutation), np.arange(n))

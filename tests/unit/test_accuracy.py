@@ -1,0 +1,68 @@
+"""Unit tests for the ε2 accuracy metric."""
+
+import numpy as np
+import pytest
+
+from repro import GOFMMConfig, compress
+from repro.config import DistanceMetric
+from repro.core.accuracy import exact_relative_error, relative_error, spectral_relative_error
+
+from ..conftest import make_gaussian_kernel_matrix
+
+
+@pytest.fixture(scope="module")
+def compressed_pair():
+    matrix = make_gaussian_kernel_matrix(n=180, d=3, bandwidth=1.5, seed=3)
+    config = GOFMMConfig(
+        leaf_size=30, max_rank=30, tolerance=1e-9, neighbors=6,
+        budget=0.3, num_neighbor_trees=3, distance=DistanceMetric.KERNEL, seed=3,
+    )
+    return matrix, compress(matrix, config)
+
+
+class TestEpsilon2:
+    def test_sampled_close_to_exact(self, compressed_pair):
+        matrix, cm = compressed_pair
+        sampled = relative_error(cm, matrix, num_rhs=6, num_sample_rows=150, rng=np.random.default_rng(0))
+        exact = exact_relative_error(cm, matrix, num_rhs=6, rng=np.random.default_rng(0))
+        assert sampled == pytest.approx(exact, rel=0.5, abs=1e-6)
+
+    def test_exact_error_matches_direct_computation(self, compressed_pair):
+        matrix, cm = compressed_pair
+        rng = np.random.default_rng(1)
+        err = exact_relative_error(cm, matrix, num_rhs=4, rng=np.random.default_rng(1))
+        w = rng.standard_normal((matrix.n, 4))
+        direct = np.linalg.norm(cm.matvec(w) - matrix.matvec(w)) / np.linalg.norm(matrix.matvec(w))
+        assert err == pytest.approx(direct, rel=1e-10)
+
+    def test_spectral_error_consistent_with_frobenius(self, compressed_pair):
+        matrix, cm = compressed_pair
+        spectral = spectral_relative_error(cm, matrix, iterations=20)
+        exact = exact_relative_error(cm, matrix, num_rhs=8)
+        # Both should be "small"; the spectral norm can exceed the per-vector
+        # Frobenius estimate but not by orders of magnitude for these sizes.
+        assert spectral < 50 * max(exact, 1e-12)
+
+    def test_error_decreases_with_rank(self):
+        matrix = make_gaussian_kernel_matrix(n=160, d=3, bandwidth=1.5, seed=4)
+        errors = []
+        for rank in (8, 32):
+            config = GOFMMConfig(
+                leaf_size=32, max_rank=rank, tolerance=1e-12, neighbors=6,
+                budget=0.2, num_neighbor_trees=3, distance=DistanceMetric.KERNEL, seed=4,
+            )
+            cm = compress(matrix, config)
+            errors.append(exact_relative_error(cm, matrix, num_rhs=4))
+        assert errors[1] < errors[0]
+
+    def test_error_decreases_with_budget(self):
+        matrix = make_gaussian_kernel_matrix(n=160, d=3, bandwidth=0.6, seed=5)
+        errors = []
+        for budget in (0.0, 0.5):
+            config = GOFMMConfig(
+                leaf_size=32, max_rank=16, tolerance=1e-12, neighbors=8,
+                budget=budget, num_neighbor_trees=3, distance=DistanceMetric.KERNEL, seed=5,
+            )
+            cm = compress(matrix, config)
+            errors.append(exact_relative_error(cm, matrix, num_rhs=4))
+        assert errors[1] <= errors[0]

@@ -1,0 +1,57 @@
+"""Unit tests for the ASKIT-like geometric baseline."""
+
+import numpy as np
+import pytest
+
+from repro import ConfigurationError
+from repro.baselines import compress_askit
+from repro.matrices import build_matrix
+
+from ..conftest import make_gaussian_kernel_matrix, make_random_spd
+
+
+class TestASKIT:
+    def test_requires_coordinates(self):
+        matrix = make_random_spd(64, seed=0)
+        with pytest.raises(ConfigurationError):
+            compress_askit(matrix, leaf_size=16, max_rank=16)
+
+    def test_graph_matrices_rejected(self):
+        matrix = build_matrix("G03", 96)
+        with pytest.raises(ConfigurationError):
+            compress_askit(matrix, leaf_size=16, max_rank=16)
+
+    def test_accuracy_on_kernel_matrix(self):
+        matrix = make_gaussian_kernel_matrix(n=200, d=3, bandwidth=1.0, seed=1)
+        result = compress_askit(matrix, leaf_size=25, max_rank=25, tolerance=1e-9, neighbors=8)
+        dense = matrix.to_dense()
+        w = np.random.default_rng(0).standard_normal((200, 3))
+        err = np.linalg.norm(result.matvec(w) - dense @ w) / np.linalg.norm(dense @ w)
+        assert err < 5e-2
+
+    def test_explicit_coordinates_override(self):
+        matrix = make_gaussian_kernel_matrix(n=150, d=3, seed=2)
+        result = compress_askit(matrix, coordinates=matrix.coordinates, leaf_size=25, max_rank=20, neighbors=6)
+        assert result.compressed.n == 150
+
+    def test_uses_geometric_distance_and_no_symmetrization(self):
+        matrix = make_gaussian_kernel_matrix(n=150, d=3, seed=3)
+        result = compress_askit(matrix, leaf_size=25, max_rank=20, neighbors=6)
+        config = result.compressed.config
+        assert config.distance.value == "geometric"
+        assert config.symmetrize_lists is False
+
+    def test_near_field_grows_with_kappa(self):
+        matrix = make_gaussian_kernel_matrix(n=240, d=3, bandwidth=0.8, seed=4)
+        small = compress_askit(matrix, leaf_size=30, max_rank=16, neighbors=2)
+        large = compress_askit(matrix, leaf_size=30, max_rank=16, neighbors=32)
+        assert (
+            large.compressed.lists.total_near_pairs()
+            >= small.compressed.lists.total_near_pairs()
+        )
+
+    def test_report_and_timing_present(self):
+        matrix = make_gaussian_kernel_matrix(n=120, d=3, seed=5)
+        result = compress_askit(matrix, leaf_size=30, max_rank=16, neighbors=4)
+        assert result.compression_seconds > 0.0
+        assert result.report.num_leaves == len(result.compressed.tree.leaves)

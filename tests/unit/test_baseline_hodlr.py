@@ -1,0 +1,66 @@
+"""Unit tests for the HODLR baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import compress_hodlr
+from repro.matrices import build_matrix
+
+from ..conftest import make_gaussian_kernel_matrix, make_random_spd
+
+
+class TestHODLR:
+    def test_matvec_accuracy_on_structured_matrix(self):
+        matrix = build_matrix("K02", 256)
+        hodlr = compress_hodlr(matrix, leaf_size=32, max_rank=32, tolerance=1e-9)
+        dense = matrix.to_dense()
+        w = np.random.default_rng(0).standard_normal((256, 3))
+        err = np.linalg.norm(hodlr.matvec(w) - dense @ w) / np.linalg.norm(dense @ w)
+        assert err < 1e-4
+
+    def test_to_dense_symmetric(self):
+        matrix = build_matrix("K02", 128)
+        hodlr = compress_hodlr(matrix, leaf_size=32, max_rank=32, tolerance=1e-8)
+        dense = hodlr.to_dense()
+        assert np.allclose(dense, dense.T, atol=1e-10)
+
+    def test_matvec_matches_to_dense(self):
+        matrix = make_gaussian_kernel_matrix(n=120, d=2, bandwidth=2.0, seed=0)
+        hodlr = compress_hodlr(matrix, leaf_size=30, max_rank=20, tolerance=1e-8)
+        w = np.random.default_rng(1).standard_normal(120)
+        assert np.allclose(hodlr.matvec(w), hodlr.to_dense() @ w, atol=1e-8)
+
+    def test_single_rhs_and_matrix_rhs(self):
+        matrix = make_gaussian_kernel_matrix(n=100, d=2, seed=2)
+        hodlr = compress_hodlr(matrix, leaf_size=25, max_rank=16)
+        w = np.random.default_rng(2).standard_normal((100, 4))
+        out = hodlr @ w
+        assert out.shape == (100, 4)
+        assert np.allclose(out[:, 0], hodlr.matvec(w[:, 0]), atol=1e-10)
+
+    def test_small_matrix_is_stored_densely(self):
+        matrix = make_random_spd(20, seed=3)
+        hodlr = compress_hodlr(matrix, leaf_size=32, max_rank=8)
+        assert hodlr.root.is_leaf
+        assert np.allclose(hodlr.to_dense(), matrix.array)
+
+    def test_rank_cap_respected(self):
+        matrix = make_random_spd(96, seed=4, decay=0.1)  # slow decay: ranks hit the cap
+        hodlr = compress_hodlr(matrix, leaf_size=24, max_rank=10, tolerance=1e-14)
+        assert max(hodlr.ranks) <= 10
+
+    def test_storage_smaller_than_dense_for_structured(self):
+        matrix = build_matrix("K02", 256)
+        hodlr = compress_hodlr(matrix, leaf_size=32, max_rank=24, tolerance=1e-6)
+        assert hodlr.storage_entries() < 256 * 256
+
+    def test_entry_evaluations_subquadratic_for_low_rank(self):
+        matrix = build_matrix("K02", 256)
+        hodlr = compress_hodlr(matrix, leaf_size=32, max_rank=16, tolerance=1e-5)
+        # ACA touches O(s (p+n)) entries per block, far fewer than p*n overall.
+        assert hodlr.entry_evaluations < 0.6 * 256 * 256
+
+    def test_average_rank_reported(self):
+        matrix = build_matrix("K04", 128)
+        hodlr = compress_hodlr(matrix, leaf_size=32, max_rank=32, tolerance=1e-6)
+        assert 0 < hodlr.average_rank <= 32

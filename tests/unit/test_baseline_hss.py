@@ -1,0 +1,91 @@
+"""Unit tests for the STRUMPACK-like HSS baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import compress_hss_baseline
+from repro.matrices import build_matrix
+
+from ..conftest import make_gaussian_kernel_matrix, make_random_spd
+
+
+class TestHSSBaseline:
+    def test_matvec_accuracy_on_grid_ordered_matrix(self):
+        # K02's lexicographic (grid) order is friendly to HSS, as in Table 3.
+        matrix = build_matrix("K02", 256)
+        hss = compress_hss_baseline(matrix, leaf_size=32, max_rank=48, tolerance=1e-9)
+        dense = matrix.to_dense()
+        w = np.random.default_rng(0).standard_normal((256, 3))
+        err = np.linalg.norm(hss.matvec(w) - dense @ w) / np.linalg.norm(dense @ w)
+        assert err < 5e-2
+
+    def test_matvec_shapes(self):
+        matrix = make_gaussian_kernel_matrix(n=120, d=2, seed=0)
+        hss = compress_hss_baseline(matrix, leaf_size=30, max_rank=20)
+        assert hss.matvec(np.zeros(120)).shape == (120,)
+        assert (hss @ np.zeros((120, 5))).shape == (120, 5)
+
+    def test_linearity(self):
+        matrix = make_gaussian_kernel_matrix(n=100, d=2, seed=1)
+        hss = compress_hss_baseline(matrix, leaf_size=25, max_rank=20)
+        gen = np.random.default_rng(1)
+        w1, w2 = gen.standard_normal(100), gen.standard_normal(100)
+        assert np.allclose(hss.matvec(w1 + 2 * w2), hss.matvec(w1) + 2 * hss.matvec(w2), atol=1e-8)
+
+    def test_single_leaf_degenerate_case(self):
+        matrix = make_random_spd(20, seed=2)
+        hss = compress_hss_baseline(matrix, leaf_size=64, max_rank=8)
+        w = np.random.default_rng(2).standard_normal(20)
+        assert np.allclose(hss.matvec(w), matrix.array @ w, atol=1e-10)
+
+    def test_rank_cap_respected(self):
+        matrix = make_random_spd(96, seed=3, decay=0.1)
+        hss = compress_hss_baseline(matrix, leaf_size=24, max_rank=12, tolerance=1e-14)
+        assert max(hss.ranks) <= 12
+
+    def test_average_rank_positive(self):
+        matrix = build_matrix("K02", 128)
+        hss = compress_hss_baseline(matrix, leaf_size=32, max_rank=24)
+        assert 0 < hss.average_rank <= 24
+
+    def test_storage_below_dense(self):
+        matrix = build_matrix("K02", 256)
+        hss = compress_hss_baseline(matrix, leaf_size=32, max_rank=24, tolerance=1e-6)
+        assert hss.storage_entries() < 256 * 256
+
+    def test_tighter_tolerance_improves_accuracy(self):
+        matrix = build_matrix("K02", 192)
+        dense = matrix.to_dense()
+        w = np.random.default_rng(3).standard_normal((192, 2))
+        errs = []
+        for tol in (1e-1, 1e-8):
+            hss = compress_hss_baseline(matrix, leaf_size=32, max_rank=48, tolerance=tol)
+            errs.append(np.linalg.norm(hss.matvec(w) - dense @ w) / np.linalg.norm(dense @ w))
+        assert errs[1] <= errs[0]
+
+    def test_struggles_on_scrambled_kernel_matrix(self):
+        """Lexicographic HSS on a shuffled kernel matrix needs much higher rank than GOFMM (Fig. 7 / Table 3)."""
+        from repro import GOFMMConfig, compress
+        from repro.config import DistanceMetric
+        from repro.core.accuracy import exact_relative_error
+
+        matrix = make_gaussian_kernel_matrix(n=256, d=3, bandwidth=0.8, seed=4)
+        # Shuffle the points so the input order carries no locality.
+        perm = np.random.default_rng(4).permutation(256)
+        shuffled = matrix.coordinates[perm]
+        from repro.matrices import KernelMatrix
+        from repro.matrices.kernels import GaussianKernel
+
+        scrambled = KernelMatrix(shuffled, GaussianKernel(bandwidth=0.8), regularization=1e-8)
+        dense = scrambled.to_dense()
+        w = np.random.default_rng(5).standard_normal((256, 2))
+
+        hss = compress_hss_baseline(scrambled, leaf_size=32, max_rank=24, tolerance=1e-10)
+        hss_err = np.linalg.norm(hss.matvec(w) - dense @ w) / np.linalg.norm(dense @ w)
+
+        config = GOFMMConfig(
+            leaf_size=32, max_rank=24, tolerance=1e-10, neighbors=8, budget=0.2,
+            num_neighbor_trees=4, distance=DistanceMetric.KERNEL, seed=4,
+        )
+        gofmm_err = exact_relative_error(compress(scrambled, config), scrambled, num_rhs=2)
+        assert gofmm_err < hss_err

@@ -1,0 +1,60 @@
+"""Unit tests for the synthetic ML dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.matrices.datasets import DATASETS, clustered_points, covtype_like, higgs_like, mnist_like
+
+
+class TestClusteredPoints:
+    def test_shape(self):
+        pts = clustered_points(100, ambient_dim=10, intrinsic_dim=3, clusters=4, seed=0)
+        assert pts.shape == (100, 10)
+
+    def test_standardized(self):
+        pts = clustered_points(500, ambient_dim=8, intrinsic_dim=3, clusters=5, seed=1)
+        assert np.allclose(pts.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(pts.std(axis=0), 1.0, atol=1e-8)
+
+    def test_deterministic(self):
+        a = clustered_points(50, 6, 2, 3, seed=9)
+        b = clustered_points(50, 6, 2, 3, seed=9)
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = clustered_points(50, 6, 2, 3, seed=1)
+        b = clustered_points(50, 6, 2, 3, seed=2)
+        assert not np.allclose(a, b)
+
+    def test_intrinsic_dim_capped_at_ambient(self):
+        pts = clustered_points(40, ambient_dim=3, intrinsic_dim=10, clusters=2, seed=0)
+        assert pts.shape == (40, 3)
+
+    def test_low_intrinsic_dimension_visible_in_spectrum(self):
+        # With intrinsic_dim << ambient_dim the covariance spectrum decays fast.
+        pts = clustered_points(400, ambient_dim=50, intrinsic_dim=4, clusters=3, noise=0.01, seed=3)
+        s = np.linalg.svd(pts - pts.mean(axis=0), compute_uv=False)
+        energy_top = np.sum(s[:15] ** 2) / np.sum(s**2)
+        assert energy_top > 0.95
+
+
+@pytest.mark.parametrize(
+    "generator,expected_dim",
+    [(covtype_like, 54), (higgs_like, 28), (mnist_like, 780)],
+    ids=["covtype", "higgs", "mnist"],
+)
+class TestNamedDatasets:
+    def test_dimensions(self, generator, expected_dim):
+        pts = generator(64, seed=0)
+        assert pts.shape == (64, expected_dim)
+
+    def test_finite(self, generator, expected_dim):
+        assert np.all(np.isfinite(generator(32, seed=1)))
+
+
+class TestSpecRegistry:
+    def test_all_specs_present(self):
+        assert set(DATASETS) == {"covtype", "higgs", "mnist"}
+
+    def test_bandwidths_positive(self):
+        assert all(spec.default_bandwidth > 0 for spec in DATASETS.values())

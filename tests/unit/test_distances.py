@@ -1,0 +1,144 @@
+"""Unit tests for the geometry-oblivious distances of §2.1."""
+
+import numpy as np
+import pytest
+
+from repro import ConfigurationError, NotSPDError
+from repro.config import DistanceMetric
+from repro.core.distances import AngleDistance, GeometricDistance, KernelDistance, make_distance
+from repro.matrices import DenseSPD, KernelMatrix
+from repro.matrices.kernels import GaussianKernel
+
+from ..conftest import make_gaussian_kernel_matrix, make_random_spd
+
+
+@pytest.fixture(scope="module")
+def gram_setup():
+    """An SPD matrix whose Gram vectors we know explicitly (K = ΦᵀΦ)."""
+    gen = np.random.default_rng(0)
+    phi = gen.standard_normal((12, 30))  # 30 Gram vectors in R^12
+    k = phi.T @ phi + 1e-8 * np.eye(30)
+    return DenseSPD(k), phi
+
+
+class TestKernelDistance:
+    def test_matches_gram_vector_distance(self, gram_setup):
+        matrix, phi = gram_setup
+        dist = KernelDistance(matrix)
+        i, j = 3, 17
+        expected = np.linalg.norm(phi[:, i] - phi[:, j]) ** 2
+        got = dist.pairwise(np.array([i]), np.array([j]))[0, 0]
+        assert got == pytest.approx(expected, rel=1e-6)
+
+    def test_zero_on_diagonal(self, gram_setup):
+        matrix, _ = gram_setup
+        dist = KernelDistance(matrix)
+        idx = np.arange(10)
+        assert np.allclose(np.diag(dist.pairwise(idx, idx)), 0.0, atol=1e-8)
+
+    def test_symmetry(self, gram_setup):
+        matrix, _ = gram_setup
+        dist = KernelDistance(matrix)
+        idx = np.arange(15)
+        d = dist.pairwise(idx, idx)
+        assert np.allclose(d, d.T, atol=1e-10)
+
+    def test_centroid_distance_matches_explicit(self, gram_setup):
+        matrix, phi = gram_setup
+        dist = KernelDistance(matrix)
+        sample = np.array([0, 4, 9, 20])
+        centroid = phi[:, sample].mean(axis=1)
+        expected = np.linalg.norm(phi - centroid[:, None], axis=0) ** 2
+        got = dist.to_centroid(np.arange(30), sample)
+        assert np.allclose(got, expected, rtol=1e-6, atol=1e-8)
+
+    def test_rejects_non_spd(self):
+        bad = DenseSPD(np.diag([1.0, -1.0, 2.0]), validate=False)
+        with pytest.raises(NotSPDError):
+            KernelDistance(bad)
+
+
+class TestAngleDistance:
+    def test_matches_gram_vector_angles(self, gram_setup):
+        matrix, phi = gram_setup
+        dist = AngleDistance(matrix)
+        i, j = 5, 22
+        cos = phi[:, i] @ phi[:, j] / (np.linalg.norm(phi[:, i]) * np.linalg.norm(phi[:, j]))
+        expected = 1.0 - cos**2
+        got = dist.pairwise(np.array([i]), np.array([j]))[0, 0]
+        assert got == pytest.approx(expected, rel=1e-6, abs=1e-10)
+
+    def test_range(self, gram_setup):
+        matrix, _ = gram_setup
+        dist = AngleDistance(matrix)
+        idx = np.arange(30)
+        d = dist.pairwise(idx, idx)
+        assert np.all(d >= 0.0)
+        assert np.all(d <= 1.0 + 1e-10)
+
+    def test_collinear_vectors_have_zero_distance(self):
+        phi = np.array([[1.0, 2.0, 0.0], [0.0, 0.0, 1.0]])  # columns 0,1 collinear
+        k = phi.T @ phi + 1e-12 * np.eye(3)
+        dist = AngleDistance(DenseSPD(k, validate=False))
+        d01 = dist.pairwise(np.array([0]), np.array([1]))[0, 0]
+        d02 = dist.pairwise(np.array([0]), np.array([2]))[0, 0]
+        assert d01 < 1e-8
+        assert d02 > 0.9
+
+    def test_centroid_distance_in_range(self, gram_setup):
+        matrix, _ = gram_setup
+        dist = AngleDistance(matrix)
+        values = dist.to_centroid(np.arange(30), np.array([1, 2, 3]))
+        assert np.all(values >= 0.0) and np.all(values <= 1.0 + 1e-10)
+
+
+class TestGeometricDistance:
+    def test_matches_euclidean(self):
+        pts = np.random.default_rng(1).standard_normal((20, 3))
+        dist = GeometricDistance(pts)
+        d = dist.pairwise(np.arange(20), np.arange(20))
+        direct = ((pts[:, None, :] - pts[None, :, :]) ** 2).sum(axis=2)
+        assert np.allclose(d, direct, atol=1e-10)
+
+    def test_centroid(self):
+        pts = np.random.default_rng(2).standard_normal((10, 2))
+        dist = GeometricDistance(pts)
+        sample = np.array([0, 1, 2])
+        expected = ((pts - pts[sample].mean(axis=0)) ** 2).sum(axis=1)
+        assert np.allclose(dist.to_centroid(np.arange(10), sample), expected)
+
+    def test_requires_2d(self):
+        with pytest.raises(ConfigurationError):
+            GeometricDistance(np.arange(5.0))
+
+
+class TestKernelVsGeometric:
+    def test_kernel_distance_orders_like_geometry_for_gaussian(self):
+        """For a Gaussian kernel, Gram-ℓ2 distance is monotone in geometric distance."""
+        matrix = make_gaussian_kernel_matrix(n=64, d=2, bandwidth=2.0, seed=3)
+        kernel_dist = KernelDistance(matrix)
+        geo_dist = GeometricDistance(matrix.coordinates)
+        idx = np.arange(64)
+        dk = kernel_dist.pairwise(np.array([0]), idx)[0]
+        dg = geo_dist.pairwise(np.array([0]), idx)[0]
+        # Spearman-like check: the orderings agree.
+        assert np.array_equal(np.argsort(dk), np.argsort(dg))
+
+
+class TestFactory:
+    def test_geometric_requires_coordinates(self, random_spd_matrix):
+        with pytest.raises(ConfigurationError):
+            make_distance(random_spd_matrix, DistanceMetric.GEOMETRIC)
+
+    def test_geometric_uses_matrix_coordinates(self):
+        matrix = make_gaussian_kernel_matrix(n=32, d=2)
+        dist = make_distance(matrix, DistanceMetric.GEOMETRIC)
+        assert isinstance(dist, GeometricDistance)
+
+    def test_metric_free_orderings_return_none(self, random_spd_matrix):
+        assert make_distance(random_spd_matrix, DistanceMetric.LEXICOGRAPHIC) is None
+        assert make_distance(random_spd_matrix, DistanceMetric.RANDOM) is None
+
+    def test_gram_metrics(self, random_spd_matrix):
+        assert isinstance(make_distance(random_spd_matrix, DistanceMetric.KERNEL), KernelDistance)
+        assert isinstance(make_distance(random_spd_matrix, DistanceMetric.ANGLE), AngleDistance)

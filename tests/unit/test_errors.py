@@ -1,0 +1,47 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro import (
+    CompressionError,
+    ConfigurationError,
+    EvaluationError,
+    GOFMMError,
+    MatrixDefinitionError,
+    NotSPDError,
+    RankDeficiencyError,
+    SchedulingError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConfigurationError,
+            NotSPDError,
+            CompressionError,
+            RankDeficiencyError,
+            EvaluationError,
+            SchedulingError,
+            MatrixDefinitionError,
+        ],
+    )
+    def test_all_derive_from_gofmm_error(self, exc):
+        assert issubclass(exc, GOFMMError)
+        with pytest.raises(GOFMMError):
+            raise exc("boom")
+
+    def test_value_error_compatibility(self):
+        # Configuration / matrix errors behave like ValueError for generic callers.
+        assert issubclass(ConfigurationError, ValueError)
+        assert issubclass(NotSPDError, ValueError)
+        assert issubclass(MatrixDefinitionError, ValueError)
+
+    def test_runtime_error_compatibility(self):
+        assert issubclass(CompressionError, RuntimeError)
+        assert issubclass(EvaluationError, RuntimeError)
+        assert issubclass(SchedulingError, RuntimeError)
+
+    def test_rank_deficiency_is_compression_error(self):
+        assert issubclass(RankDeficiencyError, CompressionError)

@@ -1,0 +1,66 @@
+"""Unit tests for the top-level user API (repro.gofmm)."""
+
+import numpy as np
+import pytest
+
+from repro import GOFMMConfig
+from repro.gofmm import RunResult, compress, compress_fmm, compress_hss, run
+from repro.core.compress import CompressionReport
+
+from ..conftest import make_gaussian_kernel_matrix
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return make_gaussian_kernel_matrix(n=180, d=3, bandwidth=1.5, seed=0)
+
+
+COMMON = dict(leaf_size=32, max_rank=24, tolerance=1e-7, neighbors=8, num_neighbor_trees=3, seed=0)
+
+
+class TestConvenienceCompressors:
+    def test_compress_accepts_plain_numpy_array(self):
+        gen = np.random.default_rng(0)
+        a = gen.standard_normal((96, 96))
+        spd = a @ a.T + 96 * np.eye(96)
+        cm = compress(spd, GOFMMConfig(leaf_size=24, max_rank=24, budget=0.0, seed=0))
+        w = gen.standard_normal(96)
+        assert np.all(np.isfinite(cm.matvec(w)))
+
+    def test_compress_hss_has_no_sparse_correction(self, matrix):
+        cm = compress_hss(matrix, **COMMON)
+        assert cm.config.budget == 0.0
+        assert cm.lists.is_hss()
+
+    def test_compress_fmm_has_sparse_correction(self, matrix):
+        cm = compress_fmm(matrix, budget=0.3, **COMMON)
+        assert cm.config.budget == pytest.approx(0.3)
+        assert not cm.lists.is_hss()
+
+    def test_default_config_used_when_none(self, matrix):
+        cm = compress(matrix)
+        assert cm.n == matrix.n
+
+
+class TestRun:
+    def test_run_returns_complete_result(self, matrix):
+        result = run(matrix, GOFMMConfig(budget=0.2, **COMMON), num_rhs=8)
+        assert isinstance(result, RunResult)
+        assert isinstance(result.report, CompressionReport)
+        assert result.compression_seconds > 0
+        assert result.evaluation_seconds > 0
+        assert 0 <= result.epsilon2 < 1
+        assert result.num_rhs == 8
+        assert result.average_rank > 0
+
+    def test_run_exact_error_option(self, matrix):
+        sampled = run(matrix, GOFMMConfig(budget=0.2, **COMMON), num_rhs=6, exact_error=False)
+        exact = run(matrix, GOFMMConfig(budget=0.2, **COMMON), num_rhs=6, exact_error=True)
+        # Both estimates describe the same compression; they agree to within a factor.
+        assert exact.epsilon2 == pytest.approx(sampled.epsilon2, rel=2.0, abs=1e-8)
+
+    def test_report_summary_is_readable(self, matrix):
+        result = run(matrix, GOFMMConfig(budget=0.1, **COMMON), num_rhs=4)
+        text = result.report.summary()
+        assert "compression:" in text
+        assert "avg rank" in text

@@ -1,0 +1,172 @@
+"""Unit tests for the Near/Far interaction lists (Algorithms 2.3–2.5)."""
+
+import numpy as np
+import pytest
+
+from repro import GOFMMConfig
+from repro.config import DistanceMetric
+from repro.core.distances import make_distance
+from repro.core.interactions import (
+    build_far_lists_paper,
+    build_far_lists_symmetric,
+    build_interaction_lists,
+    build_near_lists,
+    build_node_neighbor_lists,
+    coverage_matrix,
+)
+from repro.core.neighbors import all_nearest_neighbors
+from repro.core.tree import build_tree
+
+from ..conftest import make_gaussian_kernel_matrix
+
+
+def build_setup(n=240, budget=0.3, symmetrize=True, leaf_size=30, seed=0):
+    matrix = make_gaussian_kernel_matrix(n=n, d=3, bandwidth=1.0, seed=seed)
+    config = GOFMMConfig(
+        leaf_size=leaf_size,
+        max_rank=16,
+        neighbors=8,
+        budget=budget,
+        num_neighbor_trees=4,
+        distance=DistanceMetric.KERNEL,
+        symmetrize_lists=symmetrize,
+        seed=seed,
+    )
+    distance = make_distance(matrix, config.distance)
+    rng = np.random.default_rng(seed)
+    neighbors = all_nearest_neighbors(distance, config, rng=rng)
+    tree = build_tree(matrix.n, config, distance, rng=rng)
+    build_node_neighbor_lists(tree, neighbors, rng=rng)
+    return matrix, config, tree, neighbors
+
+
+class TestNodeNeighborLists:
+    def test_every_node_has_list(self):
+        _, _, tree, _ = build_setup()
+        for node in tree.nodes:
+            assert node.neighbor_list is not None
+            assert node.neighbor_list.size > 0
+
+    def test_leaf_list_contains_own_indices(self):
+        _, _, tree, neighbors = build_setup()
+        leaf = tree.leaves[0]
+        # Each index is its own nearest neighbor, so it must appear in N(leaf).
+        assert np.all(np.isin(leaf.indices, leaf.neighbor_list))
+
+    def test_internal_list_is_union_of_children(self):
+        _, _, tree, _ = build_setup()
+        for node in tree.nodes:
+            if node.is_leaf:
+                continue
+            left, right = node.children()
+            union = np.union1d(left.neighbor_list, right.neighbor_list)
+            assert np.all(np.isin(node.neighbor_list, union))
+
+
+class TestNearLists:
+    def test_leaf_always_near_itself(self):
+        _, config, tree, neighbors = build_setup()
+        near = build_near_lists(tree, neighbors, config)
+        for leaf in tree.leaves:
+            assert leaf.node_id in near[leaf.node_id]
+
+    def test_budget_zero_gives_hss(self):
+        _, config, tree, neighbors = build_setup(budget=0.0)
+        near = build_near_lists(tree, neighbors, config)
+        assert all(members == [leaf_id] for leaf_id, members in near.items())
+
+    def test_symmetry_enforced(self):
+        _, config, tree, neighbors = build_setup(budget=0.4, symmetrize=True)
+        near = build_near_lists(tree, neighbors, config)
+        for beta, members in near.items():
+            for alpha in members:
+                assert beta in near[alpha]
+
+    def test_budget_caps_list_size(self):
+        matrix, config, tree, neighbors = build_setup(budget=0.25, symmetrize=False)
+        near = build_near_lists(tree, neighbors, config)
+        cap = config.max_near_size(matrix.n)
+        for leaf_id, members in near.items():
+            assert len(members) <= cap + 1  # +1 for the leaf itself
+
+    def test_larger_budget_gives_no_fewer_near_pairs(self):
+        _, config_small, tree, neighbors = build_setup(budget=0.1, symmetrize=False)
+        near_small = build_near_lists(tree, neighbors, config_small)
+        near_large = build_near_lists(tree, neighbors, config_small.replace(budget=0.6))
+        total_small = sum(len(v) for v in near_small.values())
+        total_large = sum(len(v) for v in near_large.values())
+        assert total_large >= total_small
+
+    def test_near_members_are_leaves(self):
+        _, config, tree, neighbors = build_setup(budget=0.4)
+        near = build_near_lists(tree, neighbors, config)
+        for members in near.values():
+            for alpha in members:
+                assert tree.node(alpha).is_leaf
+
+
+class TestFarLists:
+    @pytest.mark.parametrize("builder", [build_far_lists_paper, build_far_lists_symmetric], ids=["paper", "dual-tree"])
+    def test_far_nodes_disjoint_from_owner(self, builder):
+        _, config, tree, neighbors = build_setup(budget=0.3)
+        near = build_near_lists(tree, neighbors, config)
+        far = builder(tree, near)
+        for node_id, members in far.items():
+            node = tree.node(node_id)
+            owned = set(node.indices.tolist())
+            for alpha_id in members:
+                alpha = tree.node(alpha_id)
+                assert owned.isdisjoint(alpha.indices.tolist())
+
+    def test_hss_far_lists_are_siblings(self):
+        _, config, tree, neighbors = build_setup(budget=0.0)
+        near = build_near_lists(tree, neighbors, config)
+        for far in (build_far_lists_paper(tree, near), build_far_lists_symmetric(tree, near)):
+            for node in tree.nodes:
+                if node.is_root:
+                    assert far[node.node_id] == []
+                else:
+                    sibling_id = [c.node_id for c in node.parent.children() if c.node_id != node.node_id][0]
+                    assert far[node.node_id] == [sibling_id]
+
+    def test_symmetric_builder_is_symmetric(self):
+        _, config, tree, neighbors = build_setup(budget=0.3, symmetrize=True)
+        near = build_near_lists(tree, neighbors, config)
+        far = build_far_lists_symmetric(tree, near)
+        for beta, members in far.items():
+            for alpha in members:
+                assert beta in far[alpha]
+
+    @pytest.mark.parametrize("budget", [0.0, 0.2, 0.5])
+    @pytest.mark.parametrize("symmetrize", [True, False])
+    def test_exactly_once_coverage(self, budget, symmetrize):
+        matrix, config, tree, neighbors = build_setup(budget=budget, symmetrize=symmetrize)
+        lists = build_interaction_lists(tree, neighbors, config)
+        coverage = coverage_matrix(tree, lists)
+        assert np.all(coverage == 1), "every ordered leaf pair must be covered exactly once"
+
+
+class TestInteractionListsBundle:
+    def test_lists_attached_to_nodes(self):
+        _, config, tree, neighbors = build_setup()
+        lists = build_interaction_lists(tree, neighbors, config)
+        for leaf in tree.leaves:
+            assert leaf.near == lists.near[leaf.node_id]
+        for node in tree.nodes:
+            assert node.far == lists.far[node.node_id]
+
+    def test_is_hss_flag(self):
+        _, config, tree, neighbors = build_setup(budget=0.0)
+        lists = build_interaction_lists(tree, neighbors, config)
+        assert lists.is_hss()
+        _, config2, tree2, neighbors2 = build_setup(budget=0.5)
+        lists2 = build_interaction_lists(tree2, neighbors2, config2)
+        assert not lists2.is_hss()
+
+    def test_no_neighbor_table_degenerates_to_hss(self):
+        config = GOFMMConfig(leaf_size=16, budget=0.5, distance=DistanceMetric.LEXICOGRAPHIC)
+        tree = build_tree(128, config, distance=None)
+        lists = build_interaction_lists(tree, None, config)
+        assert lists.is_hss()
+        coverage = coverage_matrix(tree, lists)
+        assert np.all(coverage == 1)

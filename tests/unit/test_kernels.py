@@ -1,0 +1,113 @@
+"""Unit tests for the kernel functions used by the K04–K10 and ML matrices."""
+
+import numpy as np
+import pytest
+
+from repro.matrices.kernels import (
+    CosineKernel,
+    GaussianKernel,
+    InverseMultiquadricKernel,
+    LaplaceKernel,
+    MaternKernel,
+    PolynomialKernel,
+    pairwise_sq_dists,
+)
+
+ALL_KERNELS = [
+    GaussianKernel(bandwidth=1.0),
+    GaussianKernel(bandwidth=0.3),
+    LaplaceKernel(bandwidth=1.0),
+    InverseMultiquadricKernel(shift=1.0, power=1.0),
+    InverseMultiquadricKernel(shift=0.5, power=2.0),
+    PolynomialKernel(gamma=0.5, coef0=1.0, degree=2),
+    CosineKernel(shift=1e-2),
+    MaternKernel(bandwidth=1.0),
+]
+
+
+def points(n=40, d=4, seed=0):
+    return np.random.default_rng(seed).standard_normal((n, d))
+
+
+class TestPairwiseSqDists:
+    def test_matches_direct_computation(self):
+        x = points(15, 3, 1)
+        y = points(12, 3, 2)
+        d2 = pairwise_sq_dists(x, y)
+        direct = ((x[:, None, :] - y[None, :, :]) ** 2).sum(axis=2)
+        assert np.allclose(d2, direct, atol=1e-10)
+
+    def test_non_negative(self):
+        x = points(30, 5, 3)
+        assert np.all(pairwise_sq_dists(x, x) >= 0.0)
+
+    def test_zero_on_diagonal(self):
+        x = points(20, 4, 4)
+        assert np.allclose(np.diag(pairwise_sq_dists(x, x)), 0.0, atol=1e-9)
+
+
+@pytest.mark.parametrize("kernel", ALL_KERNELS, ids=lambda k: type(k).__name__ + str(getattr(k, "bandwidth", "")))
+class TestKernelProperties:
+    def test_symmetry(self, kernel):
+        x = points(25, 4, 5)
+        block = kernel(x, x)
+        assert np.allclose(block, block.T, atol=1e-10)
+
+    def test_diagonal_consistent(self, kernel):
+        x = points(20, 4, 6)
+        block = kernel(x, x)
+        assert np.allclose(np.diag(block), kernel.diagonal(x), atol=1e-8)
+
+    def test_positive_semidefinite_on_sample(self, kernel):
+        x = points(30, 4, 7)
+        block = kernel(x, x)
+        eigenvalues = np.linalg.eigvalsh(0.5 * (block + block.T))
+        assert eigenvalues.min() > -1e-7 * max(1.0, abs(eigenvalues.max()))
+
+    def test_rectangular_shape(self, kernel):
+        x = points(8, 4, 8)
+        y = points(5, 4, 9)
+        assert kernel(x, y).shape == (8, 5)
+
+
+class TestSpecificValues:
+    def test_gaussian_at_zero_distance(self):
+        x = np.zeros((1, 3))
+        assert GaussianKernel(2.0)(x, x)[0, 0] == pytest.approx(1.0)
+
+    def test_gaussian_bandwidth_effect(self):
+        x = np.zeros((1, 2))
+        y = np.ones((1, 2))
+        narrow = GaussianKernel(0.1)(x, y)[0, 0]
+        wide = GaussianKernel(10.0)(x, y)[0, 0]
+        assert narrow < 1e-10
+        assert wide > 0.98
+
+    def test_laplace_decay_slower_than_gaussian(self):
+        x = np.zeros((1, 1))
+        y = np.full((1, 1), 3.0)
+        assert LaplaceKernel(1.0)(x, y)[0, 0] > GaussianKernel(1.0)(x, y)[0, 0]
+
+    def test_inverse_multiquadric_diagonal(self):
+        k = InverseMultiquadricKernel(shift=2.0, power=1.0)
+        x = points(5, 3, 10)
+        assert np.allclose(k.diagonal(x), 0.5)
+
+    def test_polynomial_known_value(self):
+        k = PolynomialKernel(gamma=1.0, coef0=1.0, degree=2)
+        x = np.array([[1.0, 2.0]])
+        y = np.array([[3.0, 4.0]])
+        assert k(x, y)[0, 0] == pytest.approx((1 * 3 + 2 * 4 + 1.0) ** 2)
+
+    def test_cosine_bounded(self):
+        k = CosineKernel()
+        x = points(20, 6, 11)
+        block = k(x, x)
+        assert np.all(block <= 1.0 + 1e-10)
+        assert np.all(block >= -1.0 - 1e-10)
+
+    def test_cosine_handles_zero_vector(self):
+        k = CosineKernel()
+        x = np.vstack([np.zeros(3), np.ones(3)])
+        block = k(x, x)
+        assert np.all(np.isfinite(block))

@@ -1,0 +1,78 @@
+"""Unit tests for adaptive cross approximation (HODLR's low-rank builder)."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import adaptive_cross_approximation
+from repro.linalg.aca import aca_from_dense
+
+
+def low_rank(p, n, rank, seed=0):
+    gen = np.random.default_rng(seed)
+    return gen.standard_normal((p, rank)) @ gen.standard_normal((rank, n))
+
+
+class TestACA:
+    def test_exact_recovery_of_low_rank(self):
+        a = low_rank(50, 40, rank=6, seed=0)
+        result = aca_from_dense(a, max_rank=20, tolerance=1e-12)
+        assert result.rank <= 10
+        err = np.linalg.norm(result.reconstruct() - a) / np.linalg.norm(a)
+        assert err < 1e-8
+
+    def test_smooth_kernel_block_compresses(self):
+        # 1/(1+|x-y|) interaction between two separated clusters is numerically low rank.
+        x = np.linspace(0.0, 1.0, 80)
+        y = np.linspace(5.0, 6.0, 60)
+        block = 1.0 / (1.0 + np.abs(x[:, None] - y[None, :]))
+        result = aca_from_dense(block, max_rank=30, tolerance=1e-10)
+        assert result.rank < 20
+        err = np.linalg.norm(result.reconstruct() - block) / np.linalg.norm(block)
+        assert err < 1e-8
+
+    def test_rank_capped(self):
+        gen = np.random.default_rng(1)
+        a = gen.standard_normal((30, 30))
+        result = aca_from_dense(a, max_rank=5, tolerance=1e-15)
+        assert result.rank == 5
+
+    def test_entry_access_is_partial(self):
+        # ACA should touch far fewer entries than the whole block.
+        calls = {"rows": 0, "cols": 0}
+        a = low_rank(200, 150, rank=4, seed=2)
+
+        def row_fn(i):
+            calls["rows"] += 1
+            return a[i]
+
+        def col_fn(j):
+            calls["cols"] += 1
+            return a[:, j]
+
+        result = adaptive_cross_approximation(row_fn, col_fn, a.shape, max_rank=20, tolerance=1e-10)
+        assert result.rank <= 8
+        # At most one row + one column per cross (plus a few restarts).
+        assert calls["rows"] <= result.rank + 5
+        assert calls["cols"] <= result.rank + 5
+
+    def test_zero_block(self):
+        result = aca_from_dense(np.zeros((12, 9)), max_rank=5)
+        assert result.rank <= 1
+        assert np.allclose(result.reconstruct(), 0.0)
+
+    def test_empty_block(self):
+        result = aca_from_dense(np.zeros((0, 5)), max_rank=3)
+        assert result.rank == 0
+        assert result.reconstruct().shape == (0, 5)
+
+    def test_sampled_indices_are_unique(self):
+        a = low_rank(40, 35, rank=5, seed=3)
+        result = aca_from_dense(a, max_rank=10, tolerance=1e-12)
+        assert len(np.unique(result.rows_sampled)) == len(result.rows_sampled)
+        assert len(np.unique(result.cols_sampled)) == len(result.cols_sampled)
+
+    def test_tolerance_truncates_early(self):
+        a = low_rank(60, 60, rank=30, seed=4)
+        loose = aca_from_dense(a, max_rank=30, tolerance=1e-1)
+        tight = aca_from_dense(a, max_rank=30, tolerance=1e-10)
+        assert loose.rank <= tight.rank

@@ -1,0 +1,111 @@
+"""Unit tests for the interpolative decomposition (pivoted-QR ID)."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import interpolative_decomposition
+from repro.linalg.id import id_reconstruction
+
+
+def low_rank_matrix(p, n, rank, seed=0, noise=0.0):
+    gen = np.random.default_rng(seed)
+    a = gen.standard_normal((p, rank)) @ gen.standard_normal((rank, n))
+    if noise:
+        a += noise * gen.standard_normal((p, n))
+    return a
+
+
+class TestExactRank:
+    def test_exact_low_rank_recovery(self):
+        a = low_rank_matrix(60, 40, rank=7, seed=1)
+        decomposition = interpolative_decomposition(a, max_rank=20, tolerance=1e-10)
+        assert decomposition.rank == 7
+        err = np.linalg.norm(id_reconstruction(a, decomposition) - a) / np.linalg.norm(a)
+        assert err < 1e-10
+
+    def test_full_rank_matrix_uses_cap(self):
+        gen = np.random.default_rng(2)
+        a = gen.standard_normal((50, 30))
+        decomposition = interpolative_decomposition(a, max_rank=10, tolerance=1e-15)
+        assert decomposition.rank == 10
+
+    def test_identity_coefficients_on_skeleton(self):
+        a = low_rank_matrix(40, 25, rank=5, seed=3)
+        decomposition = interpolative_decomposition(a, max_rank=10, tolerance=1e-12)
+        sub = decomposition.coeffs[:, decomposition.skeleton]
+        assert np.allclose(sub, np.eye(decomposition.rank), atol=1e-10)
+
+
+class TestAdaptiveRank:
+    def test_tolerance_controls_rank(self):
+        # Singular values decay geometrically; looser tolerance => smaller rank.
+        gen = np.random.default_rng(4)
+        u, _ = np.linalg.qr(gen.standard_normal((80, 80)))
+        v, _ = np.linalg.qr(gen.standard_normal((50, 50)))
+        s = np.array([10.0 ** (-k / 2) for k in range(50)])
+        a = u[:, :50] @ np.diag(s) @ v.T
+        loose = interpolative_decomposition(a, max_rank=50, tolerance=1e-2)
+        tight = interpolative_decomposition(a, max_rank=50, tolerance=1e-8)
+        assert loose.rank < tight.rank
+
+    def test_tighter_tolerance_lowers_error(self):
+        a = low_rank_matrix(60, 40, rank=40, seed=5, noise=0.0)
+        errs = []
+        for tol in (1e-1, 1e-3, 1e-6):
+            dec = interpolative_decomposition(a, max_rank=40, tolerance=tol)
+            errs.append(np.linalg.norm(id_reconstruction(a, dec) - a) / np.linalg.norm(a))
+        assert errs[0] >= errs[1] >= errs[2]
+
+    def test_non_adaptive_uses_max_rank(self):
+        a = low_rank_matrix(30, 20, rank=3, seed=6)
+        dec = interpolative_decomposition(a, max_rank=10, tolerance=1e-1, adaptive=False)
+        assert dec.rank == 10
+
+    def test_error_bounded_by_trailing_singular_values(self):
+        gen = np.random.default_rng(7)
+        a = gen.standard_normal((64, 48))
+        dec = interpolative_decomposition(a, max_rank=20, tolerance=0.0, adaptive=False)
+        err = np.linalg.norm(id_reconstruction(a, dec) - a, 2)
+        sigma = np.linalg.svd(a, compute_uv=False)
+        # Column ID error is bounded by a modest polynomial factor of sigma_{k+1}.
+        assert err <= 50.0 * sigma[20]
+
+
+class TestEdgeCases:
+    def test_zero_matrix(self):
+        dec = interpolative_decomposition(np.zeros((10, 6)), max_rank=4, tolerance=1e-8)
+        assert dec.rank == 0
+        assert dec.coeffs.shape == (0, 6)
+
+    def test_empty_matrix(self):
+        dec = interpolative_decomposition(np.zeros((0, 5)), max_rank=4)
+        assert dec.rank == 0
+
+    def test_no_columns(self):
+        dec = interpolative_decomposition(np.zeros((5, 0)), max_rank=4)
+        assert dec.rank == 0
+        assert dec.coeffs.shape[1] == 0
+
+    def test_single_column(self):
+        a = np.arange(1.0, 6.0).reshape(5, 1)
+        dec = interpolative_decomposition(a, max_rank=3, tolerance=1e-10)
+        assert dec.rank == 1
+        assert np.allclose(id_reconstruction(a, dec), a)
+
+    def test_rank_one_cap(self):
+        a = low_rank_matrix(20, 15, rank=6, seed=8)
+        dec = interpolative_decomposition(a, max_rank=1, tolerance=1e-12)
+        assert dec.rank == 1
+
+    def test_skeleton_indices_are_valid_columns(self):
+        a = low_rank_matrix(30, 12, rank=4, seed=9)
+        dec = interpolative_decomposition(a, max_rank=6, tolerance=1e-10)
+        assert np.all(dec.skeleton >= 0)
+        assert np.all(dec.skeleton < 12)
+        assert len(np.unique(dec.skeleton)) == dec.rank
+
+    def test_reconstruct_method(self):
+        a = low_rank_matrix(25, 18, rank=5, seed=10)
+        dec = interpolative_decomposition(a, max_rank=8, tolerance=1e-12)
+        recon = dec.reconstruct(a[:, dec.skeleton])
+        assert np.allclose(recon, a, atol=1e-8)

@@ -1,0 +1,61 @@
+"""Unit tests for the norm / error estimators behind the ε2 metric."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import relative_frobenius_error, sampled_spectral_norm
+from repro.linalg.norms import power_method_norm, sampled_relative_error
+
+
+class TestRelativeFrobeniusError:
+    def test_zero_error(self):
+        a = np.random.default_rng(0).standard_normal((10, 3))
+        assert relative_frobenius_error(a, a) == 0.0
+
+    def test_known_value(self):
+        exact = np.ones((4, 1))
+        approx = np.ones((4, 1)) * 1.5
+        assert relative_frobenius_error(approx, exact) == pytest.approx(0.5)
+
+    def test_zero_denominator(self):
+        approx = np.ones((3, 1))
+        assert relative_frobenius_error(approx, np.zeros((3, 1))) == pytest.approx(np.sqrt(3.0))
+
+
+class TestSampledRelativeError:
+    def test_matches_exact_when_all_rows_sampled(self):
+        gen = np.random.default_rng(1)
+        k = gen.standard_normal((50, 50))
+        k = k @ k.T
+        w = gen.standard_normal((50, 4))
+        exact = k @ w
+        approx = exact + 1e-3 * gen.standard_normal(exact.shape)
+        sampled = sampled_relative_error(approx, lambda rows: k[rows], w, num_samples=50, rng=gen)
+        full = relative_frobenius_error(approx, exact)
+        assert sampled == pytest.approx(full, rel=1e-12)
+
+    def test_subsampled_error_close_to_full(self):
+        gen = np.random.default_rng(2)
+        k = gen.standard_normal((200, 200))
+        k = k @ k.T
+        w = gen.standard_normal((200, 2))
+        exact = k @ w
+        approx = exact * (1.0 + 1e-4)
+        sampled = sampled_relative_error(approx, lambda rows: k[rows], w, num_samples=50, rng=gen)
+        assert sampled == pytest.approx(1e-4, rel=0.2)
+
+
+class TestPowerMethod:
+    def test_spectral_norm_of_diagonal(self):
+        a = np.diag([5.0, 1.0, 0.1])
+        assert sampled_spectral_norm(a, iterations=50) == pytest.approx(5.0, rel=1e-6)
+
+    def test_matches_numpy_two_norm(self):
+        gen = np.random.default_rng(3)
+        a = gen.standard_normal((40, 40))
+        a = a @ a.T
+        estimate = sampled_spectral_norm(a, iterations=100, rng=gen)
+        assert estimate == pytest.approx(np.linalg.norm(a, 2), rel=1e-4)
+
+    def test_zero_operator(self):
+        assert power_method_norm(lambda x: np.zeros_like(x), 7) == 0.0

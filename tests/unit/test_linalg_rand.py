@@ -1,0 +1,74 @@
+"""Unit tests for the randomized global low-rank approximations."""
+
+import numpy as np
+
+from repro.linalg import nystrom_approximation, randomized_id, randomized_range_finder
+from repro.linalg.rand import randomized_svd
+
+
+def spd_with_decay(n, decay=1.0, seed=0):
+    gen = np.random.default_rng(seed)
+    q, _ = np.linalg.qr(gen.standard_normal((n, n)))
+    eigenvalues = np.exp(-decay * np.arange(n))
+    return (q * eigenvalues) @ q.T
+
+
+class TestRangeFinder:
+    def test_orthonormal_basis(self):
+        a = spd_with_decay(60, decay=0.3, seed=0)
+        q = randomized_range_finder(a, rank=10, rng=np.random.default_rng(0))
+        assert q.shape == (60, 10)
+        assert np.allclose(q.T @ q, np.eye(10), atol=1e-10)
+
+    def test_captures_dominant_range(self):
+        a = spd_with_decay(80, decay=0.5, seed=1)
+        q = randomized_range_finder(a, rank=15, rng=np.random.default_rng(1))
+        residual = a - q @ (q.T @ a)
+        assert np.linalg.norm(residual) / np.linalg.norm(a) < 1e-3
+
+
+class TestRandomizedSVD:
+    def test_matches_exact_svd_for_low_rank(self):
+        gen = np.random.default_rng(2)
+        a = gen.standard_normal((70, 20)) @ gen.standard_normal((20, 50))
+        u, s, vt = randomized_svd(a, rank=20, rng=gen)
+        approx = u @ np.diag(s) @ vt
+        assert np.linalg.norm(approx - a) / np.linalg.norm(a) < 1e-8
+
+    def test_singular_values_descending(self):
+        a = spd_with_decay(50, decay=0.2, seed=3)
+        _, s, _ = randomized_svd(a, rank=10, rng=np.random.default_rng(3))
+        assert np.all(np.diff(s) <= 1e-12)
+
+
+class TestRandomizedID:
+    def test_reconstruction_from_sketch(self):
+        gen = np.random.default_rng(4)
+        a = gen.standard_normal((100, 15)) @ gen.standard_normal((15, 40))
+        dec = randomized_id(a, rank=15, rng=gen)
+        assert dec.rank <= 15
+        recon = a[:, dec.skeleton] @ dec.coeffs
+        assert np.linalg.norm(recon - a) / np.linalg.norm(a) < 1e-6
+
+
+class TestNystrom:
+    def test_psd_and_accuracy_with_good_landmarks(self):
+        a = spd_with_decay(60, decay=0.4, seed=5)
+        landmarks = np.arange(0, 60, 2)
+        approx = nystrom_approximation(a, landmarks)
+        dense = approx.reconstruct()
+        # Approximation of an SPD matrix via the symmetric square root stays PSD.
+        eigenvalues = np.linalg.eigvalsh(0.5 * (dense + dense.T))
+        assert eigenvalues.min() > -1e-8
+        assert np.linalg.norm(dense - a) / np.linalg.norm(a) < 1e-2
+
+    def test_matvec_matches_reconstruction(self):
+        a = spd_with_decay(40, decay=0.3, seed=6)
+        approx = nystrom_approximation(a, np.arange(0, 40, 4))
+        w = np.random.default_rng(0).standard_normal(40)
+        assert np.allclose(approx.matvec(w), approx.reconstruct() @ w, atol=1e-10)
+
+    def test_rank_property(self):
+        a = spd_with_decay(30, decay=0.3, seed=7)
+        approx = nystrom_approximation(a, np.arange(5))
+        assert approx.rank == 5

@@ -1,0 +1,135 @@
+"""Unit tests for the SPDMatrix entry-evaluation interface."""
+
+import numpy as np
+import pytest
+
+from repro import NotSPDError
+from repro.matrices import CallbackMatrix, DenseSPD, KernelMatrix
+from repro.matrices.base import as_spd_matrix
+from repro.matrices.kernels import GaussianKernel
+
+
+def random_spd(n, seed=0):
+    gen = np.random.default_rng(seed)
+    a = gen.standard_normal((n, n))
+    return a @ a.T + n * np.eye(n)
+
+
+class TestDenseSPD:
+    def test_entries_block(self):
+        a = random_spd(20)
+        m = DenseSPD(a)
+        rows = np.array([0, 3, 7])
+        cols = np.array([1, 2])
+        assert np.allclose(m.entries(rows, cols), a[np.ix_(rows, cols)])
+
+    def test_diagonal(self):
+        a = random_spd(15)
+        m = DenseSPD(a)
+        assert np.allclose(m.diagonal(), np.diag(a))
+        assert np.allclose(m.diagonal(np.array([2, 5])), np.diag(a)[[2, 5]])
+
+    def test_rejects_nonsymmetric(self):
+        a = random_spd(10)
+        a[0, 1] += 1.0
+        with pytest.raises(NotSPDError):
+            DenseSPD(a)
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(NotSPDError):
+            DenseSPD(np.zeros((3, 4)))
+
+    def test_matvec_matches_dense(self):
+        a = random_spd(12)
+        m = DenseSPD(a)
+        w = np.random.default_rng(1).standard_normal((12, 2))
+        assert np.allclose(m.matvec(w), a @ w)
+
+    def test_entry_counter(self):
+        m = DenseSPD(random_spd(10))
+        m.reset_counter()
+        m.entries(np.arange(3), np.arange(4))
+        assert m.entry_evaluations == 12
+        m.diagonal(np.arange(5))
+        assert m.entry_evaluations == 17
+
+    def test_validate_spd_passes(self):
+        DenseSPD(random_spd(30)).validate_spd()
+
+    def test_validate_spd_fails_on_negative_diagonal(self):
+        a = random_spd(10)
+        a[3, 3] = -1.0
+        m = DenseSPD(a)
+        with pytest.raises(NotSPDError):
+            m.validate_spd(sample=10)
+
+    def test_scalar_index(self):
+        a = random_spd(8)
+        m = DenseSPD(a)
+        assert m.entries(2, 3)[0, 0] == pytest.approx(a[2, 3])
+
+
+class TestKernelMatrix:
+    def test_matches_explicit_kernel(self):
+        gen = np.random.default_rng(2)
+        pts = gen.standard_normal((30, 3))
+        kernel = GaussianKernel(bandwidth=1.2)
+        m = KernelMatrix(pts, kernel)
+        rows = np.array([0, 5, 9])
+        cols = np.array([1, 2, 3, 4])
+        assert np.allclose(m.entries(rows, cols), kernel(pts[rows], pts[cols]))
+
+    def test_regularization_only_on_diagonal(self):
+        gen = np.random.default_rng(3)
+        pts = gen.standard_normal((10, 2))
+        m = KernelMatrix(pts, GaussianKernel(), regularization=0.5)
+        block = m.entries(np.arange(10), np.arange(10))
+        assert block[0, 0] == pytest.approx(1.5)
+        assert block[0, 1] < 1.5
+
+    def test_diagonal_uses_kernel_diagonal(self):
+        pts = np.random.default_rng(4).standard_normal((12, 2))
+        m = KernelMatrix(pts, GaussianKernel(), regularization=0.25)
+        assert np.allclose(m.diagonal(), 1.25)
+
+    def test_coordinates_exposed(self):
+        pts = np.random.default_rng(5).standard_normal((7, 4))
+        m = KernelMatrix(pts, GaussianKernel())
+        assert m.coordinates is pts or np.allclose(m.coordinates, pts)
+
+    def test_rejects_1d_points(self):
+        with pytest.raises(NotSPDError):
+            KernelMatrix(np.arange(5.0), GaussianKernel())
+
+
+class TestCallbackMatrix:
+    def test_callback_is_used(self):
+        a = random_spd(16, seed=6)
+        m = CallbackMatrix(lambda rows, cols: a[np.ix_(rows, cols)], n=16)
+        assert np.allclose(m.to_dense(), a)
+        assert m.coordinates is None
+
+    def test_rejects_bad_dimension(self):
+        with pytest.raises(NotSPDError):
+            CallbackMatrix(lambda r, c: np.zeros((len(r), len(c))), n=0)
+
+
+class TestCoercion:
+    def test_numpy_array(self):
+        a = random_spd(9, seed=7)
+        m = as_spd_matrix(a)
+        assert isinstance(m, DenseSPD)
+        assert m.n == 9
+
+    def test_passthrough(self):
+        m = DenseSPD(random_spd(6, seed=8))
+        assert as_spd_matrix(m) is m
+
+    def test_callback_tuple(self):
+        a = random_spd(5, seed=9)
+        m = as_spd_matrix((lambda r, c: a[np.ix_(r, c)], 5))
+        assert isinstance(m, CallbackMatrix)
+
+    def test_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            as_spd_matrix("not a matrix")

@@ -1,0 +1,97 @@
+"""Unit tests for Morton IDs (tree-path codes)."""
+
+import pytest
+
+from repro.core.morton import MortonID, ROOT_MORTON
+
+
+class TestConstruction:
+    def test_root(self):
+        assert ROOT_MORTON.level == 0
+        assert ROOT_MORTON.bits == 0
+        assert ROOT_MORTON.path() == ""
+
+    def test_children(self):
+        left = ROOT_MORTON.left_child()
+        right = ROOT_MORTON.right_child()
+        assert (left.level, left.bits) == (1, 0)
+        assert (right.level, right.bits) == (1, 1)
+
+    def test_path_string(self):
+        node = ROOT_MORTON.right_child().left_child().right_child()
+        assert node.path() == "101"
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            MortonID(level=2, bits=4)
+        with pytest.raises(ValueError):
+            MortonID(level=-1, bits=0)
+
+
+class TestNavigation:
+    def test_parent_inverts_child(self):
+        node = ROOT_MORTON.left_child().right_child()
+        assert node.parent() == ROOT_MORTON.left_child()
+        assert node.parent().parent() == ROOT_MORTON
+
+    def test_root_has_no_parent_or_sibling(self):
+        with pytest.raises(ValueError):
+            ROOT_MORTON.parent()
+        with pytest.raises(ValueError):
+            ROOT_MORTON.sibling()
+
+    def test_sibling(self):
+        left = ROOT_MORTON.left_child()
+        assert left.sibling() == ROOT_MORTON.right_child()
+        assert left.sibling().sibling() == left
+
+    def test_ancestor_at_level(self):
+        node = ROOT_MORTON.right_child().right_child().left_child()
+        assert node.ancestor_at_level(0) == ROOT_MORTON
+        assert node.ancestor_at_level(2) == ROOT_MORTON.right_child().right_child()
+        assert node.ancestor_at_level(3) == node
+
+    def test_ancestor_at_deeper_level_rejected(self):
+        with pytest.raises(ValueError):
+            ROOT_MORTON.left_child().ancestor_at_level(5)
+
+
+class TestAncestry:
+    def test_root_is_ancestor_of_everything(self):
+        node = ROOT_MORTON.left_child().right_child().right_child()
+        assert ROOT_MORTON.is_ancestor_of(node)
+        assert node.is_descendant_of(ROOT_MORTON)
+
+    def test_self_ancestry(self):
+        node = ROOT_MORTON.right_child().left_child()
+        assert node.is_ancestor_of(node)
+
+    def test_non_ancestor(self):
+        left = ROOT_MORTON.left_child()
+        right = ROOT_MORTON.right_child()
+        assert not left.is_ancestor_of(right)
+        assert not right.is_ancestor_of(left.left_child())
+
+    def test_deeper_node_never_ancestor_of_shallower(self):
+        deep = ROOT_MORTON.left_child().left_child().left_child()
+        assert not deep.is_ancestor_of(ROOT_MORTON.left_child())
+
+    def test_ancestry_distinguishes_paths(self):
+        a = ROOT_MORTON.left_child().right_child()   # "01"
+        b = ROOT_MORTON.right_child().left_child()   # "10"
+        descendant_of_a = a.left_child()
+        assert a.is_ancestor_of(descendant_of_a)
+        assert not b.is_ancestor_of(descendant_of_a)
+
+
+class TestOrderingAndHashing:
+    def test_hashable_and_equal(self):
+        a = ROOT_MORTON.left_child().right_child()
+        b = MortonID(level=2, bits=1)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_total_order_exists(self):
+        nodes = [ROOT_MORTON, ROOT_MORTON.left_child(), ROOT_MORTON.right_child()]
+        assert sorted(nodes)[0] == ROOT_MORTON

@@ -1,0 +1,104 @@
+"""Unit tests for the iterative randomized-projection-tree neighbor search."""
+
+import numpy as np
+import pytest
+
+from repro import GOFMMConfig
+from repro.config import DistanceMetric
+from repro.core.distances import GeometricDistance, make_distance
+from repro.core.neighbors import all_nearest_neighbors, exhaustive_neighbors
+
+from ..conftest import make_gaussian_kernel_matrix
+
+
+@pytest.fixture(scope="module")
+def geometric_setup():
+    pts = np.random.default_rng(0).standard_normal((300, 3))
+    return pts, GeometricDistance(pts)
+
+
+class TestExhaustiveSearch:
+    def test_self_is_nearest(self, geometric_setup):
+        _, distance = geometric_setup
+        table = exhaustive_neighbors(distance, kappa=5)
+        assert np.array_equal(table.indices[:, 0], np.arange(300))
+        assert np.allclose(table.distances[:, 0], 0.0)
+
+    def test_distances_sorted(self, geometric_setup):
+        _, distance = geometric_setup
+        table = exhaustive_neighbors(distance, kappa=8)
+        assert np.all(np.diff(table.distances, axis=1) >= -1e-12)
+
+    def test_matches_bruteforce_numpy(self, geometric_setup):
+        pts, distance = geometric_setup
+        table = exhaustive_neighbors(distance, kappa=4)
+        d2 = ((pts[:, None, :] - pts[None, :, :]) ** 2).sum(axis=2)
+        expected = np.argsort(d2, axis=1)[:, :4]
+        # Compare as sets per row (ties may be ordered differently).
+        for i in range(0, 300, 29):
+            assert set(table.indices[i]) == set(expected[i])
+
+    def test_kappa_capped_at_n(self):
+        pts = np.random.default_rng(1).standard_normal((6, 2))
+        table = exhaustive_neighbors(GeometricDistance(pts), kappa=10)
+        assert table.indices.shape == (6, 6)
+
+
+class TestIterativeSearch:
+    def test_high_recall_against_exact(self, geometric_setup):
+        _, distance = geometric_setup
+        config = GOFMMConfig(leaf_size=32, neighbors=8, num_neighbor_trees=10, distance=DistanceMetric.GEOMETRIC)
+        approx = all_nearest_neighbors(distance, config, rng=np.random.default_rng(0))
+        exact = exhaustive_neighbors(distance, kappa=8)
+        assert approx.recall_against(exact) > 0.6
+
+    def test_recall_improves_with_iterations(self, geometric_setup):
+        _, distance = geometric_setup
+        exact = exhaustive_neighbors(distance, kappa=8)
+        recalls = []
+        for trees in (1, 8):
+            config = GOFMMConfig(
+                leaf_size=32,
+                neighbors=8,
+                num_neighbor_trees=trees,
+                neighbor_accuracy_target=0.999,
+                distance=DistanceMetric.GEOMETRIC,
+            )
+            table = all_nearest_neighbors(distance, config, rng=np.random.default_rng(1))
+            recalls.append(table.recall_against(exact))
+        assert recalls[1] >= recalls[0]
+
+    def test_exact_when_single_leaf(self, geometric_setup):
+        _, distance = geometric_setup
+        config = GOFMMConfig(leaf_size=512, neighbors=6, distance=DistanceMetric.GEOMETRIC)
+        table = all_nearest_neighbors(distance, config)
+        exact = exhaustive_neighbors(distance, kappa=6)
+        assert table.recall_against(exact) == pytest.approx(1.0)
+
+    def test_self_always_included(self, geometric_setup):
+        _, distance = geometric_setup
+        config = GOFMMConfig(leaf_size=32, neighbors=4, num_neighbor_trees=3, distance=DistanceMetric.GEOMETRIC)
+        table = all_nearest_neighbors(distance, config)
+        for i in range(0, 300, 37):
+            assert i in table.indices[i]
+
+    def test_neighbor_indices_in_range(self, geometric_setup):
+        _, distance = geometric_setup
+        config = GOFMMConfig(leaf_size=32, neighbors=4, num_neighbor_trees=2, distance=DistanceMetric.GEOMETRIC)
+        table = all_nearest_neighbors(distance, config)
+        assert table.indices.min() >= 0
+        assert table.indices.max() < 300
+
+    def test_works_with_gram_distance(self):
+        matrix = make_gaussian_kernel_matrix(n=150, d=3, seed=2)
+        config = GOFMMConfig(leaf_size=32, neighbors=6, num_neighbor_trees=5, distance=DistanceMetric.KERNEL)
+        distance = make_distance(matrix, config.distance)
+        table = all_nearest_neighbors(distance, config)
+        exact = exhaustive_neighbors(distance, kappa=6)
+        assert table.recall_against(exact) > 0.5
+
+    def test_iteration_count_reported(self, geometric_setup):
+        _, distance = geometric_setup
+        config = GOFMMConfig(leaf_size=32, neighbors=4, num_neighbor_trees=6, distance=DistanceMetric.GEOMETRIC)
+        table = all_nearest_neighbors(distance, config)
+        assert 1 <= table.iterations <= 6

@@ -1,0 +1,43 @@
+"""Unit tests for the plain-text reporting helpers."""
+
+from repro.reporting import format_scaling, format_series, format_table
+
+
+class TestFormatTable:
+    def test_contains_headers_and_values(self):
+        text = format_table(["name", "eps2"], [["K02", 1.2e-5], ["G03", 0.5]], title="demo")
+        assert "demo" in text
+        assert "name" in text and "eps2" in text
+        assert "K02" in text and "1.20e-05" in text
+
+    def test_column_alignment(self):
+        text = format_table(["a", "b"], [["x", 1], ["longer", 2]])
+        lines = text.splitlines()
+        assert len({line.index("|") for line in lines if "|" in line}) == 1
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestFormatSeries:
+    def test_pairs_rendered(self):
+        text = format_series("gofmm", [1024, 2048], [0.1, 0.2])
+        assert text.startswith("gofmm:")
+        assert "1024" in text and "0.2" in text
+
+
+class TestFormatScaling:
+    def test_quadratic_slope(self):
+        xs = [1000, 2000, 4000]
+        ys = [1.0, 4.0, 16.0]
+        text = format_scaling(xs, ys)
+        assert "2.00" in text
+
+    def test_linear_slope(self):
+        xs = [1000, 2000, 4000]
+        ys = [1.0, 2.0, 4.0]
+        assert "1.00" in format_scaling(xs, ys)
+
+    def test_handles_zero_values(self):
+        assert "nan" in format_scaling([1, 2], [0.0, 1.0])

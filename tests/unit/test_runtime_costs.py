@@ -1,0 +1,73 @@
+"""Unit tests for the Table 2 cost model."""
+
+import pytest
+
+from repro.runtime import CostModel
+
+
+@pytest.fixture()
+def cost():
+    return CostModel(leaf_size=512, rank=256, num_rhs=4, point_dim=6)
+
+
+class TestFlopFormulas:
+    def test_table2_values(self, cost):
+        m, s, r, d = 512, 256, 4, 6
+        assert cost.spli(1000) == 1000
+        assert cost.ann() == m**2
+        assert cost.skel() == 2 * s**3 + 2 * m**3
+        assert cost.coef() == s**3
+        assert cost.n2s(is_leaf=True) == 2 * m * s * r
+        assert cost.n2s(is_leaf=False) == 2 * s**2 * r
+        assert cost.s2n(is_leaf=True) == cost.n2s(is_leaf=True)
+        assert cost.s2s(far_size=3) == 2 * s**2 * r * 3
+        assert cost.l2l(near_size=5) == 2 * m**2 * r * 5
+        assert cost.kba(near_size=2) == m**2 * 2 * d
+        assert cost.skba(far_size=7) == d * s**2 * 7
+
+    def test_generic_dispatch_matches_specific(self, cost):
+        assert cost.flops("N2S", is_leaf=True) == cost.n2s(True)
+        assert cost.flops("S2S", far_size=2) == cost.s2s(2)
+        assert cost.flops("L2L", near_size=1) == cost.l2l(1)
+        assert cost.flops("SPLI", node_size=77) == 77
+
+    def test_unknown_kind_rejected(self, cost):
+        with pytest.raises(KeyError):
+            cost.flops("NOPE")
+
+    def test_empty_lists_cost_nothing(self, cost):
+        assert cost.s2s(0) == 0.0
+        assert cost.l2l(0) == 0.0
+
+
+class TestClassification:
+    def test_memory_bound_kinds(self):
+        assert CostModel.is_memory_bound("SPLI")
+        assert CostModel.is_memory_bound("ANN")
+        assert not CostModel.is_memory_bound("L2L")
+        assert not CostModel.is_memory_bound("SKEL")
+
+    def test_gpu_eligible_kinds(self):
+        assert CostModel.is_gpu_eligible("L2L")
+        assert CostModel.is_gpu_eligible("S2S")
+        assert not CostModel.is_gpu_eligible("SKEL")
+
+    def test_bytes_moved_positive(self, cost):
+        for kind in ("SPLI", "ANN", "KBA", "SKBA", "N2S"):
+            assert cost.bytes_moved(kind, node_size=100, near_size=2, far_size=2) > 0
+
+
+class TestScaling:
+    def test_cost_scales_with_rhs(self):
+        c1 = CostModel(leaf_size=256, rank=128, num_rhs=1)
+        c8 = CostModel(leaf_size=256, rank=128, num_rhs=8)
+        assert c8.l2l(1) == 8 * c1.l2l(1)
+        assert c8.n2s(True) == 8 * c1.n2s(True)
+        # Compression tasks do not depend on the number of right-hand sides.
+        assert c8.skel() == c1.skel()
+
+    def test_cost_scales_with_rank(self):
+        small = CostModel(leaf_size=256, rank=64)
+        large = CostModel(leaf_size=256, rank=128)
+        assert large.coef() == 8 * small.coef()
+        assert large.s2s(1) == 4 * small.s2s(1)

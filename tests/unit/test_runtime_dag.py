@@ -1,0 +1,125 @@
+"""Unit tests for the symbolic-traversal DAG builders."""
+
+import numpy as np
+import pytest
+
+from repro import GOFMMConfig, compress
+from repro.config import DistanceMetric
+from repro.runtime import CostModel, build_compression_dag, build_evaluation_dag
+
+from ..conftest import make_gaussian_kernel_matrix
+
+
+@pytest.fixture(scope="module")
+def compressed():
+    matrix = make_gaussian_kernel_matrix(n=200, d=3, bandwidth=1.2, seed=0)
+    config = GOFMMConfig(
+        leaf_size=25, max_rank=20, tolerance=1e-7, neighbors=6,
+        budget=0.3, num_neighbor_trees=3, distance=DistanceMetric.KERNEL, seed=0,
+    )
+    return compress(matrix, config)
+
+
+@pytest.fixture(scope="module")
+def cost():
+    return CostModel(leaf_size=25, rank=20, num_rhs=4)
+
+
+class TestEvaluationDAG:
+    def test_task_families_present(self, compressed, cost):
+        graph = build_evaluation_dag(compressed.tree, cost)
+        assert graph.kinds() == {"N2S", "S2S", "S2N", "L2L"}
+
+    def test_task_counts(self, compressed, cost):
+        graph = build_evaluation_dag(compressed.tree, cost)
+        tree = compressed.tree
+        non_root = len(tree.nodes) - 1
+        assert len(graph.tasks_of_kind("N2S")) == non_root
+        assert len(graph.tasks_of_kind("S2N")) == non_root
+        assert len(graph.tasks_of_kind("L2L")) == len(tree.leaves)
+        expected_s2s = sum(1 for node in tree.nodes if node.far)
+        assert len(graph.tasks_of_kind("S2S")) == expected_s2s
+
+    def test_acyclic(self, compressed, cost):
+        build_evaluation_dag(compressed.tree, cost).validate()
+
+    def test_n2s_postorder_dependencies(self, compressed, cost):
+        graph = build_evaluation_dag(compressed.tree, cost)
+        for node in compressed.tree.nodes:
+            if node.is_root or node.is_leaf:
+                continue
+            for child in node.children():
+                assert f"N2S:{node.node_id}" in graph.successors(f"N2S:{child.node_id}")
+
+    def test_s2s_depends_on_far_n2s(self, compressed, cost):
+        graph = build_evaluation_dag(compressed.tree, cost)
+        for node in compressed.tree.nodes:
+            if not node.far:
+                continue
+            preds = graph.predecessors(f"S2S:{node.node_id}")
+            for alpha_id in node.far:
+                assert f"N2S:{alpha_id}" in preds
+
+    def test_s2n_depends_on_parent_s2n(self, compressed, cost):
+        graph = build_evaluation_dag(compressed.tree, cost)
+        for node in compressed.tree.nodes:
+            if node.is_root or node.parent is None or node.parent.is_root:
+                continue
+            assert f"S2N:{node.parent.node_id}" in graph.predecessors(f"S2N:{node.node_id}")
+
+    def test_l2l_independent_of_other_families(self, compressed, cost):
+        graph = build_evaluation_dag(compressed.tree, cost)
+        for task in graph.tasks_of_kind("L2L"):
+            assert graph.predecessors(task.task_id) == set()
+            assert graph.successors(task.task_id) == set()
+
+    def test_l2l_gpu_eligible(self, compressed, cost):
+        graph = build_evaluation_dag(compressed.tree, cost)
+        assert all(task.gpu_eligible for task in graph.tasks_of_kind("L2L"))
+        assert not any(task.gpu_eligible for task in graph.tasks_of_kind("N2S"))
+
+    def test_include_l2l_flag(self, compressed, cost):
+        graph = build_evaluation_dag(compressed.tree, cost, include_l2l=False)
+        assert not graph.tasks_of_kind("L2L")
+
+
+class TestCompressionDAG:
+    def test_task_families_present(self, compressed, cost):
+        graph = build_compression_dag(compressed.tree, cost)
+        assert {"SPLI", "ANN", "SKEL", "COEF"}.issubset(graph.kinds())
+
+    def test_acyclic(self, compressed, cost):
+        build_compression_dag(compressed.tree, cost).validate()
+
+    def test_spli_preorder(self, compressed, cost):
+        graph = build_compression_dag(compressed.tree, cost)
+        for node in compressed.tree.nodes:
+            if node.parent is not None:
+                assert f"SPLI:{node.parent.node_id}" in graph.predecessors(f"SPLI:{node.node_id}")
+
+    def test_skel_postorder(self, compressed, cost):
+        graph = build_compression_dag(compressed.tree, cost)
+        for node in compressed.tree.nodes:
+            if node.is_root or node.is_leaf:
+                continue
+            for child in node.children():
+                assert f"SKEL:{child.node_id}" in graph.predecessors(f"SKEL:{node.node_id}")
+
+    def test_coef_follows_skel(self, compressed, cost):
+        graph = build_compression_dag(compressed.tree, cost)
+        for node in compressed.tree.nodes:
+            if node.is_root:
+                continue
+            assert f"SKEL:{node.node_id}" in graph.predecessors(f"COEF:{node.node_id}")
+
+    def test_ann_only_on_leaves(self, compressed, cost):
+        graph = build_compression_dag(compressed.tree, cost)
+        leaf_ids = {leaf.node_id for leaf in compressed.tree.leaves}
+        assert {t.node_id for t in graph.tasks_of_kind("ANN")} == leaf_ids
+
+    def test_neighbor_iterations_scale_ann_cost(self, compressed, cost):
+        one = build_compression_dag(compressed.tree, cost, num_neighbor_trees=1)
+        ten = build_compression_dag(compressed.tree, cost, num_neighbor_trees=10)
+        ann_one = sum(t.flops for t in one.tasks_of_kind("ANN"))
+        ann_ten = sum(t.flops for t in ten.tasks_of_kind("ANN"))
+        assert ann_ten == pytest.approx(10 * ann_one)

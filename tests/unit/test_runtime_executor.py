@@ -1,0 +1,62 @@
+"""Unit tests for the threaded out-of-order evaluation executor."""
+
+import numpy as np
+import pytest
+
+from repro import GOFMMConfig, SchedulingError, compress
+from repro.config import DistanceMetric
+from repro.runtime import parallel_evaluate
+
+from ..conftest import make_gaussian_kernel_matrix
+
+
+@pytest.fixture(scope="module")
+def compressed_pair():
+    matrix = make_gaussian_kernel_matrix(n=200, d=3, bandwidth=1.2, seed=0)
+    config = GOFMMConfig(
+        leaf_size=25, max_rank=20, tolerance=1e-7, neighbors=6,
+        budget=0.3, num_neighbor_trees=3, distance=DistanceMetric.KERNEL, seed=0,
+    )
+    return matrix, compress(matrix, config)
+
+
+class TestParallelEvaluate:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_matches_sequential_vector(self, compressed_pair, workers):
+        matrix, cm = compressed_pair
+        w = np.random.default_rng(0).standard_normal(matrix.n)
+        assert np.allclose(parallel_evaluate(cm, w, num_workers=workers), cm.matvec(w), atol=1e-10)
+
+    def test_matches_sequential_multiple_rhs(self, compressed_pair):
+        matrix, cm = compressed_pair
+        w = np.random.default_rng(1).standard_normal((matrix.n, 6))
+        assert np.allclose(parallel_evaluate(cm, w, num_workers=3), cm.matvec(w), atol=1e-10)
+
+    def test_deterministic_across_runs(self, compressed_pair):
+        matrix, cm = compressed_pair
+        w = np.random.default_rng(2).standard_normal((matrix.n, 2))
+        a = parallel_evaluate(cm, w, num_workers=4)
+        b = parallel_evaluate(cm, w, num_workers=4)
+        assert np.allclose(a, b, atol=1e-12)
+
+    def test_hss_case(self):
+        matrix = make_gaussian_kernel_matrix(n=150, d=3, bandwidth=1.5, seed=1)
+        config = GOFMMConfig(
+            leaf_size=25, max_rank=25, tolerance=1e-8, neighbors=6,
+            budget=0.0, num_neighbor_trees=3, distance=DistanceMetric.KERNEL, seed=1,
+        )
+        cm = compress(matrix, config)
+        w = np.random.default_rng(3).standard_normal(matrix.n)
+        assert np.allclose(parallel_evaluate(cm, w, num_workers=2), cm.matvec(w), atol=1e-10)
+
+    def test_requires_positive_worker_count(self, compressed_pair):
+        _, cm = compressed_pair
+        with pytest.raises(SchedulingError):
+            parallel_evaluate(cm, np.zeros(cm.n), num_workers=0)
+
+    def test_output_shape_preserved(self, compressed_pair):
+        matrix, cm = compressed_pair
+        vec = parallel_evaluate(cm, np.zeros(matrix.n), num_workers=2)
+        mat = parallel_evaluate(cm, np.zeros((matrix.n, 3)), num_workers=2)
+        assert vec.shape == (matrix.n,)
+        assert mat.shape == (matrix.n, 3)

@@ -1,0 +1,89 @@
+"""Unit tests for the analytic machine models."""
+
+import pytest
+
+from repro import SchedulingError
+from repro.runtime import MachineModel, Worker, arm_4, haswell_24, haswell_p100, knl_68
+from repro.runtime.task import Task
+
+
+def compute_task(flops=1e9, gpu_ok=False):
+    return Task(task_id="t", kind="L2L" if gpu_ok else "SKEL", node_id=0, flops=flops, gpu_eligible=gpu_ok)
+
+
+def memory_task(bytes_moved=1e9):
+    return Task(task_id="m", kind="ANN", node_id=0, flops=1e6, bytes_moved=bytes_moved, memory_bound=True)
+
+
+class TestPresets:
+    def test_peak_flops_match_paper(self):
+        assert haswell_24().peak_gflops == pytest.approx(998.0, rel=1e-6)
+        assert knl_68().peak_gflops == pytest.approx(3046.0, rel=1e-6)
+        assert arm_4().peak_gflops == pytest.approx(35.2, rel=1e-6)
+        assert haswell_p100().peak_gflops > 4700.0
+
+    def test_worker_counts(self):
+        assert haswell_24().num_workers == 24
+        assert knl_68().num_workers == 68
+        assert arm_4().num_workers == 4
+        assert haswell_p100().num_workers == 13  # 12 CPU cores + 1 GPU
+
+    def test_machine_requires_workers(self):
+        with pytest.raises(SchedulingError):
+            MachineModel(name="empty", workers=[])
+
+
+class TestTaskTiming:
+    def test_compute_task_time_inverse_to_peak(self):
+        hsw = haswell_24()
+        knl = knl_68()
+        task = compute_task(flops=1e12)
+        # A single KNL core is slower per-core than a Haswell core at GOFMM-sized GEMMs.
+        assert knl.task_seconds(task, knl.workers[0]) > hsw.task_seconds(task, hsw.workers[0])
+
+    def test_memory_task_charged_against_bandwidth(self):
+        machine = haswell_24()
+        worker = machine.workers[0]
+        fast = machine.task_seconds(memory_task(bytes_moved=1e6), worker)
+        slow = machine.task_seconds(memory_task(bytes_moved=1e9), worker)
+        assert slow > 100 * fast
+
+    def test_gpu_rejects_non_eligible_tasks(self):
+        machine = haswell_p100()
+        gpu = machine.workers[-1]
+        assert gpu.kind == "gpu"
+        assert machine.task_seconds(compute_task(gpu_ok=False), gpu) == float("inf")
+
+    def test_gpu_faster_on_large_eligible_tasks(self):
+        machine = haswell_p100()
+        gpu = machine.workers[-1]
+        cpu = machine.workers[0]
+        task = compute_task(flops=1e12, gpu_ok=True)
+        assert machine.task_seconds(task, gpu) < machine.task_seconds(task, cpu)
+
+    def test_gpu_pays_transfer_for_small_tasks(self):
+        machine = haswell_p100()
+        gpu = machine.workers[-1]
+        cpu = machine.workers[0]
+        small = Task(task_id="s", kind="L2L", node_id=0, flops=1e5, bytes_moved=1e8, gpu_eligible=True)
+        # PCIe transfer dominates: the CPU wins on tiny tasks with large operands.
+        assert machine.task_seconds(small, cpu) < machine.task_seconds(small, gpu)
+
+    def test_best_case_picks_fastest_worker(self):
+        machine = haswell_p100()
+        big = compute_task(flops=1e13, gpu_ok=True)
+        assert machine.best_case_seconds(big) == machine.task_seconds(big, machine.workers[-1])
+
+
+class TestScaling:
+    def test_with_workers_restricts(self):
+        machine = haswell_24()
+        half = machine.with_workers(12)
+        assert half.num_workers == 12
+        assert half.peak_gflops == pytest.approx(machine.peak_gflops / 2)
+
+    def test_with_workers_validates(self):
+        with pytest.raises(SchedulingError):
+            haswell_24().with_workers(0)
+        with pytest.raises(SchedulingError):
+            arm_4().with_workers(10)

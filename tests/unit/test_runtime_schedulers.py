@@ -1,0 +1,115 @@
+"""Unit tests for the scheduler simulations (level-by-level, omp-task, HEFT)."""
+
+import numpy as np
+import pytest
+
+from repro import GOFMMConfig, compress
+from repro.config import DistanceMetric
+from repro.runtime import (
+    CostModel,
+    HEFTScheduler,
+    LevelByLevelScheduler,
+    OmpTaskScheduler,
+    build_evaluation_dag,
+    haswell_24,
+    haswell_p100,
+    simulate_all_schedulers,
+)
+
+from ..conftest import make_gaussian_kernel_matrix
+
+SCHEDULERS = [LevelByLevelScheduler(), OmpTaskScheduler(), HEFTScheduler()]
+
+
+@pytest.fixture(scope="module")
+def evaluation_dag():
+    matrix = make_gaussian_kernel_matrix(n=220, d=3, bandwidth=1.2, seed=0)
+    config = GOFMMConfig(
+        leaf_size=25, max_rank=20, tolerance=1e-7, neighbors=6,
+        budget=0.3, num_neighbor_trees=3, distance=DistanceMetric.KERNEL, seed=0,
+    )
+    compressed = compress(matrix, config)
+    cost = CostModel(leaf_size=25, rank=20, num_rhs=8)
+    return build_evaluation_dag(compressed.tree, cost)
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS, ids=lambda s: s.name)
+class TestScheduleValidity:
+    def test_all_tasks_scheduled_exactly_once(self, scheduler, evaluation_dag):
+        result = scheduler.schedule(evaluation_dag, haswell_24())
+        scheduled_ids = [entry.task_id for entry in result.timeline]
+        assert sorted(scheduled_ids) == sorted(evaluation_dag.tasks)
+
+    def test_dependencies_respected(self, scheduler, evaluation_dag):
+        result = scheduler.schedule(evaluation_dag, haswell_24())
+        finish = {entry.task_id: entry.finish for entry in result.timeline}
+        start = {entry.task_id: entry.start for entry in result.timeline}
+        for tid in evaluation_dag.tasks:
+            for pred in evaluation_dag.predecessors(tid):
+                assert finish[pred] <= start[tid] + 1e-12
+
+    def test_no_worker_overlap(self, scheduler, evaluation_dag):
+        result = scheduler.schedule(evaluation_dag, haswell_24())
+        by_worker: dict[str, list] = {}
+        for entry in result.timeline:
+            by_worker.setdefault(entry.worker, []).append((entry.start, entry.finish))
+        for intervals in by_worker.values():
+            intervals.sort()
+            for (s0, f0), (s1, f1) in zip(intervals, intervals[1:]):
+                assert f0 <= s1 + 1e-12
+
+    def test_makespan_at_least_critical_path(self, scheduler, evaluation_dag):
+        machine = haswell_24()
+        result = scheduler.schedule(evaluation_dag, machine)
+        critical = evaluation_dag.critical_path_time(machine.best_case_seconds)
+        assert result.makespan >= critical - 1e-12
+
+    def test_makespan_at_least_work_bound(self, scheduler, evaluation_dag):
+        machine = haswell_24()
+        result = scheduler.schedule(evaluation_dag, machine)
+        total_best = sum(machine.best_case_seconds(t) for t in evaluation_dag.tasks.values())
+        assert result.makespan >= total_best / machine.num_workers - 1e-12
+
+    def test_utilization_in_range(self, scheduler, evaluation_dag):
+        result = scheduler.schedule(evaluation_dag, haswell_24())
+        assert 0.0 < result.utilization <= 1.0 + 1e-9
+
+    def test_gpu_machine_supported(self, scheduler, evaluation_dag):
+        result = scheduler.schedule(evaluation_dag, haswell_p100())
+        assert sorted(e.task_id for e in result.timeline) == sorted(evaluation_dag.tasks)
+        # GPU only ever runs eligible tasks.
+        gpu_entries = [e for e in result.timeline if e.worker == "p100"]
+        for entry in gpu_entries:
+            assert evaluation_dag.tasks[entry.task_id].gpu_eligible
+
+
+class TestSchedulerComparison:
+    def test_out_of_order_beats_level_by_level(self, evaluation_dag):
+        results = simulate_all_schedulers(evaluation_dag, haswell_24())
+        assert results["heft"].makespan <= results["level-by-level"].makespan * 1.001
+
+    def test_heft_not_much_worse_than_omp(self, evaluation_dag):
+        results = simulate_all_schedulers(evaluation_dag, haswell_24())
+        assert results["heft"].makespan <= results["omp-task"].makespan * 1.25
+
+    def test_more_workers_never_hurt_much(self, evaluation_dag):
+        scheduler = HEFTScheduler()
+        small = scheduler.schedule(evaluation_dag, haswell_24().with_workers(4))
+        large = scheduler.schedule(evaluation_dag, haswell_24().with_workers(24))
+        assert large.makespan <= small.makespan * 1.05
+
+    def test_strong_scaling_saturates(self, evaluation_dag):
+        """Speedup grows with cores but is bounded by the critical path (the paper's #4 case)."""
+        scheduler = HEFTScheduler()
+        machine = haswell_24()
+        t1 = scheduler.schedule(evaluation_dag, machine.with_workers(1)).makespan
+        t24 = scheduler.schedule(evaluation_dag, machine.with_workers(24)).makespan
+        speedup = t1 / t24
+        assert 1.0 < speedup <= 24.0 + 1e-9
+        critical = evaluation_dag.critical_path_time(machine.best_case_seconds)
+        assert t24 >= critical - 1e-12
+
+    def test_gflops_report(self, evaluation_dag):
+        result = HEFTScheduler().schedule(evaluation_dag, haswell_24())
+        assert result.gflops > 0.0
+        assert 0.0 < result.efficiency_vs_peak(haswell_24()) <= 1.0

@@ -1,0 +1,90 @@
+"""Unit tests for Task / TaskGraph."""
+
+import pytest
+
+from repro import SchedulingError
+from repro.runtime import Task, TaskGraph
+
+
+def diamond_graph():
+    """a -> b, a -> c, b -> d, c -> d with unit costs."""
+    graph = TaskGraph()
+    for name in "abcd":
+        graph.add_task(Task(task_id=name, kind="N2S", node_id=0, flops=1.0))
+    graph.add_dependency("a", "b")
+    graph.add_dependency("a", "c")
+    graph.add_dependency("b", "d")
+    graph.add_dependency("c", "d")
+    return graph
+
+
+class TestConstruction:
+    def test_duplicate_task_rejected(self):
+        graph = TaskGraph()
+        graph.add_task(Task(task_id="x", kind="N2S", node_id=0))
+        with pytest.raises(SchedulingError):
+            graph.add_task(Task(task_id="x", kind="N2S", node_id=1))
+
+    def test_dependency_on_unknown_task_rejected(self):
+        graph = TaskGraph()
+        graph.add_task(Task(task_id="x", kind="N2S", node_id=0))
+        with pytest.raises(SchedulingError):
+            graph.add_dependency("x", "y")
+
+    def test_self_dependency_rejected(self):
+        graph = TaskGraph()
+        graph.add_task(Task(task_id="x", kind="N2S", node_id=0))
+        with pytest.raises(SchedulingError):
+            graph.add_dependency("x", "x")
+
+
+class TestQueries:
+    def test_roots_and_neighbors(self):
+        graph = diamond_graph()
+        assert graph.roots() == ["a"]
+        assert graph.successors("a") == {"b", "c"}
+        assert graph.predecessors("d") == {"b", "c"}
+        assert len(graph) == 4
+
+    def test_total_flops_and_kinds(self):
+        graph = diamond_graph()
+        assert graph.total_flops() == pytest.approx(4.0)
+        assert graph.kinds() == {"N2S"}
+        assert len(graph.tasks_of_kind("N2S")) == 4
+
+    def test_subset(self):
+        graph = TaskGraph()
+        graph.add_task(Task(task_id="n", kind="N2S", node_id=0))
+        graph.add_task(Task(task_id="s", kind="S2S", node_id=0))
+        graph.add_dependency("n", "s")
+        sub = graph.subset({"N2S"})
+        assert len(sub) == 1
+        assert "s" not in sub
+
+
+class TestTopology:
+    def test_topological_order_respects_edges(self):
+        graph = diamond_graph()
+        order = graph.topological_order()
+        assert order.index("a") < order.index("b") < order.index("d")
+        assert order.index("a") < order.index("c") < order.index("d")
+
+    def test_cycle_detected(self):
+        graph = diamond_graph()
+        graph.add_dependency("d", "a")
+        with pytest.raises(SchedulingError):
+            graph.validate()
+
+    def test_critical_path_diamond(self):
+        graph = diamond_graph()
+        assert graph.critical_path_time(lambda task: task.flops) == pytest.approx(3.0)
+
+    def test_critical_path_with_heterogeneous_costs(self):
+        graph = diamond_graph()
+        graph.tasks["c"].flops = 10.0
+        assert graph.critical_path_time(lambda task: task.flops) == pytest.approx(12.0)
+
+    def test_empty_graph(self):
+        graph = TaskGraph()
+        assert graph.topological_order() == []
+        assert graph.critical_path_time(lambda t: 1.0) == 0.0

@@ -1,0 +1,161 @@
+"""Unit tests for nested ID skeletonization (Algorithm 2.6)."""
+
+import numpy as np
+import pytest
+
+from repro import GOFMMConfig, RankDeficiencyError
+from repro.config import DistanceMetric
+from repro.core.distances import make_distance
+from repro.core.interactions import build_node_neighbor_lists
+from repro.core.neighbors import all_nearest_neighbors
+from repro.core.skeletonization import sample_rows, skeletonize_node, skeletonize_tree
+from repro.core.tree import build_tree
+from repro.matrices import DenseSPD
+
+from ..conftest import make_gaussian_kernel_matrix
+
+
+def prepared_tree(n=200, leaf_size=25, max_rank=20, tolerance=1e-7, seed=0):
+    matrix = make_gaussian_kernel_matrix(n=n, d=3, bandwidth=1.5, seed=seed)
+    config = GOFMMConfig(
+        leaf_size=leaf_size,
+        max_rank=max_rank,
+        tolerance=tolerance,
+        neighbors=6,
+        budget=0.2,
+        num_neighbor_trees=3,
+        distance=DistanceMetric.KERNEL,
+        seed=seed,
+    )
+    distance = make_distance(matrix, config.distance)
+    rng = np.random.default_rng(seed)
+    neighbors = all_nearest_neighbors(distance, config, rng=rng)
+    tree = build_tree(matrix.n, config, distance, rng=rng)
+    build_node_neighbor_lists(tree, neighbors, rng=rng)
+    return matrix, config, tree, neighbors
+
+
+class TestSampleRows:
+    def test_excludes_node_indices(self):
+        matrix, config, tree, neighbors = prepared_tree()
+        node = tree.leaves[0]
+        rows = sample_rows(node, matrix.n, 40, neighbors, np.random.default_rng(0))
+        assert np.intersect1d(rows, node.indices).size == 0
+
+    def test_sample_size_respected(self):
+        matrix, config, tree, neighbors = prepared_tree()
+        node = tree.leaves[1]
+        rows = sample_rows(node, matrix.n, 30, neighbors, np.random.default_rng(1))
+        assert rows.size <= 2 * 30  # neighbor part + uniform part
+        assert rows.size >= 20
+
+    def test_small_complement_returns_everything(self):
+        matrix, config, tree, neighbors = prepared_tree()
+        root = tree.root
+        left = root.left
+        rows = sample_rows(left, matrix.n, matrix.n, neighbors, np.random.default_rng(2))
+        assert rows.size == matrix.n - left.size
+
+    def test_root_has_empty_sample(self):
+        matrix, config, tree, neighbors = prepared_tree()
+        rows = sample_rows(tree.root, matrix.n, 50, neighbors, np.random.default_rng(3))
+        assert rows.size == 0
+
+    def test_rows_unique_and_in_range(self):
+        matrix, config, tree, neighbors = prepared_tree()
+        node = tree.leaves[2]
+        rows = sample_rows(node, matrix.n, 64, neighbors, np.random.default_rng(4))
+        assert len(np.unique(rows)) == rows.size
+        assert rows.min() >= 0 and rows.max() < matrix.n
+
+
+class TestSkeletonizeTree:
+    def test_every_non_root_node_gets_skeleton(self):
+        matrix, config, tree, neighbors = prepared_tree()
+        stats = skeletonize_tree(tree, matrix, config, neighbors)
+        for node in tree.nodes:
+            if node.is_root:
+                continue
+            assert node.skeleton is not None
+            assert node.coeffs is not None
+            assert node.skeleton_rank == node.skeleton.size
+        assert stats.num_nodes == len(tree.nodes) - 1
+
+    def test_nesting_property(self):
+        """α̃ ⊂ l̃ ∪ r̃ for every internal node (the nested-skeleton property)."""
+        matrix, config, tree, neighbors = prepared_tree()
+        skeletonize_tree(tree, matrix, config, neighbors)
+        for node in tree.nodes:
+            if node.is_root or node.is_leaf:
+                continue
+            left, right = node.children()
+            child_skeletons = np.union1d(left.skeleton, right.skeleton)
+            assert np.all(np.isin(node.skeleton, child_skeletons))
+
+    def test_leaf_skeleton_subset_of_indices(self):
+        matrix, config, tree, neighbors = prepared_tree()
+        skeletonize_tree(tree, matrix, config, neighbors)
+        for leaf in tree.leaves:
+            assert np.all(np.isin(leaf.skeleton, leaf.indices))
+
+    def test_rank_bounded_by_config(self):
+        matrix, config, tree, neighbors = prepared_tree(max_rank=12)
+        stats = skeletonize_tree(tree, matrix, config, neighbors)
+        assert stats.max_rank <= 12
+
+    def test_coeff_shapes(self):
+        matrix, config, tree, neighbors = prepared_tree()
+        skeletonize_tree(tree, matrix, config, neighbors)
+        for node in tree.nodes:
+            if node.is_root:
+                continue
+            if node.is_leaf:
+                assert node.coeffs.shape == (node.skeleton_rank, node.size)
+            else:
+                left, right = node.children()
+                assert node.coeffs.shape == (node.skeleton_rank, left.skeleton_rank + right.skeleton_rank)
+
+    def test_leaf_offdiagonal_block_approximation(self):
+        """The sampled ID should approximate the true off-diagonal block well."""
+        matrix, config, tree, neighbors = prepared_tree(max_rank=25, tolerance=1e-9)
+        skeletonize_tree(tree, matrix, config, neighbors)
+        leaf = tree.leaves[0]
+        outside = np.setdiff1d(np.arange(matrix.n), leaf.indices)
+        exact = matrix.entries(outside, leaf.indices)
+        approx = matrix.entries(outside, leaf.skeleton) @ leaf.coeffs
+        rel = np.linalg.norm(approx - exact) / np.linalg.norm(exact)
+        assert rel < 5e-2
+
+    def test_looser_tolerance_gives_smaller_average_rank(self):
+        matrix, config, tree, neighbors = prepared_tree(tolerance=1e-2, max_rank=25)
+        loose = skeletonize_tree(tree, matrix, config, neighbors)
+        matrix2, config2, tree2, neighbors2 = prepared_tree(tolerance=1e-9, max_rank=25)
+        tight = skeletonize_tree(tree2, matrix2, config2, neighbors2)
+        assert loose.average_rank <= tight.average_rank
+
+    def test_postorder_violation_detected(self):
+        matrix, config, tree, neighbors = prepared_tree()
+        internal = next(node for node in tree.nodes if not node.is_leaf and not node.is_root)
+        with pytest.raises(RankDeficiencyError):
+            skeletonize_node(internal, matrix, config, neighbors, np.random.default_rng(0))
+
+    def test_secure_accuracy_raises_on_zero_matrix(self):
+        zero_like = DenseSPD(np.eye(64) * 1e-300 + np.eye(64), validate=False)
+        config = GOFMMConfig(
+            leaf_size=16, max_rank=8, tolerance=1e-3, budget=0.0,
+            distance=DistanceMetric.LEXICOGRAPHIC, secure_accuracy=True,
+        )
+        tree = build_tree(64, config, distance=None)
+        # Off-diagonal blocks of the identity are exactly zero -> rank 0 everywhere.
+        with pytest.raises(RankDeficiencyError):
+            skeletonize_tree(tree, zero_like, config, None)
+
+    def test_zero_offdiagonal_allowed_without_secure_accuracy(self):
+        identity = DenseSPD(np.eye(64))
+        config = GOFMMConfig(
+            leaf_size=16, max_rank=8, tolerance=1e-3, budget=0.0,
+            distance=DistanceMetric.LEXICOGRAPHIC, secure_accuracy=False,
+        )
+        tree = build_tree(64, config, distance=None)
+        stats = skeletonize_tree(tree, identity, config, None)
+        assert stats.max_rank == 0

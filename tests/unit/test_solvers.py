@@ -1,0 +1,129 @@
+"""Unit tests for the CG solver and block-Jacobi preconditioner."""
+
+import numpy as np
+import pytest
+
+from repro import EvaluationError, GOFMMConfig, compress
+from repro.config import DistanceMetric
+from repro.solvers import BlockJacobiPreconditioner, conjugate_gradient, solve
+
+from ..conftest import make_gaussian_kernel_matrix, make_random_spd
+
+
+@pytest.fixture(scope="module")
+def compressed_pair():
+    matrix = make_gaussian_kernel_matrix(n=200, d=3, bandwidth=1.5, seed=0)
+    config = GOFMMConfig(
+        leaf_size=25, max_rank=25, tolerance=1e-9, neighbors=8,
+        budget=0.3, num_neighbor_trees=3, distance=DistanceMetric.KERNEL, seed=0,
+    )
+    return matrix, compress(matrix, config)
+
+
+class TestConjugateGradient:
+    def test_solves_dense_spd_system(self):
+        matrix = make_random_spd(60, seed=0, decay=1.0)
+        a = matrix.array + 0.1 * np.eye(60)
+        b = np.random.default_rng(0).standard_normal(60)
+        result = conjugate_gradient(lambda v: a @ v, b, tolerance=1e-10, max_iterations=300)
+        assert result.converged
+        assert np.linalg.norm(a @ result.solution - b) / np.linalg.norm(b) < 1e-8
+
+    def test_shift_applied(self):
+        matrix = make_random_spd(40, seed=1, decay=1.0)
+        a = matrix.array
+        b = np.random.default_rng(1).standard_normal(40)
+        result = conjugate_gradient(lambda v: a @ v, b, shift=0.5, tolerance=1e-10)
+        assert result.converged
+        assert np.allclose((a + 0.5 * np.eye(40)) @ result.solution, b, atol=1e-6)
+
+    def test_residual_history_monotone_overall(self):
+        matrix = make_random_spd(50, seed=2, decay=1.5)
+        a = matrix.array + 0.2 * np.eye(50)
+        b = np.ones(50)
+        result = conjugate_gradient(lambda v: a @ v, b, tolerance=1e-12, max_iterations=200)
+        assert result.residual_history[-1] < result.residual_history[0]
+        assert result.iterations == len(result.residual_history) - 1
+
+    def test_rejects_matrix_rhs(self):
+        with pytest.raises(EvaluationError):
+            conjugate_gradient(lambda v: v, np.zeros((5, 2)))
+
+    def test_zero_rhs_converges_immediately(self):
+        result = conjugate_gradient(lambda v: v, np.zeros(10))
+        assert result.converged
+        assert result.iterations == 0
+
+    def test_preconditioner_reduces_iterations(self):
+        # Ill-conditioned diagonal system: Jacobi preconditioning should help a lot.
+        diag = np.logspace(0, 6, 80)
+        a = np.diag(diag)
+        b = np.random.default_rng(3).standard_normal(80)
+        plain = conjugate_gradient(lambda v: a @ v, b, tolerance=1e-10, max_iterations=2000)
+        precond = conjugate_gradient(
+            lambda v: a @ v, b, tolerance=1e-10, max_iterations=2000, preconditioner=lambda r: r / diag
+        )
+        assert precond.converged
+        assert precond.iterations < plain.iterations or plain.iterations == 2000
+
+
+class TestBlockJacobi:
+    def test_applies_inverse_of_leaf_blocks(self, compressed_pair):
+        matrix, cm = compressed_pair
+        precond = BlockJacobiPreconditioner(cm, shift=0.0)
+        r = np.random.default_rng(0).standard_normal(matrix.n)
+        z = precond(r)
+        # For each leaf, K_leaf @ z_leaf == r_leaf.
+        leaf = cm.tree.leaves[0]
+        block = matrix.entries(leaf.indices, leaf.indices)
+        assert np.allclose(block @ z[leaf.indices], r[leaf.indices], atol=1e-8)
+
+    def test_shift_incorporated(self, compressed_pair):
+        matrix, cm = compressed_pair
+        shift = 0.7
+        precond = BlockJacobiPreconditioner(cm, shift=shift)
+        r = np.random.default_rng(1).standard_normal(matrix.n)
+        z = precond(r)
+        leaf = cm.tree.leaves[1]
+        block = matrix.entries(leaf.indices, leaf.indices) + shift * np.eye(leaf.size)
+        assert np.allclose(block @ z[leaf.indices], r[leaf.indices], atol=1e-8)
+
+
+class TestSolve:
+    def test_cg_solves_the_compressed_operator_exactly(self, compressed_pair):
+        """Against K̃ itself (its dense form), CG converges to the true solution."""
+        matrix, cm = compressed_pair
+        shift = 0.1
+        b = np.random.default_rng(2).standard_normal(matrix.n)
+        result = solve(cm, b, shift=shift, tolerance=1e-12, max_iterations=2000)
+        assert result.converged
+        dense_tilde = cm.to_dense() + shift * np.eye(matrix.n)
+        exact = np.linalg.solve(dense_tilde, b)
+        rel = np.linalg.norm(result.solution - exact) / np.linalg.norm(exact)
+        assert rel < 1e-8
+
+    def test_solution_close_to_true_system_for_well_conditioned_shift(self, compressed_pair):
+        """With a shift that keeps the system well conditioned, the K̃-solve tracks the K-solve."""
+        matrix, cm = compressed_pair
+        shift = 0.5
+        b = np.random.default_rng(2).standard_normal(matrix.n)
+        result = solve(cm, b, shift=shift, tolerance=1e-10, max_iterations=2000)
+        assert result.converged
+        dense = matrix.to_dense() + shift * np.eye(matrix.n)
+        exact = np.linalg.solve(dense, b)
+        rel = np.linalg.norm(result.solution - exact) / np.linalg.norm(exact)
+        assert rel < 5e-2
+
+    def test_unpreconditioned_option(self, compressed_pair):
+        matrix, cm = compressed_pair
+        b = np.ones(matrix.n)
+        result = solve(cm, b, shift=0.1, tolerance=1e-8, use_preconditioner=False)
+        assert result.converged
+
+    def test_preconditioning_does_not_increase_iterations_much(self, compressed_pair):
+        matrix, cm = compressed_pair
+        b = np.random.default_rng(3).standard_normal(matrix.n)
+        plain = solve(cm, b, shift=0.1, tolerance=1e-8, use_preconditioner=False, max_iterations=2000)
+        precond = solve(cm, b, shift=0.1, tolerance=1e-8, use_preconditioner=True, max_iterations=2000)
+        assert precond.converged
+        assert precond.iterations <= plain.iterations * 1.5 + 5

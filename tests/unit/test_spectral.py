@@ -1,0 +1,84 @@
+"""Unit tests for the pseudo-spectral operators (K15–K17)."""
+
+import numpy as np
+import pytest
+
+from repro.matrices.spectral import (
+    fourier_diff_matrix,
+    fourier_second_diff_matrix,
+    pseudo_spectral_3d,
+    pseudo_spectral_adr_2d,
+)
+
+
+class TestFourierDifferentiation:
+    def test_first_derivative_of_sine(self):
+        n = 32
+        h = 2.0 * np.pi / n
+        x = np.arange(n) * h
+        d1 = fourier_diff_matrix(n)
+        assert np.allclose(d1 @ np.sin(x), np.cos(x), atol=1e-8)
+
+    def test_second_derivative_of_sine(self):
+        n = 32
+        x = np.arange(n) * 2.0 * np.pi / n
+        d2 = fourier_second_diff_matrix(n)
+        assert np.allclose(d2 @ np.sin(2 * x), -4.0 * np.sin(2 * x), atol=1e-7)
+
+    def test_first_derivative_antisymmetric(self):
+        d1 = fourier_diff_matrix(16)
+        assert np.allclose(d1, -d1.T, atol=1e-12)
+
+    def test_second_derivative_symmetric(self):
+        d2 = fourier_second_diff_matrix(16)
+        assert np.allclose(d2, d2.T, atol=1e-12)
+
+    def test_odd_grid_supported(self):
+        n = 17
+        x = np.arange(n) * 2.0 * np.pi / n
+        d1 = fourier_diff_matrix(n)
+        assert np.allclose(d1 @ np.sin(x), np.cos(x), atol=1e-8)
+
+    def test_constant_in_nullspace(self):
+        d1 = fourier_diff_matrix(20)
+        assert np.allclose(d1 @ np.ones(20), 0.0, atol=1e-10)
+
+
+@pytest.mark.parametrize(
+    "builder",
+    [lambda n: pseudo_spectral_adr_2d(n, seed=0), lambda n: pseudo_spectral_3d(n, seed=0)],
+    ids=["K15-2d", "K17-3d"],
+)
+class TestPseudoSpectralMatrices:
+    def test_spd(self, builder):
+        m = builder(64)
+        a = m.array
+        assert np.allclose(a, a.T, atol=1e-9)
+        assert np.linalg.eigvalsh(a).min() > 0.0
+
+    def test_size(self, builder):
+        assert builder(50).n == 50
+
+    def test_dense_coupling(self, builder):
+        # Spectral differentiation couples every grid point: the matrix is
+        # genuinely dense (that is why these matrices are hard to compress).
+        a = builder(60).array
+        fraction_nonzero = np.mean(np.abs(a) > 1e-12)
+        assert fraction_nonzero > 0.5
+
+
+class TestHighRankCharacter:
+    def test_off_diagonal_rank_higher_than_smooth_matrix(self):
+        """The K15 family should carry much higher off-diagonal rank than K02."""
+        from repro.matrices.stencils import regularized_inverse_squared_laplacian_2d
+
+        n = 128
+        spectral = pseudo_spectral_adr_2d(n, seed=0).array
+        smooth = regularized_inverse_squared_laplacian_2d(n).array
+
+        def offdiag_rank(a, tol=1e-6):
+            block = a[: n // 2, n // 2 :]
+            s = np.linalg.svd(block, compute_uv=False)
+            return int(np.sum(s > tol * s[0]))
+
+        assert offdiag_rank(spectral) > 2 * offdiag_rank(smooth)

@@ -1,0 +1,117 @@
+"""Unit tests for the finite-difference operators and their SPD test matrices."""
+
+import numpy as np
+import pytest
+
+from repro.matrices.stencils import (
+    advection_diffusion_2d,
+    advection_diffusion_matrix,
+    grid_coordinates_2d,
+    grid_coordinates_3d,
+    helmholtz_2d,
+    inverse_squared_laplacian_3d,
+    laplacian_1d,
+    laplacian_2d,
+    laplacian_3d,
+    regularized_inverse_helmholtz_squared_2d,
+    regularized_inverse_squared_laplacian_2d,
+    variable_coefficient_field,
+)
+
+
+class TestSparseOperators:
+    def test_laplacian_1d_structure(self):
+        lap = laplacian_1d(5).toarray()
+        h2 = (1.0 / 6.0) ** 2
+        assert lap[0, 0] == pytest.approx(2.0 / h2)
+        assert lap[0, 1] == pytest.approx(-1.0 / h2)
+        assert np.allclose(lap, lap.T)
+
+    def test_laplacian_2d_spd(self):
+        lap = laplacian_2d(6).toarray()
+        assert np.allclose(lap, lap.T)
+        assert np.linalg.eigvalsh(lap).min() > 0.0
+
+    def test_laplacian_3d_shape(self):
+        lap = laplacian_3d(4)
+        assert lap.shape == (64, 64)
+        assert np.allclose(lap.toarray(), lap.toarray().T)
+
+    def test_laplacian_row_sums_interior(self):
+        # Interior rows of the (unscaled) 5-point stencil sum to zero.
+        n = 8
+        lap = (laplacian_2d(n) * (1.0 / (n + 1) ** 2)).toarray()
+        interior = n * (n // 2) + n // 2  # a point away from the boundary
+        assert abs(lap[interior].sum()) < 1e-10
+
+    def test_helmholtz_shifts_spectrum_down(self):
+        n = 8
+        lap_min = np.linalg.eigvalsh(laplacian_2d(n).toarray()).min()
+        helm_min = np.linalg.eigvalsh(helmholtz_2d(n).toarray()).min()
+        assert helm_min < lap_min
+
+    def test_advection_diffusion_nonsymmetric(self):
+        op = advection_diffusion_2d(8, advection_strength=10.0, seed=0).toarray()
+        assert not np.allclose(op, op.T)
+
+    def test_advection_diffusion_diagonal_positive(self):
+        op = advection_diffusion_2d(8, seed=1)
+        assert np.all(op.diagonal() > 0.0)
+
+
+class TestCoefficientField:
+    def test_positive_and_contrast(self):
+        field = variable_coefficient_field(16, contrast=100.0, seed=0)
+        assert np.all(field > 0.0)
+        assert field.max() / field.min() <= 100.0 * (1 + 1e-9)
+
+    def test_deterministic(self):
+        a = variable_coefficient_field(10, 50.0, seed=3)
+        b = variable_coefficient_field(10, 50.0, seed=3)
+        assert np.allclose(a, b)
+
+    def test_3d_size(self):
+        field = variable_coefficient_field(5, 10.0, seed=1, dim=3)
+        assert field.shape == (125,)
+
+
+class TestGridCoordinates:
+    def test_2d_in_unit_square(self):
+        coords = grid_coordinates_2d(7)
+        assert coords.shape == (49, 2)
+        assert coords.min() > 0.0 and coords.max() < 1.0
+
+    def test_3d_count(self):
+        assert grid_coordinates_3d(4).shape == (64, 3)
+
+
+@pytest.mark.parametrize(
+    "builder",
+    [
+        lambda n: regularized_inverse_squared_laplacian_2d(n),
+        lambda n: regularized_inverse_helmholtz_squared_2d(n),
+        lambda n: advection_diffusion_matrix(n, invert=True),
+        lambda n: advection_diffusion_matrix(n, invert=False),
+        lambda n: inverse_squared_laplacian_3d(n),
+    ],
+    ids=["K02", "K03", "K12-inv", "K14-fwd", "K18"],
+)
+class TestDenseTestMatrices:
+    def test_spd_at_small_size(self, builder):
+        m = builder(80)
+        a = m.array
+        assert a.shape == (80, 80)
+        assert np.allclose(a, a.T, atol=1e-10)
+        assert np.linalg.eigvalsh(a).min() > 0.0
+
+    def test_requested_size_honored(self, builder):
+        assert builder(50).n == 50
+
+    def test_coordinates_match_size(self, builder):
+        m = builder(60)
+        assert m.coordinates is not None
+        assert m.coordinates.shape[0] == 60
+
+    def test_normalized_scale(self, builder):
+        # Generators normalize to max |entry| == 1 so errors are comparable across matrices.
+        assert np.abs(builder(40).array).max() == pytest.approx(1.0)
