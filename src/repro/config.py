@@ -111,6 +111,14 @@ class GOFMMConfig:
     secure_accuracy:
         if ``True``, raise when a node's skeletonization falls back to an
         empty skeleton instead of silently producing a rank-0 block.
+    evaluation_engine:
+        default matvec engine: ``"planned"`` executes the packed,
+        level-batched plan of :mod:`repro.core.plan`; ``"reference"`` runs
+        the per-node traversal of :mod:`repro.core.evaluate`.  Either can be
+        overridden per call via ``matvec(w, engine=...)``.
+    prebuild_plan:
+        build the evaluation plan during compression (phase ``"plan"`` of
+        the report) instead of lazily on the first planned matvec.
     dtype:
         floating point type of the compressed representation.
     seed:
@@ -133,6 +141,8 @@ class GOFMMConfig:
     cache_far_blocks: bool = True
     symmetrize_lists: bool = True
     secure_accuracy: bool = False
+    evaluation_engine: str = "planned"
+    prebuild_plan: bool = False
     dtype: np.dtype = np.float64
     seed: Optional[int] = 0
 
@@ -157,6 +167,10 @@ class GOFMMConfig:
             raise ConfigurationError("oversampling must be >= 1")
         if self.centroid_samples < 1:
             raise ConfigurationError("centroid_samples must be >= 1")
+        if self.evaluation_engine not in ("planned", "reference"):
+            raise ConfigurationError(
+                f"evaluation_engine must be 'planned' or 'reference', got {self.evaluation_engine!r}"
+            )
         if isinstance(self.distance, str):
             object.__setattr__(self, "distance", DistanceMetric(self.distance))
         dt = np.dtype(self.dtype)

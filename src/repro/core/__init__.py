@@ -16,13 +16,25 @@ algorithmic pieces in the order the paper presents them:
 * :mod:`repro.core.skeletonization` — nested interpolative decomposition
   (Algorithm 2.6, tasks SKEL / COEF),
 * :mod:`repro.core.compress` — Algorithm 2.2 (compression driver),
-* :mod:`repro.core.evaluate` — Algorithm 2.7 (N2S / S2S / S2N / L2L),
+* :mod:`repro.core.evaluate` — Algorithm 2.7 (N2S / S2S / S2N / L2L), the
+  per-node reference engine,
+* :mod:`repro.core.plan` — the packed evaluation plan executing the same
+  algorithm as level-batched GEMMs (the "planned" engine),
 * :mod:`repro.core.hmatrix` — the compressed-matrix object,
 * :mod:`repro.core.accuracy` — the ε2 error metric.
 """
 
 from .compress import CompressionReport, compress
 from .hmatrix import CompressedMatrix
+from .plan import EvaluationPlan, build_plan, evaluate_planned
 from .accuracy import relative_error
 
-__all__ = ["compress", "CompressionReport", "CompressedMatrix", "relative_error"]
+__all__ = [
+    "compress",
+    "CompressionReport",
+    "CompressedMatrix",
+    "EvaluationPlan",
+    "build_plan",
+    "evaluate_planned",
+    "relative_error",
+]

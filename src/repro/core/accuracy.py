@@ -26,17 +26,19 @@ def relative_error(
     num_rhs: int = 10,
     num_sample_rows: int = 100,
     rng: np.random.Generator | None = None,
+    engine: str | None = None,
 ) -> float:
     """Sampled ε2 of a compressed matrix against its source.
 
     Draws ``num_rhs`` Gaussian right-hand sides, evaluates ``K̃ w`` with the
-    fast matvec, and compares ``num_sample_rows`` randomly chosen rows
-    against the exact rows of ``K w``.
+    fast matvec (``engine`` selects the evaluation engine), and compares
+    ``num_sample_rows`` randomly chosen rows against the exact rows of
+    ``K w``.
     """
     rng = rng or np.random.default_rng(0)
     n = matrix.n
     w = rng.standard_normal((n, num_rhs))
-    approx = compressed.matvec(w)
+    approx = compressed.matvec(w, engine=engine)
     rows = np.sort(rng.choice(n, size=min(num_sample_rows, n), replace=False))
     exact_rows = matrix.entries(rows, np.arange(n, dtype=np.intp)) @ w
     return relative_frobenius_error(approx[rows, :], exact_rows)
@@ -47,12 +49,13 @@ def exact_relative_error(
     matrix: SPDMatrix,
     num_rhs: int = 10,
     rng: np.random.Generator | None = None,
+    engine: str | None = None,
 ) -> float:
     """Exact ε2 (full reference product) — O(r N²), tests only."""
     rng = rng or np.random.default_rng(0)
     n = matrix.n
     w = rng.standard_normal((n, num_rhs))
-    approx = compressed.matvec(w)
+    approx = compressed.matvec(w, engine=engine)
     exact = matrix.matvec(w)
     return relative_frobenius_error(approx, exact)
 

@@ -6,6 +6,9 @@ Near/Far interaction lists, and (optionally cached) near/far submatrices —
 and exposes the operations a user of the library needs:
 
 * ``matvec(w)`` / ``@`` — the fast approximate product (Algorithm 2.7),
+  with two interchangeable engines: the per-node ``"reference"`` traversal
+  (the correctness oracle) and the ``"planned"`` engine that executes a
+  cached :class:`repro.core.plan.EvaluationPlan` as level-batched GEMMs,
 * ``to_dense()`` — explicit ``K̃`` for small problems (tests, exact error),
 * storage / rank / FLOP reports used by the benchmark harness,
 * ``relative_error`` — the sampled ε2 metric of the paper.
@@ -22,6 +25,7 @@ from ..config import GOFMMConfig
 from ..errors import EvaluationError
 from ..matrices.base import SPDMatrix
 from .evaluate import EvaluationCounters, evaluate
+from .plan import EvaluationPlan, build_plan, evaluate_planned
 from .interactions import InteractionLists
 from .neighbors import NeighborTable
 from .tree import BallTree, TreeNode
@@ -88,6 +92,7 @@ class CompressedMatrix:
     matrix: Optional[SPDMatrix] = None
     neighbors: Optional[NeighborTable] = None
     counters: EvaluationCounters = field(default_factory=EvaluationCounters)
+    _plan: Optional[EvaluationPlan] = field(default=None, repr=False, compare=False)
 
     # -- linear operator interface -------------------------------------------
     @property
@@ -98,21 +103,56 @@ class CompressedMatrix:
     def n(self) -> int:
         return self.tree.n
 
-    def matvec(self, w: np.ndarray) -> np.ndarray:
-        """Approximate product ``K̃ w`` (Algorithm 2.7); accepts (N,) or (N, r)."""
-        return evaluate(self, w, counters=self.counters)
+    def plan(self, rebuild: bool = False) -> EvaluationPlan:
+        """The cached :class:`~repro.core.plan.EvaluationPlan` (built on first use)."""
+        if self._plan is None or rebuild:
+            self._plan = build_plan(self)
+        return self._plan
+
+    def default_engine(self) -> str:
+        """Engine used when ``matvec`` is called without an explicit ``engine``.
+
+        Normally ``config.evaluation_engine``; when block caching was
+        disabled at compression time (the memory-bounded configuration) the
+        default falls back to ``"reference"`` rather than silently packing
+        every block into a plan — pass ``engine="planned"`` (or call
+        :meth:`plan`) to opt into the packed engine anyway.
+        """
+        engine = getattr(self.config, "evaluation_engine", "planned")
+        if (
+            engine == "planned"
+            and self._plan is None
+            and not (self.config.cache_near_blocks and self.config.cache_far_blocks)
+        ):
+            return "reference"
+        return engine
+
+    def matvec(self, w: np.ndarray, engine: Optional[str] = None) -> np.ndarray:
+        """Approximate product ``K̃ w`` (Algorithm 2.7); accepts (N,) or (N, r).
+
+        ``engine`` selects the evaluation path: ``"planned"`` (default,
+        level-batched GEMMs over the cached plan) or ``"reference"`` (the
+        per-node traversal of :mod:`repro.core.evaluate`).  Defaults to
+        :meth:`default_engine`.
+        """
+        engine = engine or self.default_engine()
+        if engine == "reference":
+            return evaluate(self, w, counters=self.counters)
+        if engine == "planned":
+            return evaluate_planned(self, w, counters=self.counters)
+        raise EvaluationError(f"unknown evaluation engine {engine!r}; use 'planned' or 'reference'")
 
     def __matmul__(self, w: np.ndarray) -> np.ndarray:
         return self.matvec(w)
 
-    def matvec_transpose(self, w: np.ndarray) -> np.ndarray:
+    def matvec_transpose(self, w: np.ndarray, engine: Optional[str] = None) -> np.ndarray:
         """Product with ``K̃ᵀ``.
 
         With symmetric interaction lists ``K̃`` is symmetric by construction
         and this equals :meth:`matvec`; it is provided so users can verify
         symmetry numerically.
         """
-        return self.matvec(w)
+        return self.matvec(w, engine=engine)
 
     # -- explicit form (small problems only) ----------------------------------
     def ordered_indices(self) -> Dict[int, np.ndarray]:
@@ -225,6 +265,17 @@ class CompressedMatrix:
             "total": float(total),
             "dense_equivalent": float(dense),
             "compression_ratio": float(dense / total) if total else float("inf"),
+        }
+
+    def plan_report(self) -> dict[str, float]:
+        """Size of the packed evaluation plan (builds it if not yet cached)."""
+        plan = self.plan()
+        return {
+            "segments": float(plan.num_segments),
+            "workspace_rows": float(plan.workspace_rows),
+            "packed_entries": float(plan.packed_entries()),
+            "near_pairs": float(plan.near_cols.size),
+            "far_pairs": float(plan.far_cols.size),
         }
 
     def interaction_report(self) -> dict[str, float]:

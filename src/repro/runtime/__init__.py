@@ -22,7 +22,7 @@ This subpackage reproduces that machinery in two complementary forms:
 from .task import Task, TaskGraph
 from .costs import CostModel
 from .machine import MachineModel, Worker, arm_4, haswell_24, haswell_p100, knl_68, scaled_machine
-from .dag import build_compression_dag, build_evaluation_dag
+from .dag import build_compression_dag, build_evaluation_dag, build_plan_dag
 from .schedulers import (
     HEFTScheduler,
     LevelByLevelScheduler,
@@ -30,7 +30,7 @@ from .schedulers import (
     ScheduleResult,
     simulate_all_schedulers,
 )
-from .executor import parallel_evaluate
+from .executor import parallel_evaluate, run_task_graph
 
 __all__ = [
     "Task",
@@ -45,10 +45,12 @@ __all__ = [
     "scaled_machine",
     "build_compression_dag",
     "build_evaluation_dag",
+    "build_plan_dag",
     "LevelByLevelScheduler",
     "OmpTaskScheduler",
     "HEFTScheduler",
     "ScheduleResult",
     "simulate_all_schedulers",
     "parallel_evaluate",
+    "run_task_graph",
 ]

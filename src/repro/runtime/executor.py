@@ -1,26 +1,36 @@
-"""Real out-of-order execution of the evaluation DAG on a thread pool.
+"""Real out-of-order execution of the evaluation work on a thread pool.
 
 The scheduler simulations in :mod:`repro.runtime.schedulers` answer "how
 long would this DAG take on machine X under policy Y"; this module answers
-the complementary correctness question: the evaluation tasks of Algorithm
-2.7 really can be executed out of order, constrained only by the RAW edges
-of the symbolic DAG, and produce the same result as the sequential
-traversal.
+the complementary correctness question: the evaluation of Algorithm 2.7
+really can be executed out of order, constrained only by the RAW edges of
+the symbolic DAG, and produce the same result as the sequential driver.
 
-The executor is a small work-pool: worker threads repeatedly pop ready
-tasks from a priority queue (longest estimated task first, like the HEFT
-runtime) and execute the *actual numerical payload* (the same task
-functions the sequential driver uses).  NumPy releases the GIL inside BLAS
-calls, so moderate parallel speed-up is real, but the primary purpose is
-correctness of the out-of-order execution — the performance studies use the
-analytic simulation.
+Two engines share one worker pool:
+
+* ``engine="planned"`` (default) runs over the *segments* of the packed
+  :class:`repro.core.plan.EvaluationPlan` — a few dozen batched GEMMs with
+  level/stage dependencies (:func:`repro.runtime.dag.build_plan_dag`) —
+  instead of re-binding one closure per tree node,
+* ``engine="reference"`` executes the per-node task functions of
+  :mod:`repro.core.evaluate` over the per-node DAG, as the original
+  correctness oracle for out-of-order traversal.
+
+The pool itself is a condition-variable work queue: workers sleep until a
+task becomes ready, an error is recorded, or the graph is drained.  There
+is no timeout polling, and a worker can never exit while sibling tasks are
+still in flight — completion is decided solely by the remaining-task count
+under the queue lock.  NumPy releases the GIL inside BLAS calls, so the
+parallel speed-up is real, especially for the large batched GEMMs of the
+planned engine.
 """
 
 from __future__ import annotations
 
-import queue
+import heapq
 import threading
 from dataclasses import dataclass
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
@@ -28,10 +38,10 @@ from ..core.evaluate import EvaluationState, _as_matrix, task_l2l, task_n2s, tas
 from ..core.hmatrix import CompressedMatrix
 from ..errors import SchedulingError
 from .costs import CostModel
-from .dag import build_evaluation_dag
+from .dag import build_evaluation_dag, build_plan_dag
 from .task import TaskGraph
 
-__all__ = ["ParallelEvaluation", "parallel_evaluate"]
+__all__ = ["ParallelEvaluation", "parallel_evaluate", "run_task_graph"]
 
 
 @dataclass
@@ -42,6 +52,104 @@ class ParallelEvaluation:
     tasks_executed: int
     num_workers: int
 
+
+# ---------------------------------------------------------------------------
+# generic worker pool over a TaskGraph
+# ---------------------------------------------------------------------------
+
+def run_task_graph(
+    graph: TaskGraph,
+    num_workers: int,
+    payloads: Optional[Dict[str, Callable[[], None]]] = None,
+) -> int:
+    """Execute every task of ``graph`` on ``num_workers`` threads, honoring RAW edges.
+
+    ``payloads`` maps task ids to callables; tasks without a payload (or with
+    ``task.payload`` unset) are treated as no-ops.  Ready tasks are executed
+    largest-estimated-flops first, like the HEFT runtime.  Returns the number
+    of tasks executed.  The first payload exception is re-raised in the
+    caller after all workers have stopped; a dependency deadlock (no ready
+    task, none in flight, tasks remaining) raises :class:`SchedulingError`
+    instead of hanging.
+    """
+    if num_workers < 1:
+        raise SchedulingError("need at least one worker")
+
+    pending = {tid: len(graph.predecessors(tid)) for tid in graph.tasks}
+    ready: list[tuple[float, int, str]] = []
+    cv = threading.Condition()
+    state = {"remaining": len(graph.tasks), "in_flight": 0, "executed": 0, "seq": 0}
+    errors: list[BaseException] = []
+
+    def push(tid: str) -> None:
+        heapq.heappush(ready, (-graph.tasks[tid].flops, state["seq"], tid))
+        state["seq"] += 1
+
+    for tid, count in pending.items():
+        if count == 0:
+            push(tid)
+
+    def worker() -> None:
+        while True:
+            with cv:
+                while not ready and not errors and state["remaining"] > 0:
+                    if state["in_flight"] == 0:
+                        # Nothing ready, nothing running, tasks left: the
+                        # graph cannot make progress.  Wake everyone and fail.
+                        errors.append(
+                            SchedulingError(
+                                f"task graph stalled with {state['remaining']} tasks pending"
+                            )
+                        )
+                        cv.notify_all()
+                        break
+                    cv.wait()
+                if errors or state["remaining"] == 0:
+                    return
+                _, _, tid = heapq.heappop(ready)
+                state["in_flight"] += 1
+            task = graph.tasks[tid]
+            payload = payloads.get(tid) if payloads is not None else task.payload
+            try:
+                if payload is not None:
+                    payload()
+            except BaseException as exc:  # propagate to the caller
+                with cv:
+                    errors.append(exc)
+                    state["in_flight"] -= 1
+                    cv.notify_all()
+                return
+            with cv:
+                state["in_flight"] -= 1
+                state["remaining"] -= 1
+                state["executed"] += 1
+                for succ in graph.successors(tid):
+                    pending[succ] -= 1
+                    if pending[succ] == 0:
+                        push(succ)
+                # Successors may now be ready, or the graph may be drained:
+                # either way sleeping siblings must re-check their predicate.
+                cv.notify_all()
+
+    threads = [
+        threading.Thread(target=worker, name=f"gofmm-worker-{i}", daemon=True)
+        for i in range(min(num_workers, max(len(graph.tasks), 1)))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    if errors:
+        raise errors[0]
+    if state["remaining"] != 0:  # pragma: no cover - defended by the stall check
+        raise SchedulingError(f"parallel evaluation finished with {state['remaining']} tasks pending")
+    return state["executed"]
+
+
+# ---------------------------------------------------------------------------
+# reference engine: per-node task DAG
+# ---------------------------------------------------------------------------
 
 def _attach_payloads(graph: TaskGraph, compressed: CompressedMatrix, state: EvaluationState) -> None:
     """Bind each DAG task to the numerical function it performs."""
@@ -87,18 +195,9 @@ def _attach_payloads(graph: TaskGraph, compressed: CompressedMatrix, state: Eval
             raise SchedulingError(f"unexpected task kind {task.kind!r} in evaluation DAG")
 
 
-def parallel_evaluate(
-    compressed: CompressedMatrix,
-    w: np.ndarray,
-    num_workers: int = 4,
-) -> np.ndarray:
-    """Evaluate ``K̃ w`` by executing the task DAG with ``num_workers`` threads."""
-    if num_workers < 1:
-        raise SchedulingError("need at least one worker")
+def _parallel_evaluate_reference(compressed: CompressedMatrix, weights: np.ndarray, num_workers: int) -> np.ndarray:
     tree = compressed.tree
-    weights, was_vector = _as_matrix(w, tree.n)
     state = EvaluationState(weights=weights, output=np.zeros_like(weights))
-
     cost = CostModel(
         leaf_size=compressed.config.leaf_size,
         rank=max(1, int(round(compressed.rank_summary()["mean"]))),
@@ -106,61 +205,51 @@ def parallel_evaluate(
     )
     graph = build_evaluation_dag(tree, cost)
     _attach_payloads(graph, compressed, state)
+    run_task_graph(graph, num_workers)
+    return state.output
 
-    pending = {tid: len(graph.predecessors(tid)) for tid in graph.tasks}
-    pending_lock = threading.Lock()
-    ready: "queue.PriorityQueue[tuple[float, int, str]]" = queue.PriorityQueue()
-    counter = [0]
 
-    def push(tid: str) -> None:
-        ready.put((-graph.tasks[tid].flops, counter[0], tid))
-        counter[0] += 1
+# ---------------------------------------------------------------------------
+# planned engine: plan-segment DAG
+# ---------------------------------------------------------------------------
 
-    for tid in graph.roots():
-        push(tid)
+def _parallel_evaluate_planned(compressed: CompressedMatrix, weights: np.ndarray, num_workers: int) -> np.ndarray:
+    plan = compressed.plan()
+    ctx = plan.new_context(weights)
+    graph, segments = build_plan_dag(plan, num_rhs=weights.shape[1])
+    # One lock is all the planned engine needs: S2N-at-leaves overlaps L2L
+    # on the output.  Workspace scatters are disjoint per stage by
+    # construction (see plan.PlanSegment).
+    out_lock = threading.Lock()
+    payloads = {
+        tid: (lambda s=seg: s.run(ctx, out_lock=out_lock)) for tid, seg in segments.items()
+    }
+    run_task_graph(graph, num_workers, payloads=payloads)
+    return ctx.output
 
-    remaining = [len(graph.tasks)]
-    errors: list[BaseException] = []
-    done = threading.Event()
 
-    def worker() -> None:
-        while not done.is_set():
-            try:
-                _, _, tid = ready.get(timeout=0.05)
-            except queue.Empty:
-                with pending_lock:
-                    if remaining[0] == 0:
-                        return
-                continue
-            task = graph.tasks[tid]
-            try:
-                if task.payload is not None:
-                    task.payload()
-            except BaseException as exc:  # propagate to the caller
-                errors.append(exc)
-                done.set()
-                return
-            with pending_lock:
-                remaining[0] -= 1
-                finished = remaining[0] == 0
-                for succ in graph.successors(tid):
-                    pending[succ] -= 1
-                    if pending[succ] == 0:
-                        push(succ)
-            if finished:
-                done.set()
-                return
+def parallel_evaluate(
+    compressed: CompressedMatrix,
+    w: np.ndarray,
+    num_workers: int = 4,
+    engine: Optional[str] = None,
+) -> np.ndarray:
+    """Evaluate ``K̃ w`` by executing the evaluation DAG with ``num_workers`` threads.
 
-    threads = [threading.Thread(target=worker, name=f"gofmm-worker-{i}") for i in range(num_workers)]
-    for thread in threads:
-        thread.start()
-    for thread in threads:
-        thread.join()
-
-    if errors:
-        raise errors[0]
-    if remaining[0] != 0:
-        raise SchedulingError(f"parallel evaluation finished with {remaining[0]} tasks pending")
-
-    output = state.output[:, 0] if was_vector else state.output
-    return output
+    ``engine="planned"`` (default) schedules the batched segments of the
+    cached evaluation plan; ``engine="reference"`` schedules one task per
+    tree node, re-using the exact task functions of the sequential driver.
+    Both agree with the sequential engines to floating-point summation
+    order.
+    """
+    if num_workers < 1:
+        raise SchedulingError("need at least one worker")
+    engine = engine or compressed.default_engine()
+    weights, was_vector = _as_matrix(w, compressed.tree.n)
+    if engine == "planned":
+        output = _parallel_evaluate_planned(compressed, weights, num_workers)
+    elif engine == "reference":
+        output = _parallel_evaluate_reference(compressed, weights, num_workers)
+    else:
+        raise SchedulingError(f"unknown evaluation engine {engine!r}; use 'planned' or 'reference'")
+    return output[:, 0] if was_vector else output

@@ -157,11 +157,17 @@ def solve(
     tolerance: float = 1e-8,
     max_iterations: int = 500,
     use_preconditioner: bool = True,
+    engine: Optional[str] = None,
 ) -> CGResult:
-    """Solve ``(K̃ + shift·I) x = b`` with (block-Jacobi preconditioned) CG."""
+    """Solve ``(K̃ + shift·I) x = b`` with (block-Jacobi preconditioned) CG.
+
+    ``engine`` selects the matvec engine for the Krylov iterations; the
+    default (planned) builds the evaluation plan once and amortizes it over
+    every CG iteration.
+    """
     preconditioner = BlockJacobiPreconditioner(compressed, shift=shift) if use_preconditioner else None
     return conjugate_gradient(
-        matvec=compressed.matvec,
+        matvec=lambda v: compressed.matvec(v, engine=engine),
         rhs=rhs,
         shift=shift,
         tolerance=tolerance,

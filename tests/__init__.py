@@ -1,0 +1,6 @@
+"""Test suite package marker.
+
+The unit/integration/property modules import shared matrix factories with
+``from ..conftest import …``, which requires the ``tests`` tree to be a
+proper package.
+"""

@@ -1,0 +1,231 @@
+"""Unit tests for the packed evaluation plan (the "planned" matvec engine).
+
+The reference engine of :mod:`repro.core.evaluate` is the correctness
+oracle: every test here asserts that the planned engine reproduces it to
+1e-10 across kernels, budgets (HSS and FMM), and right-hand-side shapes.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ConfigurationError, EvaluationError, GOFMMConfig, compress
+from repro.config import DistanceMetric
+from repro.core.evaluate import EvaluationCounters, evaluate
+from repro.core.plan import EvaluationPlan, build_plan, evaluate_planned
+
+from ..conftest import make_gaussian_kernel_matrix, make_random_spd
+
+
+def _config(budget: float, **overrides) -> GOFMMConfig:
+    base = dict(
+        leaf_size=28, max_rank=28, tolerance=1e-9, neighbors=8,
+        budget=budget, num_neighbor_trees=4, distance=DistanceMetric.KERNEL, seed=0,
+    )
+    base.update(overrides)
+    return GOFMMConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def fmm_pair():
+    matrix = make_gaussian_kernel_matrix(n=220, d=3, bandwidth=1.5, seed=0)
+    return matrix, compress(matrix, _config(budget=0.3))
+
+
+@pytest.fixture(scope="module")
+def hss_pair():
+    matrix = make_gaussian_kernel_matrix(n=220, d=3, bandwidth=1.5, seed=0)
+    return matrix, compress(matrix, _config(budget=0.0))
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("budget", [0.0, 0.15, 0.5])
+    def test_matches_reference_across_budgets(self, budget):
+        matrix = make_gaussian_kernel_matrix(n=220, d=3, bandwidth=1.5, seed=0)
+        cm = compress(matrix, _config(budget=budget))
+        w = np.random.default_rng(0).standard_normal((matrix.n, 4))
+        assert np.allclose(evaluate_planned(cm, w), evaluate(cm, w), atol=1e-10)
+
+    def test_single_vector(self, fmm_pair):
+        matrix, cm = fmm_pair
+        w = np.random.default_rng(1).standard_normal(matrix.n)
+        planned = evaluate_planned(cm, w)
+        assert planned.shape == (matrix.n,)
+        assert np.allclose(planned, evaluate(cm, w), atol=1e-10)
+
+    def test_multi_rhs(self, fmm_pair):
+        matrix, cm = fmm_pair
+        w = np.random.default_rng(2).standard_normal((matrix.n, 7))
+        planned = evaluate_planned(cm, w)
+        assert planned.shape == (matrix.n, 7)
+        assert np.allclose(planned, evaluate(cm, w), atol=1e-10)
+
+    def test_hss_case(self, hss_pair):
+        matrix, cm = hss_pair
+        w = np.random.default_rng(3).standard_normal((matrix.n, 3))
+        assert np.allclose(evaluate_planned(cm, w), evaluate(cm, w), atol=1e-10)
+
+    def test_unstructured_matrix(self):
+        matrix = make_random_spd(n=96, seed=2)
+        cm = compress(matrix, _config(budget=0.25, leaf_size=24, max_rank=24, distance=DistanceMetric.ANGLE))
+        w = np.random.default_rng(4).standard_normal((96, 2))
+        assert np.allclose(evaluate_planned(cm, w), evaluate(cm, w), atol=1e-10)
+
+    @pytest.mark.parametrize("name", ["gaussian-narrow", "gaussian-wide"])
+    def test_across_kernels(self, name):
+        bandwidth = 0.6 if name == "gaussian-narrow" else 2.5
+        matrix = make_gaussian_kernel_matrix(n=200, d=3, bandwidth=bandwidth, seed=5)
+        cm = compress(matrix, _config(budget=0.2))
+        w = np.random.default_rng(5).standard_normal((200, 3))
+        assert np.allclose(evaluate_planned(cm, w), evaluate(cm, w), atol=1e-10)
+
+    def test_matches_explicit_dense_form(self, fmm_pair):
+        matrix, cm = fmm_pair
+        w = np.random.default_rng(6).standard_normal((matrix.n, 2))
+        assert np.allclose(evaluate_planned(cm, w), cm.to_dense() @ w, atol=1e-8)
+
+    def test_uncached_blocks(self):
+        """The plan packs blocks on demand when compression skipped caching."""
+        matrix = make_gaussian_kernel_matrix(n=150, d=3, bandwidth=1.2, seed=6)
+        cm = compress(matrix, _config(budget=0.2, leaf_size=25, max_rank=20,
+                                      cache_near_blocks=False, cache_far_blocks=False))
+        w = np.random.default_rng(7).standard_normal(150)
+        assert np.allclose(evaluate_planned(cm, w), evaluate(cm, w), atol=1e-10)
+
+    def test_uncached_blocks_default_to_reference(self):
+        """Memory-bounded configs must not be silently packed by the default engine."""
+        matrix = make_gaussian_kernel_matrix(n=150, d=3, bandwidth=1.2, seed=6)
+        cm = compress(matrix, _config(budget=0.2, leaf_size=25, max_rank=20,
+                                      cache_near_blocks=False, cache_far_blocks=False))
+        assert cm.default_engine() == "reference"
+        cm.matvec(np.zeros(150))
+        assert cm._plan is None  # default matvec did not build a plan
+        # explicit opt-in still packs, and flips the default back to planned
+        cm.matvec(np.zeros(150), engine="planned")
+        assert cm._plan is not None
+        assert cm.default_engine() == "planned"
+
+
+class TestEngineSelection:
+    def test_matvec_engine_argument(self, fmm_pair):
+        matrix, cm = fmm_pair
+        w = np.random.default_rng(8).standard_normal(matrix.n)
+        assert np.allclose(cm.matvec(w, engine="planned"), cm.matvec(w, engine="reference"), atol=1e-10)
+
+    def test_unknown_engine_rejected(self, fmm_pair):
+        _, cm = fmm_pair
+        with pytest.raises(EvaluationError):
+            cm.matvec(np.zeros(cm.n), engine="warp-drive")
+
+    def test_config_engine_default(self):
+        matrix = make_gaussian_kernel_matrix(n=150, d=3, bandwidth=1.2, seed=9)
+        reference_cm = compress(matrix, _config(budget=0.2, leaf_size=25, evaluation_engine="reference"))
+        w = np.random.default_rng(9).standard_normal(150)
+        # default engine comes from the config; explicit argument overrides it
+        assert np.allclose(reference_cm.matvec(w), reference_cm.matvec(w, engine="planned"), atol=1e-10)
+
+    def test_invalid_engine_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GOFMMConfig(evaluation_engine="vectorized")
+
+    def test_prebuild_plan_phase_reported(self):
+        matrix = make_gaussian_kernel_matrix(n=150, d=3, bandwidth=1.2, seed=10)
+        cm, report = compress(matrix, _config(budget=0.2, leaf_size=25, prebuild_plan=True), return_report=True)
+        assert "plan" in report.phase_seconds
+        assert cm._plan is not None
+
+
+class TestPlanStructure:
+    def test_plan_cached_and_rebuildable(self, fmm_pair):
+        _, cm = fmm_pair
+        plan = cm.plan()
+        assert cm.plan() is plan
+        assert cm.plan(rebuild=True) is not plan
+        assert isinstance(plan, EvaluationPlan)
+
+    def test_csr_lists_match_tree(self, fmm_pair):
+        _, cm = fmm_pair
+        plan = cm.plan()
+        assert plan.near_indptr[-1] == plan.near_cols.size == cm.lists.total_near_pairs()
+        assert plan.far_indptr[-1] == plan.far_cols.size == cm.lists.total_far_pairs()
+        for i, leaf in enumerate(cm.tree.leaves):
+            cols = plan.near_cols[plan.near_indptr[i] : plan.near_indptr[i + 1]]
+            assert list(cols) == list(leaf.near)
+        for node in cm.tree.nodes:
+            cols = plan.far_cols[plan.far_indptr[node.node_id] : plan.far_indptr[node.node_id + 1]]
+            assert list(cols) == list(node.far)
+
+    def test_workspace_offsets_disjoint(self, fmm_pair):
+        _, cm = fmm_pair
+        plan = cm.plan()
+        spans = []
+        for node in cm.tree.nodes:
+            off = plan.skel_offset[node.node_id]
+            if off >= 0:
+                spans.append((off, off + node.skeleton_rank))
+        spans.sort()
+        for (a0, a1), (b0, b1) in zip(spans, spans[1:]):
+            assert a1 <= b0
+        assert spans[-1][1] <= plan.workspace_rows
+
+    def test_scatter_targets_unique_within_segment(self, fmm_pair):
+        """Rounds must leave no duplicate output row inside any one segment."""
+        _, cm = fmm_pair
+        plan = cm.plan()
+        for seg in plan.s2s_segments:
+            flat = seg.dst_rows.ravel()
+            assert flat.size == np.unique(flat).size
+        for seg in plan.l2l_segments:
+            flat = seg.dst.ravel()
+            assert flat.size == np.unique(flat).size
+
+    def test_hss_plan_has_no_offdiagonal_l2l(self, hss_pair):
+        _, cm = hss_pair
+        plan = cm.plan()
+        # budget 0: the direct part is exactly the diagonal leaf blocks
+        assert plan.near_cols.size == len(cm.tree.leaves)
+
+    def test_stages_cover_all_segments(self, fmm_pair):
+        _, cm = fmm_pair
+        plan = cm.plan()
+        staged = sum(len(stage) for _, stage in plan.stages())
+        assert staged == plan.num_segments > 0
+
+    def test_plan_report(self, fmm_pair):
+        _, cm = fmm_pair
+        report = cm.plan_report()
+        assert report["segments"] > 0
+        assert report["packed_entries"] > 0
+        assert report["workspace_rows"] == cm.plan().workspace_rows
+
+
+class TestCounters:
+    def test_counters_populated_and_scale_with_rhs(self, fmm_pair):
+        matrix, cm = fmm_pair
+        c1, c4 = EvaluationCounters(), EvaluationCounters()
+        gen = np.random.default_rng(11)
+        cm.plan().execute(gen.standard_normal((matrix.n, 1)), counters=c1)
+        cm.plan().execute(gen.standard_normal((matrix.n, 4)), counters=c4)
+        assert c1.n2s > 0 and c1.s2s > 0 and c1.s2n > 0 and c1.l2l > 0
+        assert c4.total == pytest.approx(4.0 * c1.total, rel=1e-12)
+
+    def test_planned_flops_not_more_than_reference(self, fmm_pair):
+        """Dead-branch pruning means the plan never does more work than the oracle."""
+        matrix, cm = fmm_pair
+        ref, planned = EvaluationCounters(), EvaluationCounters()
+        w = np.random.default_rng(12).standard_normal((matrix.n, 2))
+        evaluate(cm, w, counters=ref)
+        evaluate_planned(cm, w, counters=planned)
+        assert planned.total <= ref.total + 1e-9
+
+
+class TestValidation:
+    def test_wrong_length_rejected(self, fmm_pair):
+        _, cm = fmm_pair
+        with pytest.raises(EvaluationError):
+            evaluate_planned(cm, np.zeros(cm.n + 1))
+
+    def test_build_plan_direct(self, fmm_pair):
+        _, cm = fmm_pair
+        plan = build_plan(cm)
+        w = np.random.default_rng(13).standard_normal((cm.n, 2))
+        assert np.allclose(plan.execute(w), evaluate(cm, w), atol=1e-10)

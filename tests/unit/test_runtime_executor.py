@@ -5,7 +5,8 @@ import pytest
 
 from repro import GOFMMConfig, SchedulingError, compress
 from repro.config import DistanceMetric
-from repro.runtime import parallel_evaluate
+from repro.runtime import CostModel, build_plan_dag, parallel_evaluate, run_task_graph
+from repro.runtime.task import Task, TaskGraph
 
 from ..conftest import make_gaussian_kernel_matrix
 
@@ -60,3 +61,106 @@ class TestParallelEvaluate:
         mat = parallel_evaluate(cm, np.zeros((matrix.n, 3)), num_workers=2)
         assert vec.shape == (matrix.n,)
         assert mat.shape == (matrix.n, 3)
+
+
+class TestPlannedEngine:
+    """The executor scheduling plan segments instead of per-node closures."""
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("engine", ["planned", "reference"])
+    def test_engines_match_sequential(self, compressed_pair, workers, engine):
+        matrix, cm = compressed_pair
+        w = np.random.default_rng(4).standard_normal((matrix.n, 4))
+        out = parallel_evaluate(cm, w, num_workers=workers, engine=engine)
+        assert np.allclose(out, cm.matvec(w, engine="reference"), atol=1e-10)
+
+    def test_planned_hss(self):
+        matrix = make_gaussian_kernel_matrix(n=150, d=3, bandwidth=1.5, seed=1)
+        config = GOFMMConfig(
+            leaf_size=25, max_rank=25, tolerance=1e-8, neighbors=6,
+            budget=0.0, num_neighbor_trees=3, distance=DistanceMetric.KERNEL, seed=1,
+        )
+        cm = compress(matrix, config)
+        w = np.random.default_rng(5).standard_normal(matrix.n)
+        out = parallel_evaluate(cm, w, num_workers=3, engine="planned")
+        assert np.allclose(out, cm.matvec(w, engine="reference"), atol=1e-10)
+
+    def test_unknown_engine_rejected(self, compressed_pair):
+        _, cm = compressed_pair
+        with pytest.raises(SchedulingError):
+            parallel_evaluate(cm, np.zeros(cm.n), num_workers=2, engine="warp-drive")
+
+    def test_plan_dag_structure(self, compressed_pair):
+        _, cm = compressed_pair
+        plan = cm.plan()
+        graph, segments = build_plan_dag(plan, num_rhs=3)
+        assert len(graph) == plan.num_segments == len(segments)
+        # L2L segments are roots (independent of the up/down passes)
+        for tid, seg in segments.items():
+            if seg.kind == "L2L":
+                assert not graph.predecessors(tid)
+        # every S2S segment runs after every N2S segment (directly or transitively)
+        order = {tid: i for i, tid in enumerate(graph.topological_order())}
+        n2s_max = max((order[t] for t, s in segments.items() if s.kind == "N2S"), default=-1)
+        s2s_min = min((order[t] for t, s in segments.items() if s.kind == "S2S"), default=np.inf)
+        assert n2s_max < s2s_min
+
+
+class TestRunTaskGraph:
+    """The condition-variable worker pool drains deterministically."""
+
+    def _graph(self, n=64):
+        graph = TaskGraph()
+        for i in range(n):
+            graph.add_task(Task(task_id=f"t{i}", kind="L2L", node_id=i, flops=float(i)))
+        for i in range(1, n):
+            graph.add_dependency(f"t{i - 1}", f"t{i}")
+        return graph
+
+    @pytest.mark.parametrize("workers", [1, 3, 8])
+    def test_all_tasks_execute_exactly_once(self, workers):
+        import threading
+
+        executed = []
+        lock = threading.Lock()
+        graph = self._graph()
+
+        def payload(i):
+            with lock:
+                executed.append(i)
+
+        payloads = {f"t{i}": (lambda i=i: payload(i)) for i in range(64)}
+        count = run_task_graph(graph, workers, payloads=payloads)
+        assert count == 64
+        assert sorted(executed) == list(range(64))
+        # the chain forces sequential order even with many workers
+        assert executed == list(range(64))
+
+    def test_error_propagates_and_pool_exits(self):
+        graph = self._graph(8)
+
+        def boom():
+            raise ValueError("payload failure")
+
+        payloads = {"t3": boom}
+        with pytest.raises(ValueError, match="payload failure"):
+            run_task_graph(graph, 4, payloads=payloads)
+
+    def test_many_workers_on_tiny_graph(self):
+        # more workers than tasks: nobody may hang waiting for work
+        graph = TaskGraph()
+        graph.add_task(Task(task_id="only", kind="L2L", node_id=0))
+        assert run_task_graph(graph, 16) == 1
+
+    def test_empty_graph(self):
+        assert run_task_graph(TaskGraph(), 4) == 0
+
+    def test_repeated_runs_stable(self, compressed_pair):
+        # regression for the old polling/shutdown race: hammer the pool
+        matrix, cm = compressed_pair
+        w = np.random.default_rng(6).standard_normal((matrix.n, 2))
+        expected = cm.matvec(w, engine="reference")
+        for _ in range(10):
+            for engine in ("planned", "reference"):
+                out = parallel_evaluate(cm, w, num_workers=4, engine=engine)
+                assert np.allclose(out, expected, atol=1e-10)
