@@ -1,0 +1,1 @@
+"""Benchmark harness package (one module per paper table/figure)."""

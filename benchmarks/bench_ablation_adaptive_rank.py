@@ -15,10 +15,11 @@ from __future__ import annotations
 import pytest
 
 from repro import GOFMMConfig
+from repro.api import Session
 from repro.matrices import build_matrix
 from repro.reporting import format_table
 
-from .harness import once, problem_size, run_gofmm
+from .harness import once, problem_size, run_gofmm_session
 
 MODES = [
     ("adaptive tau=1e-3", dict(adaptive_rank=True, tolerance=1e-3)),
@@ -29,15 +30,20 @@ MODES = [
 
 def _experiment(matrix_name: str):
     n = problem_size(1024)
-    runs = []
-    for label, overrides in MODES:
-        matrix = build_matrix(matrix_name, n, seed=0)
-        config = GOFMMConfig(
+    matrix = build_matrix(matrix_name, n, seed=0)
+    # adaptive_rank / tolerance only invalidate skeletonization onward, so
+    # one session serves all three modes on shared tree + ANN + lists.
+    session = Session(
+        matrix,
+        GOFMMConfig(
             leaf_size=64, max_rank=64, neighbors=16, budget=0.1,
-            distance="angle", seed=0, **overrides,
-        )
-        runs.append(run_gofmm(matrix, config, num_rhs=32, name=label))
-    return runs
+            distance="angle", seed=0, **MODES[0][1],
+        ),
+    )
+    return [
+        run_gofmm_session(session, overrides, num_rhs=32, name=label)
+        for label, overrides in MODES
+    ]
 
 
 @pytest.mark.parametrize("matrix_name", ["K02", "K13"])

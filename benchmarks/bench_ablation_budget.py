@@ -11,25 +11,29 @@ from __future__ import annotations
 import pytest
 
 from repro import GOFMMConfig
+from repro.api import Session
 from repro.matrices import build_matrix
 from repro.reporting import format_table
 
-from .harness import once, problem_size, run_gofmm
+from .harness import once, problem_size, run_gofmm_session
 
 BUDGETS = [0.0, 0.05, 0.1, 0.25, 0.5]
 
 
 def _experiment(matrix_name: str):
     n = problem_size(1024)
-    runs = []
-    for budget in BUDGETS:
-        matrix = build_matrix(matrix_name, n, seed=0)
-        config = GOFMMConfig(
-            leaf_size=64, max_rank=32, tolerance=1e-10, neighbors=16,
-            budget=budget, distance="angle", adaptive_rank=False, seed=0,
-        )
-        runs.append(run_gofmm(matrix, config, num_rhs=32, name=f"budget={budget}"))
-    return runs
+    matrix = build_matrix(matrix_name, n, seed=0)
+    config = GOFMMConfig(
+        leaf_size=64, max_rank=32, tolerance=1e-10, neighbors=16,
+        budget=BUDGETS[0], distance="angle", adaptive_rank=False, seed=0,
+    )
+    # One session for the whole sweep: the budget only invalidates the
+    # interaction lists onward, so tree + ANN artifacts are built once.
+    session = Session(matrix, config)
+    return [
+        run_gofmm_session(session, dict(budget=budget), num_rhs=32, name=f"budget={budget}")
+        for budget in BUDGETS
+    ]
 
 
 @pytest.mark.parametrize("matrix_name", ["K02", "covtype"])

@@ -17,10 +17,11 @@ from __future__ import annotations
 import pytest
 
 from repro import GOFMMConfig
+from repro.api import Session
 from repro.matrices import available_matrices, build_matrix, matrix_info
 from repro.reporting import format_table
 
-from .harness import once, problem_size, run_gofmm
+from .harness import once, problem_size, run_gofmm_session
 
 
 def _config(tolerance: float, budget: float, rank: int) -> GOFMMConfig:
@@ -34,10 +35,13 @@ def _sweep() -> list[dict]:
     n = problem_size(1024)
     rows = []
     for name in available_matrices():
-        matrix_loose = build_matrix(name, n, seed=0)
-        loose = run_gofmm(matrix_loose, _config(1e-2, 0.05, 64), num_rhs=16, name=name)
-        matrix_tight = build_matrix(name, n, seed=0)
-        tight = run_gofmm(matrix_tight, _config(1e-5, 0.15, 128), num_rhs=16, name=name)
+        # One session per matrix: the tight pass reuses the loose pass's
+        # partition and ANN table (only tolerance / budget / rank change).
+        session = Session(build_matrix(name, n, seed=0), _config(1e-2, 0.05, 64))
+        loose = run_gofmm_session(session, num_rhs=16, name=name)
+        tight = run_gofmm_session(
+            session, dict(tolerance=1e-5, budget=0.15, max_rank=128), num_rhs=16, name=name
+        )
         rows.append({
             "name": name,
             "compresses_well": matrix_info(name).compresses_well,

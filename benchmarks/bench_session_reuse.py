@@ -1,0 +1,135 @@
+"""Session reuse: cold one-shot compression vs warm staged recompression.
+
+The staged session API caches the pipeline artifacts that do not depend on
+``tolerance`` / ``budget`` / ``max_rank`` — the ball-tree partition and the
+ANN table, which dominate compression cost at large n.  This benchmark runs
+the same budget sweep twice:
+
+* **cold** — every sweep point pays the full pipeline (the pre-session
+  behaviour of ``benchmarks/bench_ablation_budget.py``),
+* **warm** — one :class:`repro.api.Session`; the first point builds
+  everything, later points rebuild only the interaction lists onward.
+
+and writes a JSON artifact with per-point costs, the stage breakdown, and
+the cold/warm speedups.  The headline number is ``per_point_speedup``:
+(total cold sweep time) / (total warm sweep time), i.e. the factor by which
+the session cuts the cost of one ablation sweep point, *including* the
+warm sweep's one-time cold build.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_session_reuse.py \
+        [--n 8192] [--budgets 0.0 0.05 0.1] [--matrix K02] [--out PATH]
+
+``--n`` can also be overridden with ``GOFMM_BENCH_N``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+from repro import GOFMMConfig
+from repro.api import Session
+from repro.core.compress import compress as monolithic_compress
+from repro.matrices import build_matrix
+
+DEFAULT_BUDGETS = (0.0, 0.05, 0.1)
+
+
+def sweep_config(budget: float) -> GOFMMConfig:
+    return GOFMMConfig(
+        leaf_size=128, max_rank=64, tolerance=1e-5, neighbors=16,
+        budget=budget, distance="angle", seed=0,
+    )
+
+
+def cold_sweep(matrix_name: str, n: int, budgets: list[float]) -> list[dict]:
+    points = []
+    for budget in budgets:
+        matrix = build_matrix(matrix_name, n, seed=0)
+        t0 = time.perf_counter()
+        _, report = monolithic_compress(matrix, sweep_config(budget), return_report=True)
+        seconds = time.perf_counter() - t0
+        points.append({
+            "budget": budget,
+            "seconds": seconds,
+            "phase_seconds": dict(report.phase_seconds),
+            "entry_evaluations": report.entry_evaluations,
+        })
+    return points
+
+
+def warm_sweep(matrix_name: str, n: int, budgets: list[float]) -> list[dict]:
+    matrix = build_matrix(matrix_name, n, seed=0)
+    session = Session(matrix, sweep_config(budgets[0]))
+    points = []
+    for budget in budgets:
+        start_entries = matrix.entry_evaluations
+        t0 = time.perf_counter()
+        operator = session.recompress(budget=budget)
+        seconds = time.perf_counter() - t0
+        points.append({
+            "budget": budget,
+            "seconds": seconds,
+            "phase_seconds": dict(operator.report.phase_seconds),
+            "reused_phases": list(operator.report.reused_phases),
+            "entry_evaluations": matrix.entry_evaluations - start_entries,
+        })
+    return points
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=None)
+    parser.add_argument("--budgets", type=float, nargs="+", default=list(DEFAULT_BUDGETS))
+    parser.add_argument("--matrix", default="K02")
+    parser.add_argument("--out", type=Path, default=Path(__file__).parent / "artifacts" / "session_reuse.json")
+    args = parser.parse_args()
+
+    n = args.n if args.n is not None else int(os.environ.get("GOFMM_BENCH_N", 8192))
+    budgets = list(args.budgets)
+
+    print(f"session reuse benchmark: {args.matrix}, n={n}, budgets={budgets}")
+    cold = cold_sweep(args.matrix, n, budgets)
+    warm = warm_sweep(args.matrix, n, budgets)
+
+    cold_total = sum(p["seconds"] for p in cold)
+    warm_total = sum(p["seconds"] for p in warm)
+    # Per-point speedup over the whole sweep (the warm side includes its one
+    # cold build); warm_point_speedup isolates a steady-state warm point.
+    per_point_speedup = cold_total / warm_total if warm_total > 0 else float("inf")
+    cold_steady = cold[-1]["seconds"]
+    warm_steady = warm[-1]["seconds"]
+    warm_point_speedup = cold_steady / warm_steady if warm_steady > 0 else float("inf")
+
+    print(f"{'budget':>8} {'cold [s]':>10} {'warm [s]':>10} {'speedup':>9}   reused (warm)")
+    for c, w in zip(cold, warm):
+        point_speedup = c["seconds"] / w["seconds"] if w["seconds"] > 0 else float("inf")
+        reused = ",".join(w["reused_phases"]) or "-"
+        print(f"{c['budget']:>8.2f} {c['seconds']:>10.3f} {w['seconds']:>10.3f} {point_speedup:>8.1f}x   {reused}")
+    print(f"sweep totals: cold {cold_total:.3f}s, warm {warm_total:.3f}s "
+          f"→ per-point speedup {per_point_speedup:.1f}x (steady-state point: {warm_point_speedup:.1f}x)")
+
+    artifact = {
+        "benchmark": "session_reuse",
+        "matrix": args.matrix,
+        "n": n,
+        "budgets": budgets,
+        "cold": cold,
+        "warm": warm,
+        "cold_total_seconds": cold_total,
+        "warm_total_seconds": warm_total,
+        "per_point_speedup": per_point_speedup,
+        "warm_point_speedup": warm_point_speedup,
+    }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(artifact, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -22,10 +22,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import GOFMMConfig, compress
+from repro.api import Session
 from repro.core.accuracy import relative_error
 from repro.matrices import build_matrix
 
-__all__ = ["problem_size", "sweep_scale", "GOFMMRun", "run_gofmm", "once"]
+__all__ = ["problem_size", "sweep_scale", "GOFMMRun", "run_gofmm", "run_gofmm_session", "once"]
 
 
 def problem_size(default: int = 1024) -> int:
@@ -59,20 +60,8 @@ class GOFMMRun:
     flops: float = 0.0
 
 
-def run_gofmm(matrix, config: GOFMMConfig, num_rhs: int = 64, name: str = "", rng=None, engine: str | None = None) -> GOFMMRun:
-    """Compress, evaluate, and measure — the unit of work behind most harnesses.
-
-    ``engine`` selects the matvec engine (``"planned"`` / ``"reference"``);
-    for the planned engine the one-time plan construction happens before the
-    timed repetitions, matching how repeated matvecs amortize it in practice.
-    """
-    rng = rng or np.random.default_rng(0)
-    start_entries = matrix.entry_evaluations
-
-    t0 = time.perf_counter()
-    compressed = compress(matrix, config)
-    comp_seconds = time.perf_counter() - t0
-
+def _measure(compressed, matrix, config, comp_seconds, start_entries, num_rhs, name, rng, engine) -> GOFMMRun:
+    """Shared evaluate + ε2 measurement behind the run_* helpers."""
     engine = engine or compressed.default_engine()
     if engine == "planned":
         compressed.plan()
@@ -99,6 +88,48 @@ def run_gofmm(matrix, config: GOFMMConfig, num_rhs: int = 64, name: str = "", rn
         entry_evaluations=matrix.entry_evaluations - start_entries,
         num_rhs=num_rhs,
         flops=compressed.evaluation_flops(num_rhs),
+    )
+
+
+def run_gofmm(matrix, config: GOFMMConfig, num_rhs: int = 64, name: str = "", rng=None, engine: str | None = None) -> GOFMMRun:
+    """Compress, evaluate, and measure — the unit of work behind most harnesses.
+
+    ``engine`` selects the matvec engine (``"planned"`` / ``"reference"``);
+    for the planned engine the one-time plan construction happens before the
+    timed repetitions, matching how repeated matvecs amortize it in practice.
+    """
+    rng = rng or np.random.default_rng(0)
+    start_entries = matrix.entry_evaluations
+
+    t0 = time.perf_counter()
+    compressed = compress(matrix, config)
+    comp_seconds = time.perf_counter() - t0
+    return _measure(compressed, matrix, config, comp_seconds, start_entries, num_rhs, name, rng, engine)
+
+
+def run_gofmm_session(
+    session: Session,
+    overrides: dict | None = None,
+    num_rhs: int = 64,
+    name: str = "",
+    rng=None,
+    engine: str | None = None,
+) -> GOFMMRun:
+    """One sweep point through a staged session (warm where artifacts allow).
+
+    ``overrides`` are applied via :meth:`Session.recompress`, so only the
+    stages the changed fields invalidate are rebuilt; ``compression_seconds``
+    therefore measures the *incremental* cost of this sweep point.
+    """
+    rng = rng or np.random.default_rng(0)
+    matrix = session.matrix
+    start_entries = matrix.entry_evaluations
+
+    t0 = time.perf_counter()
+    operator = session.recompress(**(overrides or {}))
+    comp_seconds = time.perf_counter() - t0
+    return _measure(
+        operator.compressed, matrix, session.config, comp_seconds, start_entries, num_rhs, name, rng, engine
     )
 
 

@@ -7,8 +7,12 @@ Reimplementation (in numpy/scipy) of
 
 Public entry points:
 
-* :mod:`repro.gofmm` — the user API (``compress``, ``GOFMMConfig``,
-  ``CompressedMatrix``, ``run``),
+* :mod:`repro.api` — staged compression sessions (``Session`` with cached,
+  individually invalidated pipeline artifacts; ``CompressedOperator``, a
+  ``scipy.sparse.linalg.LinearOperator``),
+* :mod:`repro.gofmm` — the classic one-shot API (``compress``,
+  ``GOFMMConfig``, ``CompressedMatrix``, ``run``), now thin wrappers over
+  sessions,
 * :mod:`repro.matrices` — the SPD test-matrix registry (K02–K18, G01–G05,
   COVTYPE/HIGGS/MNIST-like kernel matrices) and the entry-evaluation
   interface,
@@ -19,9 +23,12 @@ Public entry points:
   scheduling and architecture studies.
 """
 
+from .api.operator import CompressedOperator
+from .api.session import Session
 from .config import DistanceMetric, GOFMMConfig, default_config, fmm_config, hss_config
-from .core.compress import CompressionReport, compress
+from .core.compress import CompressionReport
 from .core.hmatrix import CompressedMatrix
+from .gofmm import compress, compress_operator
 from .errors import (
     CompressionError,
     ConfigurationError,
@@ -43,6 +50,9 @@ __all__ = [
     "hss_config",
     "fmm_config",
     "compress",
+    "compress_operator",
+    "Session",
+    "CompressedOperator",
     "CompressedMatrix",
     "CompressionReport",
     "GOFMMError",

@@ -1,0 +1,388 @@
+"""Staged compression sessions with reusable pipeline artifacts.
+
+A :class:`Session` owns the compression pipeline as six first-class,
+individually cached stage artifacts (see :mod:`repro.api.stages`).  Each
+artifact records the exact :class:`~repro.config.GOFMMConfig` fields it was
+built under; :meth:`Session.recompress` replaces config fields, rebuilds
+only the stages those fields (or their upstream) touch, and reuses the
+rest.  Changing only ``tolerance`` / ``budget`` / ``max_rank`` — the knobs
+every ablation sweeps — reuses the ball tree and the ANN table, which
+dominate compression cost at large n, so a warm sweep point costs
+O(skeletonize) instead of O(full pipeline).
+
+Typical usage::
+
+    from repro.api import Session
+
+    session = Session(matrix, config)
+    operator = session.compress()                  # cold: every stage runs
+    op_tight = session.recompress(tolerance=1e-7)  # warm: skeletonize onward
+    op_wide = session.recompress(budget=0.1)       # warm: lists onward
+
+    x = operator.solve(b).solution                 # block-Jacobi PCG
+    eigs = scipy.sparse.linalg.lobpcg(operator, X) # SciPy operator protocol
+
+    # A family of operators (e.g. kernel bandwidths) on one shared partition:
+    other = session.attach(other_matrix)
+    op_other = other.compress()                    # no new ANN / tree work
+
+Results are identical to the one-shot :func:`repro.core.compress.compress`
+path: both run the same stage functions, and every stage draws from its own
+deterministic generator (:func:`repro.core.compress.stage_rng`), so reuse
+never shifts downstream randomness.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+import importlib
+import itertools
+from contextlib import nullcontext
+
+from ..config import GOFMMConfig
+from ..core.compress import CompressionReport, _PhaseTimer
+
+# ``repro.core`` re-exports the ``compress`` *function*, which shadows the
+# submodule under ``from ..core import compress`` — resolve the module itself
+# so the stage functions stay monkeypatchable at ``repro.core.compress.*``.
+_pipeline = importlib.import_module(__name__.rsplit(".", 2)[0] + ".core.compress")
+from ..core.hmatrix import CompressedMatrix
+from ..errors import CompressionError
+from ..matrices.base import as_spd_matrix
+from .operator import CompressedOperator
+from .stages import (
+    STAGE_ORDER,
+    STAGE_UPSTREAM,
+    Blocks,
+    Interactions,
+    Neighbors,
+    Partition,
+    Plan,
+    Skeletons,
+    changed_fields,
+    invalidated_stages,
+    stage_fingerprint,
+)
+
+__all__ = ["Session"]
+
+#: CompressionReport phase name for each pipeline stage (matches the
+#: monolithic :func:`repro.core.compress.compress` report keys).
+_PHASE_NAME = {
+    "partition": "tree",
+    "neighbors": "neighbors",
+    "interactions": "lists",
+    "skeletons": "skeletonization",
+    "blocks": "caching",
+    "plan": "plan",
+}
+
+#: Stages whose artifacts never touch matrix entries beyond the distance
+#: oracle — these are shared with sessions created by :meth:`Session.attach`.
+_SHARED_ON_ATTACH = ("partition", "neighbors", "interactions")
+
+
+#: Monotonic artifact version numbers.  Global (not per-session) because
+#: :meth:`Session.attach` shares cache entries across sessions — versions
+#: must stay unique so upstream-identity checks cannot collide.
+_VERSION_COUNTER = itertools.count(1)
+
+
+@dataclass
+class _CachedStage:
+    """One cached artifact plus the provenance it was built under.
+
+    ``fingerprint`` snapshots the artifact's own config fields;
+    ``upstream_versions`` records the exact versions of the upstream
+    artifacts it was built from.  An entry is valid only when both still
+    match — comparing versions (rather than remembering what was rebuilt
+    in the current pass) keeps the cache consistent even when a compress()
+    pass aborts between stage rebuilds.
+    """
+
+    value: object
+    fingerprint: dict
+    version: int = 0
+    upstream_versions: dict = None
+
+
+class Session:
+    """Staged compression of one SPD matrix with reusable pipeline artifacts.
+
+    Parameters
+    ----------
+    matrix:
+        an :class:`repro.matrices.base.SPDMatrix`, dense array, or
+        ``(callback, n)`` pair — anything :func:`as_spd_matrix` accepts.
+    config:
+        the initial :class:`GOFMMConfig` (default: paper defaults).
+    coordinates:
+        optional point coordinates for the geometric distance.
+    """
+
+    def __init__(
+        self,
+        matrix,
+        config: Optional[GOFMMConfig] = None,
+        coordinates: Optional[np.ndarray] = None,
+    ) -> None:
+        self.matrix = as_spd_matrix(matrix)
+        if self.matrix.n < 2:
+            raise CompressionError("cannot compress a 1x1 matrix")
+        self._config = config or GOFMMConfig()
+        self.coordinates = coordinates
+        self._cache: dict[str, _CachedStage] = {}
+        self._distance = None
+        self._distance_metric = None
+        #: How many times each stage has actually been built by this session.
+        self.stage_builds: Counter = Counter()
+        #: Stages rebuilt / reused by the most recent compress() call.
+        self.last_built: tuple[str, ...] = ()
+        self.last_reused: tuple[str, ...] = ()
+
+    # -- configuration ---------------------------------------------------------
+    @property
+    def config(self) -> GOFMMConfig:
+        return self._config
+
+    @property
+    def n(self) -> int:
+        return self.matrix.n
+
+    def stale_stages(self, **changes) -> frozenset:
+        """Stages :meth:`recompress` would rebuild for the given config changes.
+
+        Includes stages that have never been built.  With no arguments this
+        reports what a plain :meth:`compress` call would have to build.
+        """
+        new_config = self._config.replace(**changes) if changes else self._config
+        stale = set(invalidated_stages(changed_fields(self._config, new_config)))
+        for stage in STAGE_ORDER:
+            if not self._entry_valid(stage, stage_fingerprint(new_config, stage)):
+                stale.add(stage)
+        # Cascade: anything downstream of a stale stage is stale too.
+        for stage in STAGE_ORDER:
+            if any(up in stale for up in STAGE_UPSTREAM[stage]):
+                stale.add(stage)
+        return frozenset(stale)
+
+    def artifact(self, stage: str):
+        """The cached artifact for a stage, or ``None`` if not built."""
+        entry = self._cache.get(stage)
+        return entry.value if entry is not None else None
+
+    # -- pipeline --------------------------------------------------------------
+    def _distance_oracle(self, timer: Optional[_PhaseTimer] = None):
+        """The distance object, rebuilt only when the metric changes."""
+        if self._distance is None or self._distance_metric != self._config.distance:
+            with (timer("distance") if timer is not None else nullcontext()):
+                self._distance = _pipeline.run_distance_stage(self.matrix, self._config, self.coordinates)
+            self._distance_metric = self._config.distance
+        return self._distance
+
+    def _entry_valid(self, stage: str, fingerprint: dict) -> bool:
+        """Whether the cached entry for ``stage`` is current.
+
+        Valid iff its own config fields are unchanged *and* every direct
+        upstream artifact is still the exact artifact (by version) it was
+        built from.  Version comparison — not "was it rebuilt this pass" —
+        keeps validity correct even after an aborted compress() left the
+        cache with a fresh upstream but stale downstream entries.
+        """
+        entry = self._cache.get(stage)
+        if entry is None or entry.fingerprint != fingerprint:
+            return False
+        for up in STAGE_UPSTREAM[stage]:
+            up_entry = self._cache.get(up)
+            if up_entry is None or (entry.upstream_versions or {}).get(up) != up_entry.version:
+                return False
+        return True
+
+    def _ensure(self, stage: str, rebuilt: set, build, timer: Optional[_PhaseTimer]):
+        """Return the stage artifact, rebuilding it iff it is stale."""
+        fingerprint = stage_fingerprint(self._config, stage)
+        if self._entry_valid(stage, fingerprint):
+            return self._cache[stage].value
+        with (timer(_PHASE_NAME[stage]) if timer is not None else nullcontext()):
+            value = build()
+        self._cache[stage] = _CachedStage(
+            value=value,
+            fingerprint=fingerprint,
+            version=next(_VERSION_COUNTER),
+            upstream_versions={up: self._cache[up].version for up in STAGE_UPSTREAM[stage]},
+        )
+        rebuilt.add(stage)
+        self.stage_builds[stage] += 1
+        return value
+
+    def prepare(self, timer: Optional[_PhaseTimer] = None, rebuilt: Optional[set] = None) -> tuple:
+        """Ensure the matrix-light artifacts (partition, ANN, interaction lists).
+
+        These are exactly the artifacts :meth:`attach` shares across a family
+        of operators.  Returns ``(Partition, Neighbors, Interactions)``.
+        """
+        rebuilt = set() if rebuilt is None else rebuilt
+        config = self._config
+
+        # Build the distance oracle up front (its own "distance" phase), but
+        # only when a stage that consumes it is actually stale — nesting it
+        # inside a stage timer would double-count its cost in the report.
+        needs_distance = not self._entry_valid(
+            "partition", stage_fingerprint(config, "partition")
+        ) or not self._entry_valid("neighbors", stage_fingerprint(config, "neighbors"))
+        distance = self._distance_oracle(timer) if needs_distance else None
+
+        partition: Partition = self._ensure(
+            "partition",
+            rebuilt,
+            lambda: Partition(tree=_pipeline.run_partition_stage(self.matrix.n, config, distance)),
+            timer,
+        )
+        neighbors: Neighbors = self._ensure(
+            "neighbors",
+            rebuilt,
+            lambda: Neighbors(table=_pipeline.run_neighbors_stage(distance, config)),
+            timer,
+        )
+
+        # The interactions stage annotates a fresh clone of the partition; the
+        # clone is kept for this pass so a following skeletons rebuild does not
+        # need to clone + stamp again.
+        scratch: dict[str, object] = {}
+
+        def build_interactions() -> Interactions:
+            tree = partition.working_tree()
+            lists = _pipeline.run_interactions_stage(tree, neighbors.table, config)
+            scratch["tree"] = tree
+            return Interactions.capture(tree, lists)
+
+        interactions: Interactions = self._ensure("interactions", rebuilt, build_interactions, timer)
+        self._scratch_tree = scratch.get("tree")
+        return partition, neighbors, interactions
+
+    def compress(self) -> CompressedOperator:
+        """Run (or reuse) every pipeline stage and return the operator.
+
+        Only stale stages execute; the returned operator's ``report`` lists
+        executed phases in ``phase_seconds`` and reused ones in
+        ``reused_phases``.
+        """
+        report = CompressionReport()
+        timer = _PhaseTimer(report)
+        start_evals = self.matrix.entry_evaluations
+        rebuilt: set[str] = set()
+        config = self._config
+
+        partition, neighbors, interactions = self.prepare(timer, rebuilt)
+
+        def build_skeletons() -> Skeletons:
+            tree = self._scratch_tree
+            if tree is None or "interactions" not in rebuilt:
+                tree = partition.working_tree()
+                interactions.materialize(tree)
+            stats = _pipeline.run_skeletons_stage(tree, self.matrix, config, neighbors.table)
+            return Skeletons(tree=tree, lists=interactions.lists, stats=stats)
+
+        skeletons: Skeletons = self._ensure("skeletons", rebuilt, build_skeletons, timer)
+        self._scratch_tree = None
+
+        blocks: Blocks = self._ensure(
+            "blocks",
+            rebuilt,
+            lambda: Blocks(*_pipeline.run_blocks_stage(skeletons.tree, self.matrix, config)),
+            timer,
+        )
+
+        previous_plan_entry = self._cache.get("plan")
+        blocks_entry = self._cache.get("blocks")
+
+        def build_plan() -> Plan:
+            compressed = CompressedMatrix(
+                tree=skeletons.tree,
+                lists=skeletons.lists,
+                config=config,
+                near_blocks=blocks.near_blocks,
+                far_blocks=blocks.far_blocks,
+                matrix=self.matrix,
+                neighbors=neighbors.table,
+            )
+            if (
+                previous_plan_entry is not None
+                and blocks_entry is not None
+                and (previous_plan_entry.upstream_versions or {}).get("blocks") == blocks_entry.version
+            ):
+                # The previous plan was packed against these exact blocks
+                # (same tree / lists / providers): still exact — only the
+                # config wrapper changed.
+                compressed._plan = previous_plan_entry.value.compressed._plan
+            if config.prebuild_plan:
+                compressed.plan()
+            return Plan(compressed=compressed)
+
+        plan: Plan = self._ensure("plan", rebuilt, build_plan, timer)
+
+        # -- report ----------------------------------------------------------
+        report.num_leaves = partition.num_leaves
+        report.tree_depth = partition.depth
+        report.neighbor_iterations = neighbors.iterations
+        report.neighbor_converged = neighbors.converged
+        report.near_pairs = interactions.lists.total_near_pairs()
+        report.far_pairs = interactions.lists.total_far_pairs()
+        report.average_rank = skeletons.average_rank
+        report.max_rank = skeletons.max_rank
+        report.entry_evaluations = self.matrix.entry_evaluations - start_evals
+        report.reused_phases = [
+            _PHASE_NAME[stage] for stage in STAGE_ORDER if stage not in rebuilt
+        ]
+        self.last_built = tuple(stage for stage in STAGE_ORDER if stage in rebuilt)
+        self.last_reused = tuple(stage for stage in STAGE_ORDER if stage not in rebuilt)
+
+        return CompressedOperator(plan.compressed, report=report)
+
+    def recompress(self, **config_changes) -> CompressedOperator:
+        """Replace config fields and compress, reusing every unaffected stage.
+
+        ``session.recompress(tolerance=1e-3, budget=0.05)`` rebuilds the
+        interaction lists and everything downstream but performs zero ANN
+        iterations and zero tree builds.
+        """
+        if config_changes:
+            self._config = self._config.replace(**config_changes)
+        return self.compress()
+
+    # -- operator families -----------------------------------------------------
+    def attach(self, matrix, **config_changes) -> "Session":
+        """A new session for another matrix sharing this session's partition.
+
+        The partition, ANN table and interaction lists — all matrix-light —
+        are shared, so compressing a family of operators (kernel bandwidths,
+        regularizations, …) pays the tree / neighbor cost once.  The new
+        matrix must have the same dimension.  Skeletons and cached blocks
+        are always rebuilt against the new matrix's entries.
+        """
+        matrix = as_spd_matrix(matrix)
+        if matrix.n != self.matrix.n:
+            raise CompressionError(
+                f"attach requires a matrix of the same size (session n={self.matrix.n}, got n={matrix.n})"
+            )
+        # Make sure the shareable artifacts exist before handing them over.
+        self.prepare()
+        other = Session(
+            matrix,
+            self._config.replace(**config_changes) if config_changes else self._config,
+            coordinates=self.coordinates,
+        )
+        for stage in _SHARED_ON_ATTACH:
+            entry = self._cache.get(stage)
+            if entry is not None:
+                other._cache[stage] = entry
+        return other
+
+    def __repr__(self) -> str:
+        built = ", ".join(s for s in STAGE_ORDER if s in self._cache) or "none"
+        return f"<Session n={self.matrix.n} built=[{built}] config=({self._config.describe()})>"

@@ -1,0 +1,245 @@
+"""First-class pipeline stage artifacts and their config dependencies.
+
+The compression pipeline (ANN search → metric-tree partition → Near/Far
+lists → skeletonization → block caching → evaluation plan) factors into
+six artifacts.  Each artifact is tagged with the exact subset of
+:class:`repro.config.GOFMMConfig` fields it depends on (``depends_on``)
+and with its upstream artifacts (``STAGE_UPSTREAM``); a config change
+invalidates an artifact iff it touches one of the artifact's own fields
+or invalidates something upstream (:func:`invalidated_stages`).
+
+The payoff: ``Session.recompress(tolerance=..., budget=..., max_rank=...)``
+reuses the ball tree and the ANN table — the dominant cost at large n —
+and pays only for skeletonization onward.
+
+Artifacts are plain data, deliberately decoupled from any particular
+:class:`~repro.core.tree.BallTree` instance: the partition is cached
+pristine (never mutated) and cloned per compression, and
+:class:`Interactions` stamps its lists onto whichever clone a compression
+is working on.  That is what makes it safe to hand out several
+:class:`~repro.api.operator.CompressedOperator` objects that share
+upstream artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import ClassVar, Dict, List, Optional
+
+import numpy as np
+
+from ..core.hmatrix import BlockProvider, CompressedMatrix
+from ..core.interactions import InteractionLists
+from ..core.neighbors import NeighborTable
+from ..core.skeletonization import SkeletonizationStats
+from ..core.tree import BallTree
+
+__all__ = [
+    "STAGE_ORDER",
+    "STAGE_FIELDS",
+    "STAGE_UPSTREAM",
+    "stage_fingerprint",
+    "changed_fields",
+    "invalidated_stages",
+    "Partition",
+    "Neighbors",
+    "Interactions",
+    "Skeletons",
+    "Blocks",
+    "Plan",
+]
+
+
+#: Pipeline stages in build order.
+STAGE_ORDER: tuple[str, ...] = ("partition", "neighbors", "interactions", "skeletons", "blocks", "plan")
+
+#: The exact GOFMMConfig fields each stage reads.  A stage artifact stays
+#: valid across a config change iff none of its fields changed and nothing
+#: upstream was invalidated.
+STAGE_FIELDS: Dict[str, frozenset] = {
+    "partition": frozenset({"leaf_size", "distance", "centroid_samples", "seed"}),
+    "neighbors": frozenset(
+        {"distance", "neighbors", "leaf_size", "num_neighbor_trees", "neighbor_accuracy_target", "seed"}
+    ),
+    "interactions": frozenset(
+        {"budget", "symmetrize_lists", "max_rank", "sample_size", "oversampling", "leaf_size", "seed"}
+    ),
+    "skeletons": frozenset(
+        {"max_rank", "tolerance", "adaptive_rank", "sample_size", "oversampling", "secure_accuracy", "dtype", "seed"}
+    ),
+    "blocks": frozenset({"cache_near_blocks", "cache_far_blocks"}),
+    "plan": frozenset({"evaluation_engine", "prebuild_plan"}),
+}
+
+#: Direct upstream dependencies (the partition and the ANN table are
+#: independent of each other — both derive from the distance oracle alone).
+STAGE_UPSTREAM: Dict[str, tuple[str, ...]] = {
+    "partition": (),
+    "neighbors": (),
+    "interactions": ("partition", "neighbors"),
+    "skeletons": ("interactions",),
+    "blocks": ("skeletons",),
+    "plan": ("blocks",),
+}
+
+
+def stage_fingerprint(config, stage: str) -> dict:
+    """The ``{field: value}`` snapshot an artifact of ``stage`` was built under."""
+    return {name: getattr(config, name) for name in STAGE_FIELDS[stage]}
+
+
+def changed_fields(old_config, new_config) -> frozenset:
+    """Config fields whose values differ between two configurations."""
+    tracked = frozenset().union(*STAGE_FIELDS.values())
+    return frozenset(
+        name for name in tracked if getattr(old_config, name) != getattr(new_config, name)
+    )
+
+
+def invalidated_stages(changed: frozenset | set) -> frozenset:
+    """Stages that must rebuild when the given config fields change.
+
+    A stage is invalidated directly (one of its own fields changed) or
+    transitively (an upstream stage was invalidated).  This is the
+    stage-invalidation matrix the test-suite checks field by field.
+    """
+    stale: set[str] = set()
+    for stage in STAGE_ORDER:  # build order is a topological order
+        if STAGE_FIELDS[stage] & set(changed):
+            stale.add(stage)
+        elif any(up in stale for up in STAGE_UPSTREAM[stage]):
+            stale.add(stage)
+    return frozenset(stale)
+
+
+# ---------------------------------------------------------------------------
+# artifacts
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Partition:
+    """Stage 1: the metric ball tree (pristine — cloned before any mutation)."""
+
+    stage: ClassVar[str] = "partition"
+    depends_on: ClassVar[frozenset] = STAGE_FIELDS["partition"]
+
+    tree: BallTree
+
+    @property
+    def permutation(self) -> np.ndarray:
+        """Global indices in left-to-right leaf order (the symmetric permutation of K)."""
+        return self.tree.permutation
+
+    @property
+    def num_leaves(self) -> int:
+        return len(self.tree.leaves)
+
+    @property
+    def depth(self) -> int:
+        return self.tree.depth
+
+    def working_tree(self) -> BallTree:
+        """A fresh structural clone for one compression to mutate."""
+        return self.tree.clone_structure()
+
+
+@dataclass
+class Neighbors:
+    """Stage 2: the ANN table (``None`` for metric-free orderings)."""
+
+    stage: ClassVar[str] = "neighbors"
+    depends_on: ClassVar[frozenset] = STAGE_FIELDS["neighbors"]
+
+    table: Optional[NeighborTable]
+
+    @property
+    def iterations(self) -> int:
+        return self.table.iterations if self.table is not None else 0
+
+    @property
+    def converged(self) -> bool:
+        return self.table.converged if self.table is not None else True
+
+
+@dataclass
+class Interactions:
+    """Stage 3: Near/Far lists plus the per-node neighbor lists N(α).
+
+    Stored as plain dicts keyed by ``node_id`` so the artifact can be
+    re-stamped onto any structural clone of the partition.
+    """
+
+    stage: ClassVar[str] = "interactions"
+    depends_on: ClassVar[frozenset] = STAGE_FIELDS["interactions"]
+
+    lists: InteractionLists
+    neighbor_lists: Dict[int, np.ndarray] = field(default_factory=dict)
+
+    @classmethod
+    def capture(cls, tree: BallTree, lists: InteractionLists) -> "Interactions":
+        """Snapshot the lists a tree was annotated with by the interactions stage."""
+        neighbor_lists = {
+            node.node_id: node.neighbor_list
+            for node in tree.nodes
+            if node.neighbor_list is not None
+        }
+        return cls(lists=lists, neighbor_lists=neighbor_lists)
+
+    def materialize(self, tree: BallTree) -> InteractionLists:
+        """Stamp the cached lists onto a fresh clone of the partition."""
+        for node in tree.nodes:
+            node.near = list(self.lists.near.get(node.node_id, []))
+            node.far = list(self.lists.far.get(node.node_id, []))
+            neighbor_list = self.neighbor_lists.get(node.node_id)
+            node.neighbor_list = neighbor_list
+        return self.lists
+
+
+@dataclass
+class Skeletons:
+    """Stage 4: the skeletonized working tree (immutable once built)."""
+
+    stage: ClassVar[str] = "skeletons"
+    depends_on: ClassVar[frozenset] = STAGE_FIELDS["skeletons"]
+
+    tree: BallTree
+    lists: InteractionLists
+    stats: SkeletonizationStats
+
+    @property
+    def average_rank(self) -> float:
+        return self.stats.average_rank
+
+    @property
+    def max_rank(self) -> int:
+        return self.stats.max_rank
+
+
+@dataclass
+class Blocks:
+    """Stage 5: cached (or lazily evaluated) near / far submatrices."""
+
+    stage: ClassVar[str] = "blocks"
+    depends_on: ClassVar[frozenset] = STAGE_FIELDS["blocks"]
+
+    near_blocks: BlockProvider
+    far_blocks: BlockProvider
+
+    @property
+    def cached_entries(self) -> int:
+        return self.near_blocks.cached_entries + self.far_blocks.cached_entries
+
+
+@dataclass
+class Plan:
+    """Stage 6: the assembled operator (CompressedMatrix + its cached plan)."""
+
+    stage: ClassVar[str] = "plan"
+    depends_on: ClassVar[frozenset] = STAGE_FIELDS["plan"]
+
+    compressed: CompressedMatrix
+
+    @property
+    def evaluation_plan(self):
+        """The packed plan, if one has been built (``None`` before first use)."""
+        return self.compressed._plan

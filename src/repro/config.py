@@ -112,10 +112,11 @@ class GOFMMConfig:
         if ``True``, raise when a node's skeletonization falls back to an
         empty skeleton instead of silently producing a rank-0 block.
     evaluation_engine:
-        default matvec engine: ``"planned"`` executes the packed,
-        level-batched plan of :mod:`repro.core.plan`; ``"reference"`` runs
-        the per-node traversal of :mod:`repro.core.evaluate`.  Either can be
-        overridden per call via ``matvec(w, engine=...)``.
+        default matvec engine, validated against the registry of
+        :mod:`repro.core.engines`.  Built-ins: ``"planned"`` executes the
+        packed, level-batched plan of :mod:`repro.core.plan`; ``"reference"``
+        runs the per-node traversal of :mod:`repro.core.evaluate`.  Either
+        can be overridden per call via ``matvec(w, engine=...)``.
     prebuild_plan:
         build the evaluation plan during compression (phase ``"plan"`` of
         the report) instead of lazily on the first planned matvec.
@@ -167,9 +168,14 @@ class GOFMMConfig:
             raise ConfigurationError("oversampling must be >= 1")
         if self.centroid_samples < 1:
             raise ConfigurationError("centroid_samples must be >= 1")
-        if self.evaluation_engine not in ("planned", "reference"):
+        # Validate against the engine registry (lazy import: repro.core modules
+        # import this module, so the registry cannot be a top-level import).
+        from .core.engines import available_engines, is_registered
+
+        if not is_registered(self.evaluation_engine):
+            known = ", ".join(available_engines())
             raise ConfigurationError(
-                f"evaluation_engine must be 'planned' or 'reference', got {self.evaluation_engine!r}"
+                f"evaluation_engine must be one of: {known}; got {self.evaluation_engine!r}"
             )
         if isinstance(self.distance, str):
             object.__setattr__(self, "distance", DistanceMetric(self.distance))

@@ -1,4 +1,4 @@
-"""Compression phase (§2.2, Algorithm 2.2).
+"""Compression phase (§2.2, Algorithm 2.2), factored into pipeline stages.
 
 The driver runs the paper's pipeline:
 
@@ -11,10 +11,20 @@ The driver runs the paper's pipeline:
 6. optionally (``config.prebuild_plan``) the packed evaluation plan of
    :mod:`repro.core.plan`.
 
-and returns a :class:`repro.core.hmatrix.CompressedMatrix` plus a
-:class:`CompressionReport` with wall-clock time, entry-evaluation counts and
-rank statistics per phase — the numbers the paper's tables report as
-"Comp" time and average rank.
+Each step is exposed as a ``run_*_stage`` function so the staged session
+API (:mod:`repro.api`) can cache and reuse individual stage artifacts
+across recompressions; :func:`compress` chains them into the one-shot
+monolithic path and returns a :class:`repro.core.hmatrix.CompressedMatrix`
+plus a :class:`CompressionReport` with wall-clock time, entry-evaluation
+counts and rank statistics per phase — the numbers the paper's tables
+report as "Comp" time and average rank.
+
+Randomness discipline: every stage draws from its own generator, derived
+deterministically from ``config.seed`` and the stage name
+(:func:`stage_rng`).  Stages therefore produce identical results whether
+they run fused inside :func:`compress` or individually under a session
+with upstream artifacts reused — the property the deprecation-shim
+equivalence tests pin down.
 """
 
 from __future__ import annotations
@@ -28,19 +38,34 @@ import numpy as np
 from ..config import DistanceMetric, GOFMMConfig
 from ..errors import CompressionError
 from ..matrices.base import SPDMatrix, as_spd_matrix
-from .distances import make_distance
+from .distances import Distance, make_distance
 from .hmatrix import BlockProvider, CompressedMatrix
-from .interactions import build_interaction_lists, build_node_neighbor_lists
+from .interactions import InteractionLists, build_interaction_lists, build_node_neighbor_lists
 from .neighbors import NeighborTable, all_nearest_neighbors
-from .skeletonization import skeletonize_tree
+from .skeletonization import SkeletonizationStats, skeletonize_tree
 from .tree import BallTree, build_tree
 
-__all__ = ["CompressionReport", "compress"]
+__all__ = [
+    "CompressionReport",
+    "compress",
+    "stage_rng",
+    "run_distance_stage",
+    "run_neighbors_stage",
+    "run_partition_stage",
+    "run_interactions_stage",
+    "run_skeletons_stage",
+    "run_blocks_stage",
+]
 
 
 @dataclass
 class CompressionReport:
-    """Per-phase timings and statistics of one compression run."""
+    """Per-phase timings and statistics of one compression run.
+
+    ``reused_phases`` lists pipeline stages that were satisfied from a
+    session cache instead of being executed (always empty for the one-shot
+    :func:`compress` path); reused stages contribute no ``phase_seconds``.
+    """
 
     phase_seconds: dict[str, float] = field(default_factory=dict)
     entry_evaluations: int = 0
@@ -52,6 +77,7 @@ class CompressionReport:
     far_pairs: int = 0
     neighbor_iterations: int = 0
     neighbor_converged: bool = True
+    reused_phases: list[str] = field(default_factory=list)
 
     @property
     def total_seconds(self) -> float:
@@ -59,10 +85,12 @@ class CompressionReport:
 
     def summary(self) -> str:
         phases = ", ".join(f"{k}={v:.3f}s" for k, v in self.phase_seconds.items())
+        reused = f"; reused: {', '.join(self.reused_phases)}" if self.reused_phases else ""
         return (
             f"compression: {self.total_seconds:.3f}s ({phases}); "
             f"avg rank {self.average_rank:.1f}, max rank {self.max_rank}, "
             f"{self.num_leaves} leaves, {self.near_pairs} near pairs, {self.far_pairs} far pairs"
+            f"{reused}"
         )
 
 
@@ -90,14 +118,99 @@ class _Phase:
         return False
 
 
-def _cache_blocks(
+# ---------------------------------------------------------------------------
+# stage functions
+# ---------------------------------------------------------------------------
+
+# Fixed tags so each stage's generator is a deterministic function of
+# (config.seed, stage) alone — never of how many draws earlier stages made.
+_STAGE_SEED_TAGS = {
+    "neighbors": 1,
+    "partition": 2,
+    "interactions": 3,
+    "skeletons": 4,
+}
+
+
+def stage_rng(config: GOFMMConfig, stage: str) -> np.random.Generator:
+    """Independent generator for one pipeline stage.
+
+    Seeded from ``(stage tag, config.seed)`` so a stage re-run in isolation
+    (session recompress) reproduces exactly the draws it would have made
+    inside the fused pipeline.  ``seed=None`` yields fresh entropy.
+    """
+    tag = _STAGE_SEED_TAGS[stage]
+    if config.seed is None:
+        return np.random.default_rng()
+    return np.random.default_rng([tag, config.seed])
+
+
+def run_distance_stage(
+    matrix: SPDMatrix,
+    config: GOFMMConfig,
+    coordinates: Optional[np.ndarray] = None,
+) -> Optional[Distance]:
+    """Build the distance oracle for partitioning / neighbor search."""
+    return make_distance(matrix, config.distance, coordinates)
+
+
+def run_neighbors_stage(
+    distance: Optional[Distance],
+    config: GOFMMConfig,
+) -> Optional[NeighborTable]:
+    """Iterative ANN search (tasks SPLI + ANN); ``None`` for metric-free orderings."""
+    if distance is None or not config.distance.defines_distance:
+        return None
+    return all_nearest_neighbors(distance, config, rng=stage_rng(config, "neighbors"))
+
+
+def run_partition_stage(
+    n: int,
+    config: GOFMMConfig,
+    distance: Optional[Distance],
+) -> BallTree:
+    """Metric ball-tree partitioning (task SPLI)."""
+    return build_tree(n, config, distance, rng=stage_rng(config, "partition"))
+
+
+def run_interactions_stage(
+    tree: BallTree,
+    neighbors: Optional[NeighborTable],
+    config: GOFMMConfig,
+) -> InteractionLists:
+    """Node neighbor lists N(α) plus Near/Far lists (Algorithms 2.3–2.5).
+
+    Mutates ``tree`` (attaches ``neighbor_list``, ``near``, ``far`` to its
+    nodes) and returns the :class:`InteractionLists`.
+    """
+    if neighbors is not None:
+        build_node_neighbor_lists(
+            tree,
+            neighbors,
+            max_size=4 * config.effective_sample_size(),
+            rng=stage_rng(config, "interactions"),
+        )
+    return build_interaction_lists(tree, neighbors, config)
+
+
+def run_skeletons_stage(
     tree: BallTree,
     matrix: SPDMatrix,
     config: GOFMMConfig,
-    near_blocks: BlockProvider,
-    far_blocks: BlockProvider,
-) -> None:
+    neighbors: Optional[NeighborTable],
+) -> SkeletonizationStats:
+    """Nested skeletonization (tasks SKEL + COEF); mutates ``tree`` nodes."""
+    return skeletonize_tree(tree, matrix, config, neighbors, rng=stage_rng(config, "skeletons"))
+
+
+def run_blocks_stage(
+    tree: BallTree,
+    matrix: SPDMatrix,
+    config: GOFMMConfig,
+) -> tuple[BlockProvider, BlockProvider]:
     """Tasks Kba(β) and SKba(β): evaluate and store the direct and skeleton blocks."""
+    near_blocks = BlockProvider(tree, matrix, use_skeletons=False)
+    far_blocks = BlockProvider(tree, matrix, use_skeletons=True)
     if config.cache_near_blocks:
         for leaf in tree.leaves:
             for alpha_id in leaf.near:
@@ -111,7 +224,12 @@ def _cache_blocks(
                 alpha = tree.node(alpha_id)
                 cols = alpha.skeleton if alpha.skeleton is not None else np.empty(0, dtype=np.intp)
                 far_blocks.store((node.node_id, alpha_id), matrix.entries(node.skeleton, cols))
+    return near_blocks, far_blocks
 
+
+# ---------------------------------------------------------------------------
+# one-shot driver
+# ---------------------------------------------------------------------------
 
 def compress(
     matrix,
@@ -120,6 +238,11 @@ def compress(
     return_report: bool = False,
 ):
     """Compress an SPD matrix into a hierarchical (FMM/HSS) representation.
+
+    This is the one-shot monolithic path: every stage runs.  To reuse
+    stage artifacts across parameter changes or operator families, use
+    :class:`repro.api.Session` (which produces identical results — the
+    stages and their seeding are shared).
 
     Parameters
     ----------
@@ -143,48 +266,37 @@ def compress(
     config = config or GOFMMConfig()
     report = CompressionReport()
     phase = _PhaseTimer(report)
-    rng = np.random.default_rng(config.seed)
     start_evals = matrix.entry_evaluations
 
     if matrix.n < 2:
         raise CompressionError("cannot compress a 1x1 matrix")
 
     with phase("distance"):
-        distance = make_distance(matrix, config.distance, coordinates)
+        distance = run_distance_stage(matrix, config, coordinates)
 
-    neighbors: Optional[NeighborTable] = None
-    if distance is not None and config.distance.defines_distance:
-        with phase("neighbors"):
-            neighbors = all_nearest_neighbors(distance, config, rng=rng)
-            report.neighbor_iterations = neighbors.iterations
-            report.neighbor_converged = neighbors.converged
+    with phase("neighbors"):
+        neighbors = run_neighbors_stage(distance, config)
+    if neighbors is not None:
+        report.neighbor_iterations = neighbors.iterations
+        report.neighbor_converged = neighbors.converged
 
     with phase("tree"):
-        tree = build_tree(matrix.n, config, distance, rng=rng)
+        tree = run_partition_stage(matrix.n, config, distance)
         report.num_leaves = len(tree.leaves)
         report.tree_depth = tree.depth
 
     with phase("lists"):
-        if neighbors is not None:
-            build_node_neighbor_lists(
-                tree,
-                neighbors,
-                max_size=4 * config.effective_sample_size(),
-                rng=rng,
-            )
-        lists = build_interaction_lists(tree, neighbors, config)
+        lists = run_interactions_stage(tree, neighbors, config)
         report.near_pairs = lists.total_near_pairs()
         report.far_pairs = lists.total_far_pairs()
 
     with phase("skeletonization"):
-        stats = skeletonize_tree(tree, matrix, config, neighbors, rng=rng)
+        stats = run_skeletons_stage(tree, matrix, config, neighbors)
         report.average_rank = stats.average_rank
         report.max_rank = stats.max_rank
 
-    near_blocks = BlockProvider(tree, matrix, use_skeletons=False)
-    far_blocks = BlockProvider(tree, matrix, use_skeletons=True)
     with phase("caching"):
-        _cache_blocks(tree, matrix, config, near_blocks, far_blocks)
+        near_blocks, far_blocks = run_blocks_stage(tree, matrix, config)
 
     report.entry_evaluations = matrix.entry_evaluations - start_evals
 

@@ -1,0 +1,144 @@
+"""Evaluation-engine registry.
+
+The compressed matvec has interchangeable execution back ends ("engines"):
+the per-node reference traversal of :mod:`repro.core.evaluate` and the
+packed, level-batched plan executor of :mod:`repro.core.plan`.  Instead of
+string-literal dispatch scattered through ``hmatrix.py`` / ``config.py``,
+engines are registered here by name; :meth:`repro.core.hmatrix.CompressedMatrix.matvec`
+and the config validation both consult the registry, so a new engine (for
+example the streaming / chunked plan sketched in ROADMAP.md) plugs in with
+one :func:`register` call and no call-site changes::
+
+    from repro.core import engines
+
+    def run_streaming(compressed, w, counters=None):
+        ...
+
+    engines.register("streaming", run_streaming, requires_cached_blocks=False)
+    compressed.matvec(w, engine="streaming")          # dispatches immediately
+    GOFMMConfig(evaluation_engine="streaming")        # validates against the registry
+
+The built-in engines are registered at import time with lazy bodies so this
+module stays import-cycle free (``config`` → ``engines`` → nothing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..errors import EvaluationError
+
+__all__ = [
+    "EngineSpec",
+    "register",
+    "unregister",
+    "get_engine",
+    "available_engines",
+    "is_registered",
+]
+
+# An engine body: (compressed, w, counters) -> K̃ w
+EngineFn = Callable[[object, np.ndarray, Optional[object]], np.ndarray]
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """One registered evaluation engine.
+
+    ``requires_cached_blocks`` marks engines that materialize every near/far
+    block up front (the packed plan does); :meth:`CompressedMatrix.default_engine`
+    uses it to fall back to a streaming-friendly engine when block caching
+    was disabled at compression time.
+    """
+
+    name: str
+    run: EngineFn = field(repr=False)
+    requires_cached_blocks: bool = False
+    description: str = ""
+
+    def __call__(self, compressed, w: np.ndarray, counters=None) -> np.ndarray:
+        return self.run(compressed, w, counters)
+
+
+_REGISTRY: dict[str, EngineSpec] = {}
+
+
+def register(
+    name: str,
+    run: EngineFn,
+    *,
+    requires_cached_blocks: bool = False,
+    description: str = "",
+    overwrite: bool = False,
+) -> EngineSpec:
+    """Register an evaluation engine under ``name`` and return its spec."""
+    if not name or not isinstance(name, str):
+        raise EvaluationError(f"engine name must be a non-empty string, got {name!r}")
+    if name in _REGISTRY and not overwrite:
+        raise EvaluationError(f"engine {name!r} is already registered (pass overwrite=True to replace)")
+    spec = EngineSpec(
+        name=name,
+        run=run,
+        requires_cached_blocks=requires_cached_blocks,
+        description=description,
+    )
+    _REGISTRY[name] = spec
+    return spec
+
+
+def unregister(name: str) -> None:
+    """Remove a registered engine (built-ins may be removed too; tests use this)."""
+    if name not in _REGISTRY:
+        raise EvaluationError(f"engine {name!r} is not registered")
+    del _REGISTRY[name]
+
+
+def get_engine(name: str) -> EngineSpec:
+    """Look up an engine by name; raises with the list of known engines."""
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        known = ", ".join(sorted(_REGISTRY))
+        raise EvaluationError(f"unknown evaluation engine {name!r}; registered engines: {known}")
+    return spec
+
+
+def available_engines() -> tuple[str, ...]:
+    """Names of all registered engines, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def is_registered(name: str) -> bool:
+    return name in _REGISTRY
+
+
+# -- built-in engines ---------------------------------------------------------
+# Bodies import lazily so that registering at module import time does not pull
+# in evaluate/plan (both of which import config, which validates against this
+# registry).
+
+def _run_reference(compressed, w: np.ndarray, counters=None) -> np.ndarray:
+    from .evaluate import evaluate
+
+    return evaluate(compressed, w, counters=counters)
+
+
+def _run_planned(compressed, w: np.ndarray, counters=None) -> np.ndarray:
+    from .plan import evaluate_planned
+
+    return evaluate_planned(compressed, w, counters=counters)
+
+
+register(
+    "reference",
+    _run_reference,
+    description="per-node traversal of Algorithm 2.7 (correctness oracle)",
+)
+register(
+    "planned",
+    _run_planned,
+    requires_cached_blocks=True,
+    description="packed level-batched GEMMs over the cached evaluation plan",
+)

@@ -24,8 +24,9 @@ import numpy as np
 from ..config import GOFMMConfig
 from ..errors import EvaluationError
 from ..matrices.base import SPDMatrix
-from .evaluate import EvaluationCounters, evaluate
-from .plan import EvaluationPlan, build_plan, evaluate_planned
+from .engines import get_engine, is_registered
+from .evaluate import EvaluationCounters
+from .plan import EvaluationPlan, build_plan
 from .interactions import InteractionLists
 from .neighbors import NeighborTable
 from .tree import BallTree, TreeNode
@@ -113,14 +114,16 @@ class CompressedMatrix:
         """Engine used when ``matvec`` is called without an explicit ``engine``.
 
         Normally ``config.evaluation_engine``; when block caching was
-        disabled at compression time (the memory-bounded configuration) the
-        default falls back to ``"reference"`` rather than silently packing
-        every block into a plan — pass ``engine="planned"`` (or call
+        disabled at compression time (the memory-bounded configuration) and
+        the configured engine requires cached blocks (the packed plan does),
+        the default falls back to ``"reference"`` rather than silently
+        packing every block into a plan — pass ``engine="planned"`` (or call
         :meth:`plan`) to opt into the packed engine anyway.
         """
         engine = getattr(self.config, "evaluation_engine", "planned")
         if (
-            engine == "planned"
+            is_registered(engine)
+            and get_engine(engine).requires_cached_blocks
             and self._plan is None
             and not (self.config.cache_near_blocks and self.config.cache_far_blocks)
         ):
@@ -130,17 +133,14 @@ class CompressedMatrix:
     def matvec(self, w: np.ndarray, engine: Optional[str] = None) -> np.ndarray:
         """Approximate product ``K̃ w`` (Algorithm 2.7); accepts (N,) or (N, r).
 
-        ``engine`` selects the evaluation path: ``"planned"`` (default,
-        level-batched GEMMs over the cached plan) or ``"reference"`` (the
-        per-node traversal of :mod:`repro.core.evaluate`).  Defaults to
+        ``engine`` names a registered evaluation engine (see
+        :mod:`repro.core.engines`): ``"planned"`` executes level-batched
+        GEMMs over the cached plan, ``"reference"`` runs the per-node
+        traversal of :mod:`repro.core.evaluate`.  Defaults to
         :meth:`default_engine`.
         """
         engine = engine or self.default_engine()
-        if engine == "reference":
-            return evaluate(self, w, counters=self.counters)
-        if engine == "planned":
-            return evaluate_planned(self, w, counters=self.counters)
-        raise EvaluationError(f"unknown evaluation engine {engine!r}; use 'planned' or 'reference'")
+        return get_engine(engine)(self, w, counters=self.counters)
 
     def __matmul__(self, w: np.ndarray) -> np.ndarray:
         return self.matvec(w)
@@ -235,13 +235,31 @@ class CompressedMatrix:
         return out
 
     # -- accuracy ---------------------------------------------------------------
-    def relative_error(self, num_rhs: int = 10, num_sample_rows: int = 100, rng: np.random.Generator | None = None) -> float:
-        """Sampled ε2 = ||K̃w − Kw||_F / ||Kw||_F against the source matrix."""
+    def relative_error(
+        self,
+        num_rhs: int = 10,
+        num_sample_rows: int = 100,
+        rng: np.random.Generator | None = None,
+        engine: Optional[str] = None,
+    ) -> float:
+        """Sampled ε2 = ||K̃w − Kw||_F / ||Kw||_F against the source matrix.
+
+        ``engine`` selects the matvec engine used for the approximate
+        product (default: :meth:`default_engine`), so ε2 measures the engine
+        users actually run — matching :func:`repro.gofmm.run`.
+        """
         if self.matrix is None:
             raise EvaluationError("relative_error requires the source matrix to be attached")
         from .accuracy import relative_error as _relative_error
 
-        return _relative_error(self, self.matrix, num_rhs=num_rhs, num_sample_rows=num_sample_rows, rng=rng)
+        return _relative_error(
+            self,
+            self.matrix,
+            num_rhs=num_rhs,
+            num_sample_rows=num_sample_rows,
+            rng=rng,
+            engine=engine,
+        )
 
     # -- reports -----------------------------------------------------------------
     def rank_summary(self) -> dict[str, float]:

@@ -183,6 +183,32 @@ class BallTree:
         """Global indices in left-to-right leaf order (the symmetric permutation of K)."""
         return self._permutation
 
+    # -- copying ----------------------------------------------------------------
+    def clone_structure(self) -> "BallTree":
+        """Structural copy: same partition, no compression state.
+
+        Returns a new tree whose nodes share the (read-only) ``indices``
+        arrays but carry none of the per-node state attached by later
+        pipeline stages (``neighbor_list``, ``near``/``far``, ``skeleton``,
+        ``coeffs``).  The session API clones the cached partition for every
+        compression so artifacts can be reused without aliasing mutable
+        state between operators.
+        """
+        clones = [
+            TreeNode(node_id=node.node_id, level=node.level, morton=node.morton, indices=node.indices)
+            for node in self.nodes
+        ]
+        for node in self.nodes:
+            if node.is_leaf:
+                continue
+            clone = clones[node.node_id]
+            left, right = node.children()
+            clone.left = clones[left.node_id]
+            clone.right = clones[right.node_id]
+            clone.left.parent = clone
+            clone.right.parent = clone
+        return BallTree(clones, self.depth, self.n)
+
     # -- traversals -------------------------------------------------------------
     def level_order(self) -> Iterator[TreeNode]:
         return iter(self.nodes)

@@ -8,8 +8,9 @@ operator, optionally preconditioned with the block-Jacobi preconditioner
 that falls out of the compression for free (the dense leaf diagonal blocks
 are already cached by the ``Kba`` task).
 
-* :func:`conjugate_gradient` — CG for ``(A + shift·I) x = b`` given any
-  matvec callable (dense, compressed, or matrix-free),
+* :func:`conjugate_gradient` — (blocked) CG for ``(A + shift·I) X = B``
+  given any matvec callable (dense, compressed, or matrix-free); a block of
+  right-hand sides runs per-column recurrences over shared wide matvecs,
 * :class:`BlockJacobiPreconditioner` — Cholesky factors of the leaf diagonal
   blocks of a :class:`repro.core.hmatrix.CompressedMatrix`,
 * :func:`solve` — convenience wrapper: compressed operator + optional
@@ -32,13 +33,22 @@ __all__ = ["CGResult", "conjugate_gradient", "BlockJacobiPreconditioner", "solve
 
 @dataclass
 class CGResult:
-    """Outcome of a (preconditioned) conjugate-gradient solve."""
+    """Outcome of a (preconditioned, possibly blocked) conjugate-gradient solve.
+
+    ``solution`` has the shape of the input ``rhs`` (``(n,)`` or ``(n, k)``).
+    For a multi-RHS solve, ``residual_norm`` / ``converged`` summarize the
+    worst column (max norm / all converged); ``column_residual_norms`` and
+    ``column_converged`` carry the per-column outcome.  ``residual_history``
+    records the max residual norm across columns per iteration.
+    """
 
     solution: np.ndarray
     iterations: int
     residual_norm: float
     converged: bool
     residual_history: list[float]
+    column_residual_norms: Optional[np.ndarray] = None
+    column_converged: Optional[np.ndarray] = None
 
 
 def conjugate_gradient(
@@ -50,63 +60,109 @@ def conjugate_gradient(
     preconditioner: Optional[Callable[[np.ndarray], np.ndarray]] = None,
     x0: Optional[np.ndarray] = None,
 ) -> CGResult:
-    """Preconditioned CG for ``(A + shift·I) x = b`` with ``A`` SPD.
+    """Preconditioned (blocked) CG for ``(A + shift·I) X = B`` with ``A`` SPD.
+
+    ``rhs`` may be a single vector ``(n,)`` or a block of ``k`` right-hand
+    sides ``(n, k)``.  In the blocked case every iteration applies one wide
+    product ``A @ P`` for all still-active columns at once — exactly the
+    shape the planned engine's level-batched GEMMs are fastest at — while
+    the CG recurrences (``alpha``, ``beta``) run independently per column;
+    converged or broken-down columns are dropped from the active block and
+    the iteration continues until all columns finish or ``max_iterations``.
 
     ``matvec`` only needs to implement products with ``A``; the shift is
     applied here so callers can regularize without touching the compressed
-    representation.  Convergence is declared when the true (unpreconditioned)
-    residual norm drops below ``tolerance · ||b||``.
+    representation.  ``preconditioner`` must accept the shape it is given
+    (the :class:`BlockJacobiPreconditioner` handles both).  Convergence is
+    declared per column when the true (unpreconditioned) residual norm drops
+    below ``tolerance · ||b||``.
     """
-    b = np.asarray(rhs, dtype=np.float64)
-    if b.ndim != 1:
-        raise EvaluationError("conjugate_gradient expects a single right-hand side vector")
-    n = b.shape[0]
+    b_in = np.asarray(rhs, dtype=np.float64)
+    if b_in.ndim not in (1, 2):
+        raise EvaluationError(
+            f"conjugate_gradient expects a vector (n,) or a block (n, k) of right-hand sides, "
+            f"got shape {b_in.shape}"
+        )
+    single = b_in.ndim == 1
+    b = b_in[:, None] if single else b_in
+    n, k = b.shape
 
     def apply(x: np.ndarray) -> np.ndarray:
-        return np.asarray(matvec(x), dtype=np.float64).reshape(n) + shift * x
+        """(A + shift·I) @ x for any column width (single path stays 1-D)."""
+        out = np.asarray(matvec(x[:, 0] if single else x), dtype=np.float64)
+        return out.reshape(x.shape) + shift * x
 
-    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    def precondition(r: np.ndarray) -> np.ndarray:
+        if preconditioner is None:
+            return r
+        out = np.asarray(preconditioner(r[:, 0] if single else r), dtype=np.float64)
+        return out.reshape(r.shape)
+
+    if x0 is None:
+        x = np.zeros((n, k))
+    else:
+        x = np.asarray(x0, dtype=np.float64).reshape(n, k).copy()
     r = b - apply(x)
-    z = preconditioner(r) if preconditioner is not None else r
+    z = precondition(r)
     p = z.copy()
-    rz = float(r @ z)
-    b_norm = float(np.linalg.norm(b)) or 1.0
+    rz = np.einsum("ij,ij->j", r, z)
+    b_norms = np.linalg.norm(b, axis=0)
+    b_norms[b_norms == 0.0] = 1.0
 
-    history = [float(np.linalg.norm(r))]
-    converged = history[-1] <= tolerance * b_norm
+    res_norms = np.linalg.norm(r, axis=0)
+    history = [float(res_norms.max())]
+    converged_cols = res_norms <= tolerance * b_norms
+    # Converged / broken-down columns are dropped from the active index set:
+    # the wide matvec and preconditioner then run only on the columns still
+    # iterating, so a hard column does not keep paying for finished ones.
+    active = np.flatnonzero(~converged_cols)
     iterations = 0
-    while not converged and iterations < max_iterations:
-        ap = apply(p)
-        denom = float(p @ ap)
-        if denom <= 0.0:
-            # Numerical loss of positive definiteness (heavy compression error):
-            # stop rather than diverge; the caller sees converged=False.
-            break
-        alpha = rz / denom
-        x += alpha * p
-        r -= alpha * ap
+    while active.size and iterations < max_iterations:
+        pa = p[:, active]
+        ap = apply(pa)
+        denom = np.einsum("ij,ij->j", pa, ap)
+        # Numerical loss of positive definiteness (heavy compression error):
+        # freeze the affected columns rather than diverge; the caller sees
+        # converged=False for them.
+        ok = denom > 0.0
+        if not ok.all():
+            active, pa, ap, denom = active[ok], pa[:, ok], ap[:, ok], denom[ok]
+            if not active.size:
+                break
+        alpha = rz[active] / denom
+        x[:, active] += alpha * pa
+        r[:, active] -= alpha * ap
         iterations += 1
-        res_norm = float(np.linalg.norm(r))
-        history.append(res_norm)
-        if res_norm <= tolerance * b_norm:
-            converged = True
+        res_norms[active] = np.linalg.norm(r[:, active], axis=0)
+        history.append(float(res_norms[active].max()))
+        newly = res_norms[active] <= tolerance * b_norms[active]
+        converged_cols[active[newly]] = True
+        active = active[~newly]
+        if not active.size:
             break
-        z = preconditioner(r) if preconditioner is not None else r
-        rz_new = float(r @ z)
-        if rz_new <= 0.0 or not np.isfinite(rz_new):
-            # Loss of positive definiteness in the (preconditioned) operator —
-            # typically a sign that the compression error exceeds the shift.
-            break
-        beta = rz_new / rz
-        rz = rz_new
-        p = z + beta * p
+        za = precondition(r[:, active])
+        rz_new = np.einsum("ij,ij->j", r[:, active], za)
+        # Loss of positive definiteness in the (preconditioned) operator —
+        # typically a sign that the compression error exceeds the shift.
+        good = (rz_new > 0.0) & np.isfinite(rz_new)
+        if not good.all():
+            active, za, rz_new = active[good], za[:, good], rz_new[good]
+            if not active.size:
+                break
+        beta = rz_new / rz[active]
+        rz[active] = rz_new
+        p[:, active] = za + beta * p[:, active]
 
+    final_norms = res_norms
+    solution = x[:, 0] if single else x
     return CGResult(
-        solution=x,
+        solution=solution,
         iterations=iterations,
-        residual_norm=history[-1],
-        converged=converged,
+        residual_norm=float(final_norms.max()),
+        converged=bool(np.all(converged_cols)),
         residual_history=history,
+        column_residual_norms=None if single else final_norms,
+        column_converged=None if single else converged_cols.copy(),
     )
 
 
@@ -161,6 +217,9 @@ def solve(
 ) -> CGResult:
     """Solve ``(K̃ + shift·I) x = b`` with (block-Jacobi preconditioned) CG.
 
+    ``rhs`` may be a vector ``(n,)`` or a block ``(n, k)``; the blocked
+    solver evaluates each Krylov product for all right-hand sides as one
+    wide matvec, which the planned engine executes as level-batched GEMMs.
     ``engine`` selects the matvec engine for the Krylov iterations; the
     default (planned) builds the evaluation plan once and amortizes it over
     every CG iteration.

@@ -1,0 +1,328 @@
+"""Unit tests for the staged session API (repro.api.Session)."""
+
+import numpy as np
+import pytest
+
+import importlib
+
+from repro import GOFMMConfig
+
+# ``repro.core`` re-exports the ``compress`` function, which shadows the
+# submodule in ``import repro.core.compress as ...`` — resolve the module.
+pipeline = importlib.import_module("repro.core.compress")
+from repro.api import (
+    STAGE_FIELDS,
+    STAGE_ORDER,
+    Session,
+    changed_fields,
+    invalidated_stages,
+)
+from repro.core.compress import compress as monolithic_compress
+from repro.errors import CompressionError
+from repro.gofmm import compress as gofmm_compress
+from repro.matrices import KernelMatrix
+from repro.matrices.kernels import GaussianKernel
+
+from ..conftest import make_gaussian_kernel_matrix
+
+COMMON = dict(leaf_size=32, max_rank=24, tolerance=1e-7, neighbors=8, num_neighbor_trees=3, seed=0)
+
+
+@pytest.fixture()
+def matrix():
+    return make_gaussian_kernel_matrix(n=240, d=3, bandwidth=1.5, seed=0)
+
+
+def make_session(matrix, **overrides) -> Session:
+    params = dict(COMMON, budget=0.2)
+    params.update(overrides)
+    return Session(matrix, GOFMMConfig(**params))
+
+
+class TestInvalidationMatrix:
+    """Which config fields rebuild which artifacts (the stage-invalidation matrix)."""
+
+    @pytest.mark.parametrize(
+        "field,expected",
+        [
+            ("tolerance", {"skeletons", "blocks", "plan"}),
+            ("adaptive_rank", {"skeletons", "blocks", "plan"}),
+            ("secure_accuracy", {"skeletons", "blocks", "plan"}),
+            ("dtype", {"skeletons", "blocks", "plan"}),
+            ("budget", {"interactions", "skeletons", "blocks", "plan"}),
+            ("symmetrize_lists", {"interactions", "skeletons", "blocks", "plan"}),
+            ("max_rank", {"interactions", "skeletons", "blocks", "plan"}),
+            ("sample_size", {"interactions", "skeletons", "blocks", "plan"}),
+            ("oversampling", {"interactions", "skeletons", "blocks", "plan"}),
+            ("neighbors", {"neighbors", "interactions", "skeletons", "blocks", "plan"}),
+            ("num_neighbor_trees", {"neighbors", "interactions", "skeletons", "blocks", "plan"}),
+            ("neighbor_accuracy_target", {"neighbors", "interactions", "skeletons", "blocks", "plan"}),
+            ("centroid_samples", {"partition", "interactions", "skeletons", "blocks", "plan"}),
+            ("leaf_size", set(STAGE_ORDER)),
+            ("distance", set(STAGE_ORDER)),
+            ("seed", set(STAGE_ORDER)),
+            ("cache_near_blocks", {"blocks", "plan"}),
+            ("cache_far_blocks", {"blocks", "plan"}),
+            ("evaluation_engine", {"plan"}),
+            ("prebuild_plan", {"plan"}),
+        ],
+    )
+    def test_single_field_invalidation(self, field, expected):
+        assert invalidated_stages({field}) == frozenset(expected)
+
+    def test_no_change_invalidates_nothing(self):
+        assert invalidated_stages(frozenset()) == frozenset()
+
+    def test_every_stage_field_is_a_config_field(self):
+        fields = set(GOFMMConfig.__dataclass_fields__)
+        for stage, deps in STAGE_FIELDS.items():
+            assert deps <= fields, f"stage {stage} depends on unknown fields {deps - fields}"
+
+    def test_changed_fields_detects_differences(self):
+        a = GOFMMConfig(**COMMON, budget=0.1)
+        b = a.replace(budget=0.2, tolerance=1e-3)
+        assert changed_fields(a, b) == frozenset({"budget", "tolerance"})
+
+
+class TestSessionReuse:
+    def test_sweep_reuses_partition_and_ann(self, matrix, monkeypatch):
+        """tolerance/budget/max_rank sweeps run zero ANN searches and zero tree builds."""
+        session = make_session(matrix)
+        session.compress()
+
+        ann_calls = []
+        tree_calls = []
+        original_ann = pipeline.all_nearest_neighbors
+        original_tree = pipeline.build_tree
+        monkeypatch.setattr(
+            pipeline, "all_nearest_neighbors", lambda *a, **k: ann_calls.append(1) or original_ann(*a, **k)
+        )
+        monkeypatch.setattr(
+            pipeline, "build_tree", lambda *a, **k: tree_calls.append(1) or original_tree(*a, **k)
+        )
+
+        session.recompress(tolerance=1e-3)
+        session.recompress(budget=0.05)
+        session.recompress(max_rank=16)
+        session.recompress(tolerance=1e-5, budget=0.1, max_rank=20)
+
+        assert ann_calls == [], "recompress must not re-run the ANN search"
+        assert tree_calls == [], "recompress must not rebuild the ball tree"
+        assert session.stage_builds["partition"] == 1
+        assert session.stage_builds["neighbors"] == 1
+        assert session.stage_builds["skeletons"] == 5
+
+    def test_tolerance_change_reuses_interactions(self, matrix):
+        session = make_session(matrix)
+        session.compress()
+        session.recompress(tolerance=1e-4)
+        assert session.last_built == ("skeletons", "blocks", "plan")
+        assert session.last_reused == ("partition", "neighbors", "interactions")
+
+    def test_budget_change_rebuilds_interactions(self, matrix):
+        session = make_session(matrix)
+        session.compress()
+        session.recompress(budget=0.4)
+        assert "interactions" in session.last_built
+        assert "partition" in session.last_reused
+        assert "neighbors" in session.last_reused
+
+    def test_leaf_size_change_rebuilds_everything(self, matrix):
+        session = make_session(matrix)
+        session.compress()
+        session.recompress(leaf_size=24)
+        assert session.last_built == STAGE_ORDER
+
+    def test_identical_recompress_reuses_everything(self, matrix):
+        session = make_session(matrix)
+        op1 = session.compress()
+        op2 = session.recompress()
+        assert session.last_built == ()
+        assert op2.compressed is op1.compressed
+
+    def test_report_marks_reused_phases(self, matrix):
+        session = make_session(matrix)
+        cold = session.compress()
+        assert cold.report.reused_phases == []
+        warm = session.recompress(tolerance=1e-3)
+        assert "neighbors" in warm.report.reused_phases
+        assert "tree" in warm.report.reused_phases
+        assert "skeletonization" in warm.report.phase_seconds
+        assert "neighbors" not in warm.report.phase_seconds
+
+    def test_stale_stages_introspection(self, matrix):
+        session = make_session(matrix)
+        assert session.stale_stages() == frozenset(STAGE_ORDER)  # nothing built yet
+        session.compress()
+        assert session.stale_stages() == frozenset()
+        assert session.stale_stages(tolerance=1e-3) == frozenset({"skeletons", "blocks", "plan"})
+        assert "partition" in session.stale_stages(leaf_size=16)
+
+    def test_artifact_accessors(self, matrix):
+        session = make_session(matrix)
+        assert session.artifact("partition") is None
+        session.compress()
+        partition = session.artifact("partition")
+        assert partition.num_leaves == len(partition.tree.leaves)
+        assert session.artifact("neighbors").table is not None
+        assert session.artifact("skeletons").average_rank > 0
+
+    def test_partition_artifact_stays_pristine(self, matrix):
+        """The cached tree must never inherit skeletons from a compression."""
+        session = make_session(matrix)
+        session.compress()
+        tree = session.artifact("partition").tree
+        assert all(node.skeleton is None for node in tree.nodes)
+        assert all(node.coeffs is None for node in tree.nodes)
+        assert all(not node.near and not node.far for node in tree.nodes)
+
+
+class TestAbortedPassConsistency:
+    def test_failed_recompress_does_not_poison_downstream_caches(self, matrix, monkeypatch):
+        """If a pass rebuilds interactions and then aborts, a retry must rebuild
+        skeletons/blocks/plan instead of silently reusing stale ones."""
+        session = make_session(matrix, budget=0.05)
+        session.compress()
+
+        original = pipeline.run_skeletons_stage
+        calls = {"n": 0}
+
+        def failing_once(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("injected skeletonization failure")
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(pipeline, "run_skeletons_stage", failing_once)
+        with pytest.raises(RuntimeError, match="injected"):
+            session.recompress(budget=0.5)  # rebuilds interactions, then aborts
+
+        # Retry at the same config: downstream stages were built against the
+        # *old* interactions and must not be reused.
+        op = session.recompress()
+        assert "skeletons" in session.last_built
+        assert "blocks" in session.last_built
+        assert "plan" in session.last_built
+
+        cold = monolithic_compress(matrix, session.config)
+        w = np.random.default_rng(6).standard_normal((matrix.n, 4))
+        assert np.max(np.abs(op.apply(w) - cold.matvec(w))) < 1e-13
+
+    def test_run_with_session_rejects_foreign_matrix(self, matrix):
+        from repro.errors import EvaluationError
+        from repro.gofmm import run
+
+        session = make_session(matrix)
+        other = make_gaussian_kernel_matrix(n=240, d=3, bandwidth=2.0, seed=9)
+        with pytest.raises(EvaluationError, match="session"):
+            run(other, session.config, session=session)
+        # None and the session's own matrix are both fine.
+        assert run(None, session.config, num_rhs=4, session=session).epsilon2 >= 0
+        assert run(session.matrix, session.config, num_rhs=4, session=session).epsilon2 >= 0
+
+
+class TestEquivalence:
+    def test_session_matches_monolithic_compress(self, matrix):
+        config = GOFMMConfig(**COMMON, budget=0.2)
+        op = Session(matrix, config).compress()
+        cm = monolithic_compress(matrix, config)
+        w = np.random.default_rng(1).standard_normal((matrix.n, 5))
+        assert np.max(np.abs(op.apply(w) - cm.matvec(w))) < 1e-13
+
+    def test_gofmm_shim_matches_session(self, matrix):
+        """gofmm.compress (the deprecation shim) ≡ the session path to 1e-13."""
+        config = GOFMMConfig(**COMMON, budget=0.2)
+        shim = gofmm_compress(matrix, config)
+        op = Session(matrix, config).compress()
+        w = np.random.default_rng(2).standard_normal((matrix.n, 4))
+        assert np.max(np.abs(op.apply(w) - shim.matvec(w))) < 1e-13
+
+    def test_warm_recompress_matches_cold_compress(self, matrix):
+        """A warm recompress must equal a from-scratch compression at the new config."""
+        session = make_session(matrix)
+        session.compress()
+        warm = session.recompress(tolerance=1e-3, budget=0.05)
+        cold = monolithic_compress(matrix, session.config)
+        w = np.random.default_rng(3).standard_normal((matrix.n, 4))
+        assert np.max(np.abs(warm.apply(w) - cold.matvec(w))) < 1e-13
+
+    def test_reports_agree_with_monolithic(self, matrix):
+        config = GOFMMConfig(**COMMON, budget=0.2)
+        op = Session(matrix, config).compress()
+        _, report = monolithic_compress(matrix, config, return_report=True)
+        assert op.report.num_leaves == report.num_leaves
+        assert op.report.tree_depth == report.tree_depth
+        assert op.report.near_pairs == report.near_pairs
+        assert op.report.far_pairs == report.far_pairs
+        assert op.report.average_rank == pytest.approx(report.average_rank)
+
+
+class TestAttach:
+    def _family(self, n=240, bandwidths=(1.0, 2.0)):
+        gen = np.random.default_rng(0)
+        points = gen.standard_normal((n, 3))
+        return [
+            KernelMatrix(points, GaussianKernel(bandwidth=b), regularization=1e-6, name=f"g{b}")
+            for b in bandwidths
+        ]
+
+    def test_attach_shares_partition_and_ann(self):
+        first, second = self._family()
+        session = make_session(first)
+        session.compress()
+        other = session.attach(second)
+        other.compress()
+        # The attached session never built its own partition / ANN / lists.
+        assert other.stage_builds["partition"] == 0
+        assert other.stage_builds["neighbors"] == 0
+        assert other.stage_builds["interactions"] == 0
+        assert other.artifact("partition") is session.artifact("partition")
+        assert other.artifact("neighbors") is session.artifact("neighbors")
+
+    def test_attached_operator_is_accurate(self):
+        """Shared-partition compression agrees with an independent compression."""
+        first, second = self._family()
+        session = make_session(first)
+        session.compress()
+        shared_op = session.attach(second).compress()
+        independent = monolithic_compress(second, session.config)
+
+        w = np.random.default_rng(4).standard_normal((second.n, 6))
+        exact = second.matvec(w)
+
+        def eps(approx):
+            return np.linalg.norm(approx - exact) / np.linalg.norm(exact)
+
+        shared_eps = eps(shared_op.apply(w))
+        independent_eps = eps(independent.matvec(w))
+        # The shared partition was built for a different bandwidth, so allow
+        # a modest accuracy gap — but both must be genuine compressions.
+        assert shared_eps < 1e-2
+        assert shared_eps < max(10 * independent_eps, 1e-6)
+
+    def test_attach_rejects_size_mismatch(self, matrix):
+        session = make_session(matrix)
+        other = make_gaussian_kernel_matrix(n=128, d=3, bandwidth=1.5, seed=1)
+        with pytest.raises(CompressionError):
+            session.attach(other)
+
+    def test_attach_with_config_changes(self):
+        first, second = self._family()
+        session = make_session(first)
+        session.compress()
+        other = session.attach(second, budget=0.0)
+        op = other.compress()
+        assert op.config.budget == 0.0
+        assert other.stage_builds["partition"] == 0
+        # budget changed relative to the shared artifact → lists rebuilt.
+        assert other.stage_builds["interactions"] == 1
+
+    def test_operators_of_family_are_independent(self):
+        """Mutating nothing: two attached operators keep distinct skeleton state."""
+        first, second = self._family()
+        session = make_session(first)
+        op1 = session.compress()
+        op2 = session.attach(second).compress()
+        assert op1.tree is not op2.tree
+        w = np.random.default_rng(5).standard_normal(first.n)
+        assert not np.allclose(op1.apply(w), op2.apply(w))

@@ -1,0 +1,97 @@
+"""Unit tests for the evaluation-engine registry (repro.core.engines)."""
+
+import numpy as np
+import pytest
+
+from repro import GOFMMConfig
+from repro.config import DistanceMetric
+from repro.core import engines
+from repro.errors import ConfigurationError, EvaluationError
+from repro.gofmm import compress
+
+from ..conftest import make_gaussian_kernel_matrix
+
+
+@pytest.fixture(scope="module")
+def compressed():
+    matrix = make_gaussian_kernel_matrix(n=180, d=3, bandwidth=1.5, seed=0)
+    config = GOFMMConfig(
+        leaf_size=32, max_rank=24, tolerance=1e-7, neighbors=8,
+        budget=0.2, num_neighbor_trees=3, distance=DistanceMetric.KERNEL, seed=0,
+    )
+    return compress(matrix, config)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert engines.is_registered("planned")
+        assert engines.is_registered("reference")
+        assert set(engines.available_engines()) >= {"planned", "reference"}
+
+    def test_planned_requires_cached_blocks(self):
+        assert engines.get_engine("planned").requires_cached_blocks
+        assert not engines.get_engine("reference").requires_cached_blocks
+
+    def test_unknown_engine_raises_with_listing(self):
+        with pytest.raises(EvaluationError, match="registered engines"):
+            engines.get_engine("warp-drive")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(EvaluationError, match="already registered"):
+            engines.register("planned", lambda c, w, k: w)
+
+    def test_register_unregister_roundtrip(self):
+        spec = engines.register("doubling", lambda c, w, counters=None: 2.0 * np.asarray(w))
+        try:
+            assert engines.is_registered("doubling")
+            assert spec.name == "doubling"
+        finally:
+            engines.unregister("doubling")
+        assert not engines.is_registered("doubling")
+        with pytest.raises(EvaluationError):
+            engines.unregister("doubling")
+
+
+class TestDispatch:
+    def test_matvec_dispatches_to_custom_engine(self, compressed):
+        calls = []
+
+        def custom(cm, w, counters=None):
+            calls.append(cm)
+            return cm.matvec(w, engine="reference")
+
+        engines.register("custom-test", custom)
+        try:
+            w = np.random.default_rng(0).standard_normal(compressed.n)
+            out = compressed.matvec(w, engine="custom-test")
+            assert calls == [compressed]
+            assert np.allclose(out, compressed.matvec(w, engine="reference"))
+        finally:
+            engines.unregister("custom-test")
+
+    def test_matvec_unknown_engine_raises(self, compressed):
+        with pytest.raises(EvaluationError):
+            compressed.matvec(np.zeros(compressed.n), engine="nope")
+
+    def test_config_validates_against_registry(self):
+        with pytest.raises(ConfigurationError):
+            GOFMMConfig(evaluation_engine="not-an-engine")
+        engines.register("config-test", lambda c, w, counters=None: w)
+        try:
+            config = GOFMMConfig(evaluation_engine="config-test")
+            assert config.evaluation_engine == "config-test"
+        finally:
+            engines.unregister("config-test")
+
+    def test_default_engine_falls_back_without_cached_blocks(self):
+        matrix = make_gaussian_kernel_matrix(n=150, d=3, bandwidth=1.2, seed=1)
+        config = GOFMMConfig(
+            leaf_size=25, max_rank=16, neighbors=8, budget=0.2, num_neighbor_trees=2,
+            cache_near_blocks=False, cache_far_blocks=False, seed=0,
+        )
+        cm = compress(matrix, config)
+        # "planned" requires cached blocks → the default degrades to reference
+        # until a plan is explicitly built.
+        assert cm.default_engine() == "reference"
+        cm.plan()
+        assert cm.default_engine() == "planned"

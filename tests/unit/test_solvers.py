@@ -45,14 +45,72 @@ class TestConjugateGradient:
         assert result.residual_history[-1] < result.residual_history[0]
         assert result.iterations == len(result.residual_history) - 1
 
-    def test_rejects_matrix_rhs(self):
+    def test_rejects_higher_dimensional_rhs(self):
         with pytest.raises(EvaluationError):
-            conjugate_gradient(lambda v: v, np.zeros((5, 2)))
+            conjugate_gradient(lambda v: v, np.zeros((5, 2, 2)))
 
     def test_zero_rhs_converges_immediately(self):
         result = conjugate_gradient(lambda v: v, np.zeros(10))
         assert result.converged
         assert result.iterations == 0
+
+
+class TestBlockedConjugateGradient:
+    def test_multi_rhs_matches_column_by_column(self):
+        matrix = make_random_spd(60, seed=4, decay=1.0)
+        a = matrix.array + 0.1 * np.eye(60)
+        b = np.random.default_rng(4).standard_normal((60, 5))
+        blocked = conjugate_gradient(lambda v: a @ v, b, tolerance=1e-10, max_iterations=300)
+        assert blocked.converged
+        assert blocked.solution.shape == (60, 5)
+        assert blocked.column_converged.shape == (5,)
+        assert blocked.column_converged.all()
+        for j in range(5):
+            single = conjugate_gradient(lambda v: a @ v, b[:, j], tolerance=1e-10, max_iterations=300)
+            assert np.allclose(blocked.solution[:, j], single.solution, atol=1e-7)
+
+    def test_multi_rhs_residuals_small(self):
+        matrix = make_random_spd(50, seed=5, decay=1.5)
+        a = matrix.array + 0.2 * np.eye(50)
+        b = np.random.default_rng(5).standard_normal((50, 3))
+        result = conjugate_gradient(lambda v: a @ v, b, tolerance=1e-10, max_iterations=300)
+        res = np.linalg.norm(a @ result.solution - b, axis=0) / np.linalg.norm(b, axis=0)
+        assert np.all(res < 1e-8)
+        assert np.all(result.column_residual_norms >= 0)
+
+    def test_single_column_block_matches_vector_path(self):
+        matrix = make_random_spd(40, seed=6, decay=1.0)
+        a = matrix.array + 0.1 * np.eye(40)
+        b = np.random.default_rng(6).standard_normal(40)
+        vec = conjugate_gradient(lambda v: a @ v, b, tolerance=1e-10)
+        blk = conjugate_gradient(lambda v: a @ v, b[:, None], tolerance=1e-10)
+        assert blk.solution.shape == (40, 1)
+        assert np.allclose(vec.solution, blk.solution[:, 0], atol=1e-12)
+        assert vec.iterations == blk.iterations
+
+    def test_multi_rhs_with_preconditioner(self):
+        diag = np.logspace(0, 5, 64)
+        a = np.diag(diag)
+        b = np.random.default_rng(7).standard_normal((64, 4))
+        plain = conjugate_gradient(lambda v: a @ v, b, tolerance=1e-10, max_iterations=2000)
+        precond = conjugate_gradient(
+            lambda v: a @ v, b, tolerance=1e-10, max_iterations=2000,
+            preconditioner=lambda r: r / diag[:, None] if r.ndim == 2 else r / diag,
+        )
+        assert precond.converged
+        assert precond.iterations < plain.iterations or plain.iterations == 2000
+
+    def test_solve_accepts_block_rhs(self, compressed_pair):
+        matrix, cm = compressed_pair
+        b = np.random.default_rng(8).standard_normal((matrix.n, 3))
+        result = solve(cm, b, shift=1.0, tolerance=1e-8, max_iterations=400)
+        assert result.solution.shape == (matrix.n, 3)
+        assert result.converged
+        # The compressed solve approximately inverts the true shifted matrix
+        # (the residual floor is the compression error, not the CG tolerance).
+        dense = matrix.to_dense() + 1.0 * np.eye(matrix.n)
+        res = np.linalg.norm(dense @ result.solution - b, axis=0) / np.linalg.norm(b, axis=0)
+        assert np.all(res < 5e-2)
 
     def test_preconditioner_reduces_iterations(self):
         # Ill-conditioned diagonal system: Jacobi preconditioning should help a lot.
