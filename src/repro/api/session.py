@@ -34,6 +34,7 @@ never shifts downstream randomness.
 
 from __future__ import annotations
 
+import json
 from collections import Counter
 from dataclasses import dataclass
 from typing import Optional
@@ -44,7 +45,7 @@ import importlib
 import itertools
 from contextlib import nullcontext
 
-from ..config import GOFMMConfig
+from ..config import DistanceMetric, GOFMMConfig
 from ..core.compress import CompressionReport, _PhaseTimer
 
 # ``repro.core`` re-exports the ``compress`` *function*, which shadows the
@@ -85,6 +86,14 @@ _PHASE_NAME = {
 #: Stages whose artifacts never touch matrix entries beyond the distance
 #: oracle — these are shared with sessions created by :meth:`Session.attach`.
 _SHARED_ON_ATTACH = ("partition", "neighbors", "interactions")
+
+
+def _jsonable_fingerprint(fingerprint: dict) -> dict:
+    """A stage fingerprint as JSON-stable values (enums to their string value)."""
+    return {
+        key: (value.value if isinstance(value, DistanceMetric) else value)
+        for key, value in sorted(fingerprint.items())
+    }
 
 
 #: Monotonic artifact version numbers.  Global (not per-session) because
@@ -176,6 +185,28 @@ class Session:
         entry = self._cache.get(stage)
         return entry.value if entry is not None else None
 
+    def invalidate(self, *stages: str) -> frozenset:
+        """Drop cached stage artifacts so the next :meth:`compress` rebuilds them.
+
+        Everything downstream of a dropped stage is dropped too (it could
+        not be reused anyway — its upstream version no longer exists).
+        With no arguments every stage is dropped.  Returns the set of
+        stages removed.  This is the supported way for tooling (e.g. the
+        compression benchmark) to force warm rebuilds of specific stages.
+        """
+        targets = set(stages) if stages else set(STAGE_ORDER)
+        unknown = targets - set(STAGE_ORDER)
+        if unknown:
+            raise CompressionError(
+                f"unknown stage(s) {sorted(unknown)}; stages are {list(STAGE_ORDER)}"
+            )
+        for stage in STAGE_ORDER:  # build order: cascade downstream
+            if any(up in targets for up in STAGE_UPSTREAM[stage]):
+                targets.add(stage)
+        for stage in targets:
+            self._cache.pop(stage, None)
+        return frozenset(targets)
+
     # -- pipeline --------------------------------------------------------------
     def _distance_oracle(self, timer: Optional[_PhaseTimer] = None):
         """The distance object, rebuilt only when the metric changes."""
@@ -220,13 +251,10 @@ class Session:
         self.stage_builds[stage] += 1
         return value
 
-    def prepare(self, timer: Optional[_PhaseTimer] = None, rebuilt: Optional[set] = None) -> tuple:
-        """Ensure the matrix-light artifacts (partition, ANN, interaction lists).
-
-        These are exactly the artifacts :meth:`attach` shares across a family
-        of operators.  Returns ``(Partition, Neighbors, Interactions)``.
-        """
-        rebuilt = set() if rebuilt is None else rebuilt
+    def _ensure_partition_and_neighbors(
+        self, timer: Optional[_PhaseTimer], rebuilt: set
+    ) -> tuple[Partition, Neighbors]:
+        """Ensure just the two disk-persistable artifacts (tree + ANN table)."""
         config = self._config
 
         # Build the distance oracle up front (its own "distance" phase), but
@@ -249,6 +277,17 @@ class Session:
             lambda: Neighbors(table=_pipeline.run_neighbors_stage(distance, config)),
             timer,
         )
+        return partition, neighbors
+
+    def prepare(self, timer: Optional[_PhaseTimer] = None, rebuilt: Optional[set] = None) -> tuple:
+        """Ensure the matrix-light artifacts (partition, ANN, interaction lists).
+
+        These are exactly the artifacts :meth:`attach` shares across a family
+        of operators.  Returns ``(Partition, Neighbors, Interactions)``.
+        """
+        rebuilt = set() if rebuilt is None else rebuilt
+        config = self._config
+        partition, neighbors = self._ensure_partition_and_neighbors(timer, rebuilt)
 
         # The interactions stage annotates a fresh clone of the partition; the
         # clone is kept for this pass so a following skeletons rebuild does not
@@ -354,6 +393,116 @@ class Session:
         if config_changes:
             self._config = self._config.replace(**config_changes)
         return self.compress()
+
+    # -- artifact persistence ----------------------------------------------------
+    def save_artifacts(self, path) -> None:
+        """Persist the Partition and Neighbors artifacts to one ``.npz`` file.
+
+        These are the two matrix-light artifacts that dominate a cold
+        compression at large n (tree build + iterative ANN search) and are
+        plain arrays; a later process can :meth:`load_artifacts` them and
+        pay only for skeletonization onward — the on-disk analogue of
+        :meth:`attach` for repeated processes / service sharding.  The file
+        records each artifact's config fingerprint, and loading validates
+        it against the loading session's config.
+        """
+        partition, neighbors = self._ensure_partition_and_neighbors(None, set())
+        arrays = partition.to_arrays()
+        table = neighbors.table
+        meta = {
+            "format": 1,
+            "n": int(self.matrix.n),
+            "depth": int(partition.depth),
+            "has_neighbors": table is not None,
+            "iterations": int(neighbors.iterations),
+            "converged": bool(neighbors.converged),
+            "fingerprints": {
+                stage: _jsonable_fingerprint(stage_fingerprint(self._config, stage))
+                for stage in ("partition", "neighbors")
+            },
+        }
+        payload = {
+            "meta": np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+            "node_offsets": arrays["node_offsets"],
+            "node_indices": arrays["node_indices"],
+            "neighbor_indices": table.indices if table is not None else np.empty((0, 0), dtype=np.intp),
+            "neighbor_distances": table.distances if table is not None else np.empty((0, 0)),
+        }
+        with open(path, "wb") as fh:
+            np.savez(fh, **payload)
+
+    def load_artifacts(self, path) -> tuple[str, ...]:
+        """Install Partition + Neighbors artifacts saved by :meth:`save_artifacts`.
+
+        Validates the stored problem size and per-stage config fingerprints
+        against this session's matrix and config; a mismatch raises
+        :class:`~repro.errors.CompressionError` rather than silently
+        compressing against a foreign partition.  Returns the names of the
+        installed stages; a following :meth:`compress` skips both.
+        """
+        with np.load(path) as data:
+            meta = json.loads(bytes(data["meta"]))
+            node_offsets = data["node_offsets"]
+            node_indices = data["node_indices"]
+            neighbor_indices = data["neighbor_indices"]
+            neighbor_distances = data["neighbor_distances"]
+        if int(meta["n"]) != self.matrix.n:
+            raise CompressionError(
+                f"artifact file holds a partition of n={meta['n']}, session matrix has n={self.matrix.n}"
+            )
+        stale = []
+        for stage in ("partition", "neighbors"):
+            current = _jsonable_fingerprint(stage_fingerprint(self._config, stage))
+            if meta["fingerprints"][stage] != current:
+                stale.append(stage)
+        if stale:
+            raise CompressionError(
+                f"artifact fingerprints do not match the session config for stage(s) "
+                f"{', '.join(stale)}; recompute with save_artifacts under the current config"
+            )
+
+        try:
+            partition = Partition.from_arrays(node_offsets, node_indices, meta["depth"], meta["n"])
+            # Structural validation at the trust boundary: a truncated or
+            # hand-edited file must fail here, not deep inside compression.
+            partition.tree.check_invariants(self._config.leaf_size)
+        except CompressionError:
+            raise
+        except Exception as exc:
+            raise CompressionError(f"artifact file holds a malformed partition: {exc}") from exc
+        if meta["has_neighbors"]:
+            from ..core.neighbors import NeighborTable
+
+            indices = np.asarray(neighbor_indices, dtype=np.intp)
+            distances = np.asarray(neighbor_distances)
+            # Same trust-boundary validation as the partition: a truncated
+            # table must fail here, not as an IndexError inside compression.
+            if (
+                indices.ndim != 2
+                or indices.shape[0] != self.matrix.n
+                or distances.shape != indices.shape
+                or (indices.size and (indices.min() < 0 or indices.max() >= self.matrix.n))
+            ):
+                raise CompressionError(
+                    f"artifact file holds a malformed neighbor table "
+                    f"(shape {indices.shape} for n={self.matrix.n})"
+                )
+            table = NeighborTable(
+                indices=indices,
+                distances=distances,
+                iterations=int(meta["iterations"]),
+                converged=bool(meta["converged"]),
+            )
+        else:
+            table = None
+        for stage, value in (("partition", partition), ("neighbors", Neighbors(table=table))):
+            self._cache[stage] = _CachedStage(
+                value=value,
+                fingerprint=stage_fingerprint(self._config, stage),
+                version=next(_VERSION_COUNTER),
+                upstream_versions={},
+            )
+        return ("partition", "neighbors")
 
     # -- operator families -----------------------------------------------------
     def attach(self, matrix, **config_changes) -> "Session":

@@ -30,9 +30,10 @@ import numpy as np
 
 from ..core.hmatrix import BlockProvider, CompressedMatrix
 from ..core.interactions import InteractionLists
+from ..core.morton import ROOT_MORTON
 from ..core.neighbors import NeighborTable
 from ..core.skeletonization import SkeletonizationStats
-from ..core.tree import BallTree
+from ..core.tree import BallTree, TreeNode
 
 __all__ = [
     "STAGE_ORDER",
@@ -65,10 +66,20 @@ STAGE_FIELDS: Dict[str, frozenset] = {
         {"budget", "symmetrize_lists", "max_rank", "sample_size", "oversampling", "leaf_size", "seed"}
     ),
     "skeletons": frozenset(
-        {"max_rank", "tolerance", "adaptive_rank", "sample_size", "oversampling", "secure_accuracy", "dtype", "seed"}
+        {
+            "max_rank",
+            "tolerance",
+            "adaptive_rank",
+            "sample_size",
+            "oversampling",
+            "secure_accuracy",
+            "dtype",
+            "seed",
+            "compression_backend",
+        }
     ),
     "blocks": frozenset({"cache_near_blocks", "cache_far_blocks"}),
-    "plan": frozenset({"evaluation_engine", "prebuild_plan"}),
+    "plan": frozenset({"evaluation_engine", "prebuild_plan", "plan_rank_bucketing"}),
 }
 
 #: Direct upstream dependencies (the partition and the ANN table are
@@ -141,6 +152,47 @@ class Partition:
     def working_tree(self) -> BallTree:
         """A fresh structural clone for one compression to mutate."""
         return self.tree.clone_structure()
+
+    # -- persistence (Session.save_artifacts / load_artifacts) --------------
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """The partition as plain arrays (every node's index set, concatenated).
+
+        Nodes are stored in breadth-first id order; the tree is complete
+        and balanced, so the structure itself needs no encoding — node
+        ``i``'s children are ``2i+1`` / ``2i+2``.
+        """
+        nodes = self.tree.nodes
+        offsets = np.zeros(len(nodes) + 1, dtype=np.intp)
+        for i, node in enumerate(nodes):
+            offsets[i + 1] = offsets[i] + node.indices.size
+        indices = np.concatenate([node.indices for node in nodes])
+        return {"node_offsets": offsets, "node_indices": indices}
+
+    @classmethod
+    def from_arrays(cls, node_offsets: np.ndarray, node_indices: np.ndarray, depth: int, n: int) -> "Partition":
+        """Rebuild the pristine partition from :meth:`to_arrays` output."""
+        node_offsets = np.asarray(node_offsets, dtype=np.intp)
+        node_indices = np.asarray(node_indices, dtype=np.intp)
+        num_nodes = node_offsets.size - 1
+        nodes: List[TreeNode] = []
+        for i in range(num_nodes):
+            level = (i + 1).bit_length() - 1
+            morton = ROOT_MORTON if i == 0 else nodes[(i - 1) // 2].morton.child(bool(i % 2 == 0))
+            nodes.append(
+                TreeNode(
+                    node_id=i,
+                    level=level,
+                    morton=morton,
+                    indices=node_indices[node_offsets[i] : node_offsets[i + 1]].copy(),
+                )
+            )
+        for i, node in enumerate(nodes):
+            if 2 * i + 2 < num_nodes:
+                node.left = nodes[2 * i + 1]
+                node.right = nodes[2 * i + 2]
+                node.left.parent = node
+                node.right.parent = node
+        return cls(tree=BallTree(nodes, int(depth), int(n)))
 
 
 @dataclass

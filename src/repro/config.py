@@ -117,6 +117,22 @@ class GOFMMConfig:
         packed, level-batched plan of :mod:`repro.core.plan`; ``"reference"``
         runs the per-node traversal of :mod:`repro.core.evaluate`.  Either
         can be overridden per call via ``matvec(w, engine=...)``.
+    compression_backend:
+        skeletonization backend, validated against the registry of
+        :mod:`repro.core.backends`.  Built-ins: ``"batched"`` (the
+        default) runs the level-batched, shape-bucketed skeletonizer of
+        :mod:`repro.core.skeletonization_batched`; ``"reference"`` runs
+        the per-node postorder loop of Algorithm 2.6.  Both draw each
+        node's row sample from the same deterministic stream, so they
+        select identical skeletons at equal sampling (up to
+        floating-point pivot ties on exactly rank-deficient blocks).
+    plan_rank_bucketing:
+        how the evaluation-plan packer pads skeleton ranks so that
+        adaptive-rank trees batch into fewer, larger GEMM groups:
+        ``"pow2"`` (default) rounds each rank up to the next power of
+        two, ``"max"`` pads to the per-level maximum, ``"none"`` packs
+        exact ranks.  Padding only engages when a tree's active ranks are
+        actually non-uniform.
     prebuild_plan:
         build the evaluation plan during compression (phase ``"plan"`` of
         the report) instead of lazily on the first planned matvec.
@@ -143,6 +159,8 @@ class GOFMMConfig:
     symmetrize_lists: bool = True
     secure_accuracy: bool = False
     evaluation_engine: str = "planned"
+    compression_backend: str = "batched"
+    plan_rank_bucketing: str = "pow2"
     prebuild_plan: bool = False
     dtype: np.dtype = np.float64
     seed: Optional[int] = 0
@@ -176,6 +194,19 @@ class GOFMMConfig:
             known = ", ".join(available_engines())
             raise ConfigurationError(
                 f"evaluation_engine must be one of: {known}; got {self.evaluation_engine!r}"
+            )
+        from .core.backends import BUCKETING_MODES, available_backends
+        from .core.backends import is_registered as backend_registered
+
+        if not backend_registered(self.compression_backend):
+            known = ", ".join(available_backends())
+            raise ConfigurationError(
+                f"compression_backend must be one of: {known}; got {self.compression_backend!r}"
+            )
+        if self.plan_rank_bucketing not in BUCKETING_MODES:
+            raise ConfigurationError(
+                f"plan_rank_bucketing must be one of: {', '.join(BUCKETING_MODES)}; "
+                f"got {self.plan_rank_bucketing!r}"
             )
         if isinstance(self.distance, str):
             object.__setattr__(self, "distance", DistanceMetric(self.distance))

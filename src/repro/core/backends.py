@@ -1,0 +1,219 @@
+"""Compression-backend registry.
+
+Skeletonization (tasks SKEL + COEF of Table 2) has interchangeable
+execution back ends, mirroring the evaluation-engine registry of
+:mod:`repro.core.engines`: the per-node postorder loop of
+:mod:`repro.core.skeletonization` ("reference") and the level-batched,
+shape-bucketed skeletonizer of :mod:`repro.core.skeletonization_batched`
+("batched").  A backend's contract is
+
+    ``run(tree, matrix, config, neighbors, rng) -> SkeletonizationStats``
+
+mutating the tree nodes in place (``skeleton`` / ``coeffs`` /
+``skeleton_rank``), exactly like :func:`repro.core.skeletonization.skeletonize_tree`.
+Backends are registered here by name; ``core/compress.py``'s
+``run_skeletons_stage`` and the :class:`~repro.config.GOFMMConfig`
+validation both consult the registry, so a new backend plugs in with one
+:func:`register` call and no call-site changes::
+
+    from repro.core import backends
+
+    def run_mine(tree, matrix, config, neighbors, rng=None):
+        ...
+
+    backends.register("mine", run_mine)
+    GOFMMConfig(compression_backend="mine")   # validates against the registry
+
+Both built-in backends draw every node's row sample from the same
+deterministic per-node stream (derived from the stage generator and the
+node id), so at equal sampling they select bit-identical skeletons for
+numerically nondegenerate sampled blocks — the equivalence the backend
+test-suite pins down.  (Exactly rank-deficient blocks, e.g. from
+duplicated points, can resolve floating-point pivot ties differently
+between the two pivoted-QR implementations; the decompositions remain
+equally accurate, only the tie-broken skeleton choice may differ.)
+
+This module also hosts the rank padding/bucketing helpers shared by the
+batched skeletonizer (which buckets sampled blocks by padded shape) and
+the evaluation-plan packer (which pads skeleton ranks so adaptive-rank
+trees stop fragmenting into small batches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..errors import CompressionError
+
+__all__ = [
+    "BackendSpec",
+    "register",
+    "unregister",
+    "get_backend",
+    "available_backends",
+    "is_registered",
+    "bucket_size",
+    "pad_ranks",
+    "BUCKETING_MODES",
+]
+
+# A backend body: (tree, matrix, config, neighbors, rng) -> SkeletonizationStats
+BackendFn = Callable[..., object]
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """One registered compression (skeletonization) backend.
+
+    ``deterministic_streams`` marks backends that honor the shared
+    per-node rng-stream contract (identical skeletons to ``"reference"``
+    at equal sampling); third-party backends with their own randomness
+    discipline may set it to ``False``.
+    """
+
+    name: str
+    run: BackendFn = field(repr=False)
+    deterministic_streams: bool = True
+    description: str = ""
+
+    def __call__(self, tree, matrix, config, neighbors, rng=None):
+        return self.run(tree, matrix, config, neighbors, rng)
+
+
+_REGISTRY: dict[str, BackendSpec] = {}
+
+
+def register(
+    name: str,
+    run: BackendFn,
+    *,
+    deterministic_streams: bool = True,
+    description: str = "",
+    overwrite: bool = False,
+) -> BackendSpec:
+    """Register a compression backend under ``name`` and return its spec."""
+    if not name or not isinstance(name, str):
+        raise CompressionError(f"backend name must be a non-empty string, got {name!r}")
+    if name in _REGISTRY and not overwrite:
+        raise CompressionError(
+            f"compression backend {name!r} is already registered (pass overwrite=True to replace)"
+        )
+    spec = BackendSpec(
+        name=name,
+        run=run,
+        deterministic_streams=deterministic_streams,
+        description=description,
+    )
+    _REGISTRY[name] = spec
+    return spec
+
+
+def unregister(name: str) -> None:
+    """Remove a registered backend (built-ins may be removed too; tests use this)."""
+    if name not in _REGISTRY:
+        raise CompressionError(f"compression backend {name!r} is not registered")
+    del _REGISTRY[name]
+
+
+def get_backend(name: str) -> BackendSpec:
+    """Look up a backend by name; raises with the list of known backends."""
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        known = ", ".join(sorted(_REGISTRY))
+        raise CompressionError(
+            f"unknown compression backend {name!r}; registered backends: {known}"
+        )
+    return spec
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of all registered backends, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def is_registered(name: str) -> bool:
+    return name in _REGISTRY
+
+
+# ---------------------------------------------------------------------------
+# rank padding / bucketing (shared with the evaluation-plan packer)
+# ---------------------------------------------------------------------------
+
+#: Valid values of ``GOFMMConfig.plan_rank_bucketing``.
+BUCKETING_MODES: tuple[str, ...] = ("none", "pow2", "max")
+
+
+def bucket_size(value: int, mode: str = "pow2") -> int:
+    """Round one size up to its bucket.
+
+    ``"pow2"`` rounds to the next power of two; ``"none"`` and ``"max"``
+    return the value unchanged — ``"max"`` padding is group-relative
+    (:func:`pad_ranks`' job) and degenerates to the identity for a single
+    value, so every :data:`BUCKETING_MODES` member is a valid mode here.
+    """
+    if mode not in BUCKETING_MODES:
+        raise CompressionError(
+            f"bucket_size mode must be one of {BUCKETING_MODES}, got {mode!r}"
+        )
+    value = int(value)
+    if value <= 0:
+        return 0
+    if mode == "pow2":
+        return 1 << (value - 1).bit_length()
+    return value
+
+
+def pad_ranks(ranks: np.ndarray, mode: str = "pow2") -> np.ndarray:
+    """Padded ranks for a group of nodes; zeros (inactive nodes) stay zero.
+
+    ``"none"`` returns the ranks unchanged, ``"pow2"`` rounds each rank up
+    to the next power of two, and ``"max"`` pads every nonzero rank to the
+    group maximum (per level, when called with one level's ranks).
+    """
+    ranks = np.asarray(ranks, dtype=np.intp)
+    if mode not in BUCKETING_MODES:
+        raise CompressionError(
+            f"rank bucketing mode must be one of {BUCKETING_MODES}, got {mode!r}"
+        )
+    if mode == "none" or ranks.size == 0:
+        return ranks.copy()
+    out = np.zeros_like(ranks)
+    nonzero = ranks > 0
+    if mode == "max":
+        out[nonzero] = int(ranks.max())
+        return out
+    bits = np.frompyfunc(lambda r: 1 << (int(r) - 1).bit_length(), 1, 1)
+    out[nonzero] = bits(ranks[nonzero]).astype(np.intp)
+    return out
+
+
+# -- built-in backends --------------------------------------------------------
+# Bodies import lazily so that registering at module import time does not pull
+# in skeletonization (which imports config, which validates against this
+# registry).
+
+def _run_reference(tree, matrix, config, neighbors, rng=None):
+    from .skeletonization import skeletonize_tree
+
+    return skeletonize_tree(tree, matrix, config, neighbors, rng=rng)
+
+
+def _run_batched(tree, matrix, config, neighbors, rng=None):
+    from .skeletonization_batched import skeletonize_tree_batched
+
+    return skeletonize_tree_batched(tree, matrix, config, neighbors, rng=rng)
+
+
+register(
+    "reference",
+    _run_reference,
+    description="per-node postorder loop of Algorithm 2.6 (correctness oracle)",
+)
+register(
+    "batched",
+    _run_batched,
+    description="level-batched skeletonization: shape-bucketed stacked pivoted QRs",
+)

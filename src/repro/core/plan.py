@@ -24,7 +24,13 @@ This module flattens the tree, once per compression, into an
   ``far_cols`` over nodes),
 * **dead-branch pruning** — a node participates in the up/down passes only
   if it (or an ancestor) appears in some Far list; with ``budget`` large
-  enough that everything is handled directly, the passes vanish entirely.
+  enough that everything is handled directly, the passes vanish entirely,
+* **rank bucketing** — when the tree's active skeleton ranks are
+  non-uniform (adaptive rank), ``config.plan_rank_bucketing`` pads each
+  rank up to a bucket (next power of two, or the per-level maximum) before
+  grouping, so adaptive-rank trees batch into a few large GEMM groups
+  instead of fragmenting into one group per distinct rank; all padding is
+  zeros, leaving the product unchanged up to floating-point order.
 
 The plan is built lazily by :meth:`repro.core.hmatrix.CompressedMatrix.plan`
 and cached there, so repeated matvecs (e.g. inside CG) reuse it.  For the
@@ -46,6 +52,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 import numpy as np
 
 from ..errors import EvaluationError
+from .backends import pad_ranks
 from .evaluate import EvaluationCounters, _as_matrix
 
 __all__ = ["EvaluationPlan", "PlanContext", "build_plan", "evaluate_planned"]
@@ -615,19 +622,101 @@ def _require_block(provider, key: tuple[int, int], what: str) -> np.ndarray:
     return np.ascontiguousarray(block)
 
 
+def _padded_rank_table(tree, levels, active: np.ndarray, mode: str) -> np.ndarray:
+    """Workspace rank of every node: the skeleton rank, bucketed when non-uniform.
+
+    Adaptive-rank trees scatter ranks across many close values, fragmenting
+    the shape groups below into tiny batches.  Padding each active rank up
+    to a bucket (``"pow2"``: next power of two; ``"max"``: the per-level
+    maximum) collapses the groups back into a few large GEMMs; every padded
+    workspace row / coefficient row / block row is zero, so the evaluation
+    is unchanged up to floating-point summation order.  Trees whose active
+    ranks are already uniform are never padded.
+    """
+    true_rank = np.asarray([node.skeleton_rank for node in tree.nodes], dtype=np.intp)
+    prank = true_rank.copy()
+    active_mask = active & (true_rank > 0)
+    if mode == "none" or np.unique(true_rank[active_mask]).size <= 1:
+        return prank
+    if mode == "max":
+        for level_nodes in levels:
+            ids = [n.node_id for n in level_nodes if active_mask[n.node_id]]
+            if ids:
+                prank[ids] = pad_ranks(true_rank[ids], "max")
+    else:
+        prank[active_mask] = pad_ranks(true_rank[active_mask], mode)
+    return prank
+
+
+def _padded_children_width(node, skel_offset: np.ndarray, prank: np.ndarray) -> int:
+    """Padded column count of a node's coefficient matrix ``P_{α̃[l̃r̃]}``."""
+    return int(
+        sum(
+            prank[child.node_id]
+            for child in node.children()
+            if child.skeleton_rank > 0 and skel_offset[child.node_id] >= 0
+        )
+    )
+
+
+def _group_key(node, skel_offset: np.ndarray, prank: np.ndarray) -> tuple[int, int]:
+    """Shape-group key of a node's (padded) coefficient matrix.
+
+    Shared between the N2S and S2N grouping loops so both passes bucket
+    nodes by exactly the same rule.
+    """
+    if node.is_leaf:
+        return (int(prank[node.node_id]), node.size)
+    return (int(prank[node.node_id]), _padded_children_width(node, skel_offset, prank))
+
+
+def _padded_coeffs(node, skel_offset: np.ndarray, prank: np.ndarray) -> np.ndarray:
+    """Node coefficients zero-padded to the bucketed workspace layout.
+
+    Rows grow from the true rank to the padded rank; for internal nodes
+    the columns of each child's slice move to that child's padded offset.
+    """
+    s = node.skeleton_rank
+    big_s = int(prank[node.node_id])
+    coeffs = np.asarray(node.coeffs)
+    if node.is_leaf:
+        if big_s == s:
+            return coeffs
+        out = np.zeros((big_s, coeffs.shape[1]), dtype=coeffs.dtype)
+        out[:s] = coeffs
+        return out
+    kpad = _padded_children_width(node, skel_offset, prank)
+    if big_s == s and kpad == coeffs.shape[1]:
+        return coeffs
+    out = np.zeros((big_s, kpad), dtype=coeffs.dtype)
+    col = 0
+    src = 0
+    for child in node.children():
+        if child.skeleton_rank > 0 and skel_offset[child.node_id] >= 0:
+            out[:s, col : col + child.skeleton_rank] = coeffs[:, src : src + child.skeleton_rank]
+            col += int(prank[child.node_id])
+            src += child.skeleton_rank
+    return out
+
+
 def build_plan(compressed) -> EvaluationPlan:
     """Flatten a :class:`~repro.core.hmatrix.CompressedMatrix` into an :class:`EvaluationPlan`."""
     tree = compressed.tree
     levels = tree.levels()
     near_indptr, near_cols, far_indptr, far_cols = _csr_lists(tree)
     active = _active_nodes(tree, far_cols)
+    bucketing = getattr(compressed.config, "plan_rank_bucketing", "none")
+    prank = _padded_rank_table(tree, levels, active, bucketing)
 
     # Uniformity enables the slot-gather fast paths: whole-block gathers
-    # through 3-D views instead of row-wise fancy indexing.
+    # through 3-D views instead of row-wise fancy indexing.  Ranks are the
+    # *padded* ranks — bucketing can turn an adaptive-rank tree uniform.
     leaf_sizes = {leaf.size for leaf in tree.leaves}
     uniform_leaf_size = leaf_sizes.pop() if len(leaf_sizes) == 1 else 0
     active_ranks = {
-        node.skeleton_rank for node in tree.nodes if active[node.node_id] and node.skeleton_rank > 0
+        int(prank[node.node_id])
+        for node in tree.nodes
+        if active[node.node_id] and node.skeleton_rank > 0
     }
     uniform_rank = active_ranks.pop() if len(active_ranks) == 1 else 0
     leaf_slot = {leaf.node_id: i for i, leaf in enumerate(tree.leaves)}
@@ -649,14 +738,14 @@ def build_plan(compressed) -> EvaluationPlan:
                     f"node {node.node_id}: coefficient rows {node.coeffs.shape[0]} != "
                     f"skeleton rank {node.skeleton_rank}"
                 )
-            groups.setdefault(node.coeffs.shape, []).append(node)
+            groups.setdefault(_group_key(node, skel_offset, prank), []).append(node)
         level_segments: List[PlanSegment] = []
         for (s, k), nodes in sorted(groups.items()):
             dst_start = offset
             for node in nodes:
                 skel_offset[node.node_id] = offset
-                offset += node.skeleton_rank
-            coeffs = np.stack([np.asarray(n.coeffs) for n in nodes])
+                offset += int(prank[node.node_id])
+            coeffs = np.stack([_padded_coeffs(n, skel_offset, prank) for n in nodes])
             if nodes[0].is_leaf:
                 if uniform_leaf_size:
                     slots = np.asarray([leaf_slot[n.node_id] for n in nodes], dtype=np.intp)
@@ -667,7 +756,7 @@ def build_plan(compressed) -> EvaluationPlan:
             else:
                 src_rows = np.empty((len(nodes), k), dtype=np.intp)
                 for g, node in enumerate(nodes):
-                    rows = _children_rows(node, skel_offset)
+                    rows = _children_rows(node, skel_offset, prank)
                     if rows.size != k:
                         raise EvaluationError(
                             f"N2S({node.node_id}): coefficient width {k} does not match "
@@ -701,9 +790,14 @@ def build_plan(compressed) -> EvaluationPlan:
                     f"far block ({node.node_id},{alpha_id}) has shape {block.shape}, "
                     f"expected {(node.skeleton_rank, alpha.skeleton_rank)}"
                 )
+            pad_shape = (int(prank[node.node_id]), int(prank[alpha.node_id]))
+            if block.shape != pad_shape:
+                padded = np.zeros(pad_shape, dtype=block.dtype)
+                padded[: block.shape[0], : block.shape[1]] = block
+                block = padded
             blocks.append(block)
             start = skel_offset[alpha.node_id]
-            rows.append(np.arange(start, start + alpha.skeleton_rank))
+            rows.append(np.arange(start, start + pad_shape[1]))
         if not blocks:
             continue
         row_block = np.hstack(blocks)
@@ -735,10 +829,10 @@ def build_plan(compressed) -> EvaluationPlan:
         members = [n for n in levels[level] if needs_s2n[n.node_id] and n.coeffs is not None]
         groups = {}
         for node in members:
-            groups.setdefault(node.coeffs.shape, []).append(node)
+            groups.setdefault(_group_key(node, skel_offset, prank), []).append(node)
         level_segments = []
         for (s, k), nodes in sorted(groups.items()):
-            coeffs_t = np.stack([np.asarray(n.coeffs).T for n in nodes])
+            coeffs_t = np.stack([_padded_coeffs(n, skel_offset, prank).T for n in nodes])
             uniform = uniform_rank and s == uniform_rank
             if nodes[0].is_leaf:
                 dst = np.stack([n.indices for n in nodes])
@@ -753,7 +847,7 @@ def build_plan(compressed) -> EvaluationPlan:
             else:
                 dst_rows = np.empty((len(nodes), k), dtype=np.intp)
                 for g, node in enumerate(nodes):
-                    rows = _children_rows(node, skel_offset)
+                    rows = _children_rows(node, skel_offset, prank)
                     if rows.size != k:
                         raise EvaluationError(
                             f"S2N({node.node_id}): coefficient width {k} does not match "
@@ -824,13 +918,13 @@ def build_plan(compressed) -> EvaluationPlan:
     )
 
 
-def _children_rows(node, skel_offset: np.ndarray) -> np.ndarray:
-    """Workspace rows of a node's children ``[w̃_l; w̃_r]``, in stacking order."""
+def _children_rows(node, skel_offset: np.ndarray, prank: np.ndarray) -> np.ndarray:
+    """Workspace rows of a node's children ``[w̃_l; w̃_r]`` (padded), in stacking order."""
     rows = []
     for child in node.children():
         if child.skeleton_rank > 0 and skel_offset[child.node_id] >= 0:
             start = skel_offset[child.node_id]
-            rows.append(np.arange(start, start + child.skeleton_rank))
+            rows.append(np.arange(start, start + prank[child.node_id]))
     if not rows:
         return np.empty(0, dtype=np.intp)
     return np.concatenate(rows)

@@ -36,7 +36,16 @@ from ..matrices.base import SPDMatrix
 from .neighbors import NeighborTable
 from .tree import BallTree, TreeNode
 
-__all__ = ["SkeletonizationStats", "sample_rows", "skeletonize_node", "skeletonize_tree"]
+__all__ = [
+    "SkeletonizationStats",
+    "sample_rows",
+    "fill_uniform",
+    "skeletonize_node",
+    "skeletonize_tree",
+    "node_stream_base",
+    "node_stream",
+    "collect_stats",
+]
 
 
 @dataclass
@@ -59,6 +68,70 @@ class SkeletonizationStats:
     @property
     def average_rank(self) -> float:
         return self.total_rank / self.num_nodes if self.num_nodes else 0.0
+
+
+def node_stream_base(rng: np.random.Generator) -> int:
+    """One draw from the stage generator seeding every per-node stream.
+
+    Row sampling uses an independent generator per tree node, derived
+    deterministically from ``(base, node_id)`` (:func:`node_stream`).
+    Because the derivation depends only on the node id — never on the
+    traversal order — the postorder ``"reference"`` backend and the
+    level-order ``"batched"`` backend draw bit-identical row samples for
+    every node, which is what makes their skeletons comparable exactly
+    (up to floating-point pivot ties on exactly rank-deficient blocks)
+    rather than merely statistically.
+    """
+    return int(rng.integers(np.iinfo(np.int64).max))
+
+
+def node_stream(base: int, node_id: int) -> np.random.Generator:
+    """The deterministic row-sampling generator of one tree node."""
+    return np.random.default_rng([base, node_id])
+
+
+def collect_stats(tree: BallTree) -> SkeletonizationStats:
+    """Stats of an already-skeletonized tree, recorded in postorder.
+
+    Both backends report through this so their
+    :class:`SkeletonizationStats` (including the order of ``ranks``)
+    coincide whenever their per-node results do.
+    """
+    stats = SkeletonizationStats()
+    for node in tree.postorder():
+        if node.is_root:
+            continue
+        stats.record(node.skeleton_rank)
+    return stats
+
+
+def fill_uniform(rng: np.random.Generator, n: int, need: int, banned: np.ndarray) -> np.ndarray:
+    """``need`` distinct uniform draws from ``{0..n-1}`` minus ``banned``.
+
+    Rejection sampling: batches of uniform integers are drawn and filtered
+    against the ``banned`` mask (which is mutated to mark accepted rows),
+    so the cost is O(need) expected instead of the O(n) pool
+    materialization of ``rng.choice(pool, replace=False)``.  The caller
+    guarantees at least ``need`` unbanned rows exist.  Both compression
+    backends fill their uniform sample through this one helper, keeping
+    their draw sequences — and therefore their skeletons — identical.
+    """
+    out: list[np.ndarray] = []
+    got = 0
+    while got < need:
+        m = need - got
+        cand = rng.integers(0, n, size=m + (m >> 2) + 8)
+        cand = cand[~banned[cand]]
+        if cand.size:
+            # Deduplicate keeping first occurrences in draw order.
+            _, first = np.unique(cand, return_index=True)
+            take = cand[np.sort(first)][:m]
+            banned[take] = True
+            out.append(take.astype(np.intp))
+            got += take.size
+    if not out:
+        return np.empty(0, dtype=np.intp)
+    return np.concatenate(out)
 
 
 def sample_rows(
@@ -84,7 +157,6 @@ def sample_rows(
         return np.nonzero(~inside)[0].astype(np.intp)
 
     chosen: list[np.ndarray] = []
-    taken = np.zeros(n, dtype=bool)
     count = 0
 
     if neighbors is not None and node.neighbor_list is not None:
@@ -93,16 +165,14 @@ def sample_rows(
             cand = rng.choice(cand, size=sample_size, replace=False)
         if cand.size:
             chosen.append(cand.astype(np.intp))
-            taken[cand] = True
+            inside[cand] = True  # from here on "inside" means "not eligible"
             count += cand.size
 
     if count < sample_size:
         # Fill with uniform samples from rows not yet chosen and outside the node.
-        pool = np.nonzero(~inside & ~taken)[0]
-        need = min(sample_size - count, pool.size)
+        need = min(sample_size - count, complement_size - count)
         if need > 0:
-            extra = rng.choice(pool, size=need, replace=False)
-            chosen.append(extra.astype(np.intp))
+            chosen.append(fill_uniform(rng, n, need, inside))
 
     if not chosen:
         return np.empty(0, dtype=np.intp)
@@ -186,12 +256,17 @@ def skeletonize_tree(
     The root has an empty complement (no off-diagonal block), so it is never
     skeletonized; its "skeleton" is irrelevant because ``Far(root)`` is
     always empty.
+
+    This is the ``"reference"`` compression backend
+    (:mod:`repro.core.backends`).  Row sampling draws from per-node
+    streams derived from ``rng`` via :func:`node_stream_base`, the same
+    derivation the ``"batched"`` backend uses — so the two backends select
+    identical skeletons at equal sampling.
     """
     rng = rng or np.random.default_rng(config.seed)
-    stats = SkeletonizationStats()
+    base = node_stream_base(rng)
     for node in tree.postorder():
         if node.is_root:
             continue
-        rank = skeletonize_node(node, matrix, config, neighbors, rng)
-        stats.record(rank)
-    return stats
+        skeletonize_node(node, matrix, config, neighbors, node_stream(base, node.node_id))
+    return collect_stats(tree)

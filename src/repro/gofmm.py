@@ -19,6 +19,17 @@ Typical one-shot usage::
 evaluation plan, and ``"reference"``, the per-node traversal of
 Algorithm 2.7 kept as the correctness oracle).
 
+The compression side is symmetric: ``config.compression_backend`` selects
+a skeletonization backend registered in :mod:`repro.core.backends`
+(built-ins: ``"batched"``, the default level-batched skeletonizer with
+shape-bucketed stacked pivoted QRs, and ``"reference"``, the per-node
+postorder loop of Algorithm 2.6).  Both backends share per-node sampling
+streams and therefore select identical skeletons (up to floating-point
+pivot ties on exactly rank-deficient blocks)::
+
+    config = gofmm.GOFMMConfig(compression_backend="reference")  # oracle
+    Ktilde = gofmm.compress(K, config)
+
 The functions here are thin, backwards-compatible wrappers over the staged
 session API of :mod:`repro.api` — for parameter sweeps, operator families
 or SciPy solver interop, use :class:`repro.api.Session` directly::

@@ -34,13 +34,16 @@ def pairwise_sq_dists(x: np.ndarray, y: np.ndarray) -> np.ndarray:
     """Squared Euclidean distances between every row of ``x`` and of ``y``.
 
     Uses the expansion ``||a-b||² = ||a||² + ||b||² − 2 a·b`` (one GEMM) and
-    clips tiny negatives caused by cancellation.
+    clips tiny negatives caused by cancellation.  Accepts stacked inputs
+    (``(..., p, d)`` against ``(..., k, d)``), returning ``(..., p, k)`` —
+    the batched entry evaluator computes a whole group of blocks through
+    the same formula as the per-block path.
     """
     x = np.atleast_2d(np.asarray(x, dtype=np.float64))
     y = np.atleast_2d(np.asarray(y, dtype=np.float64))
-    xx = np.einsum("ij,ij->i", x, x)[:, None]
-    yy = np.einsum("ij,ij->i", y, y)[None, :]
-    d2 = xx + yy - 2.0 * (x @ y.T)
+    xx = np.einsum("...ij,...ij->...i", x, x)[..., :, None]
+    yy = np.einsum("...ij,...ij->...i", y, y)[..., None, :]
+    d2 = xx + yy - 2.0 * np.matmul(x, np.swapaxes(y, -1, -2))
     np.clip(d2, 0.0, None, out=d2)
     return d2
 
@@ -57,7 +60,10 @@ class GaussianKernel:
     bandwidth: float = 1.0
 
     def __call__(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
-        d2 = pairwise_sq_dists(x, y)
+        return self.from_sq_dists(pairwise_sq_dists(x, y))
+
+    def from_sq_dists(self, d2: np.ndarray) -> np.ndarray:
+        """Kernel values from squared distances (any shape; enables batching)."""
         return np.exp(-d2 / (2.0 * self.bandwidth**2))
 
     def diagonal(self, x: np.ndarray) -> np.ndarray:
@@ -75,8 +81,11 @@ class LaplaceKernel:
     bandwidth: float = 1.0
 
     def __call__(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
-        d = np.sqrt(pairwise_sq_dists(x, y))
-        return np.exp(-d / self.bandwidth)
+        return self.from_sq_dists(pairwise_sq_dists(x, y))
+
+    def from_sq_dists(self, d2: np.ndarray) -> np.ndarray:
+        """Kernel values from squared distances (any shape; enables batching)."""
+        return np.exp(-np.sqrt(d2) / self.bandwidth)
 
     def diagonal(self, x: np.ndarray) -> np.ndarray:
         return np.ones(np.atleast_2d(x).shape[0])
@@ -97,7 +106,10 @@ class InverseMultiquadricKernel:
     power: float = 1.0
 
     def __call__(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
-        d2 = pairwise_sq_dists(x, y)
+        return self.from_sq_dists(pairwise_sq_dists(x, y))
+
+    def from_sq_dists(self, d2: np.ndarray) -> np.ndarray:
+        """Kernel values from squared distances (any shape; enables batching)."""
         return (d2 + self.shift**2) ** (-self.power / 2.0)
 
     def diagonal(self, x: np.ndarray) -> np.ndarray:
@@ -164,8 +176,11 @@ class MaternKernel:
     bandwidth: float = 1.0
 
     def __call__(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
-        d = np.sqrt(pairwise_sq_dists(x, y))
-        scaled = np.sqrt(3.0) * d / self.bandwidth
+        return self.from_sq_dists(pairwise_sq_dists(x, y))
+
+    def from_sq_dists(self, d2: np.ndarray) -> np.ndarray:
+        """Kernel values from squared distances (any shape; enables batching)."""
+        scaled = np.sqrt(3.0) * np.sqrt(d2) / self.bandwidth
         return (1.0 + scaled) * np.exp(-scaled)
 
     def diagonal(self, x: np.ndarray) -> np.ndarray:

@@ -23,6 +23,12 @@ still in flight — completion is decided solely by the remaining-task count
 under the queue lock.  NumPy releases the GIL inside BLAS calls, so the
 parallel speed-up is real, especially for the large batched GEMMs of the
 planned engine.
+
+Output writes (S2N-at-leaves and L2L, which overlap on ``ctx.output``) are
+serialized per *leaf range*, not through one shared lock: the leaves are
+split into contiguous stripes with one lock each, and a task (or plan
+segment) holds exactly the stripes its leaves fall in — tasks writing
+disjoint leaf ranges proceed concurrently.
 """
 
 from __future__ import annotations
@@ -147,11 +153,25 @@ def run_task_graph(
     return state["executed"]
 
 
+def _leaf_stripes(tree, num_workers: int) -> tuple[list, np.ndarray]:
+    """The output striping policy shared by both engines.
+
+    Returns one lock per stripe and the stripe index of every leaf slot
+    (left-to-right leaf order, balanced contiguous ranges).
+    """
+    num_leaves = len(tree.leaves)
+    num_stripes = max(1, min(4 * num_workers, num_leaves))
+    stripe_of_leaf = np.arange(num_leaves, dtype=np.intp) * num_stripes // num_leaves
+    return [threading.Lock() for _ in range(num_stripes)], stripe_of_leaf
+
+
 # ---------------------------------------------------------------------------
 # reference engine: per-node task DAG
 # ---------------------------------------------------------------------------
 
-def _attach_payloads(graph: TaskGraph, compressed: CompressedMatrix, state: EvaluationState) -> None:
+def _attach_payloads(
+    graph: TaskGraph, compressed: CompressedMatrix, state: EvaluationState, num_workers: int = 4
+) -> None:
     """Bind each DAG task to the numerical function it performs."""
     tree = compressed.tree
     locks: dict[int, threading.Lock] = {}
@@ -163,7 +183,16 @@ def _attach_payloads(graph: TaskGraph, compressed: CompressedMatrix, state: Eval
             locks[node_id] = threading.Lock()
         return locks[node_id]
 
-    output_lock = threading.Lock()
+    # The output is striped by leaf range: each S2N-at-leaf / L2L task writes
+    # exactly one leaf's output rows, so it takes only its leaf's stripe lock
+    # instead of one lock shared across the whole output.
+    stripe_locks, stripe_of_leaf = _leaf_stripes(tree, num_workers)
+    leaf_stripe = {
+        leaf.node_id: stripe_locks[stripe_of_leaf[slot]] for slot, leaf in enumerate(tree.leaves)
+    }
+
+    def output_lock_for(node_id: int) -> threading.Lock:
+        return leaf_stripe[node_id]
 
     for task in graph.tasks.values():
         node = tree.node(task.node_id)
@@ -178,7 +207,7 @@ def _attach_payloads(graph: TaskGraph, compressed: CompressedMatrix, state: Eval
             def s2n_payload(n=node):
                 # Writes this node's children potentials (internal) or the output (leaf).
                 if n.is_leaf:
-                    with output_lock:
+                    with output_lock_for(n.node_id):
                         task_s2n(n, state)
                 else:
                     left, right = n.children()
@@ -188,7 +217,7 @@ def _attach_payloads(graph: TaskGraph, compressed: CompressedMatrix, state: Eval
             task.payload = s2n_payload
         elif task.kind == "L2L":
             def l2l_payload(n=node):
-                with output_lock:
+                with output_lock_for(n.node_id):
                     task_l2l(n, state, tree, compressed.near_blocks)
             task.payload = l2l_payload
         else:  # pragma: no cover - evaluation DAG only contains the four kinds above
@@ -204,7 +233,7 @@ def _parallel_evaluate_reference(compressed: CompressedMatrix, weights: np.ndarr
         num_rhs=weights.shape[1],
     )
     graph = build_evaluation_dag(tree, cost)
-    _attach_payloads(graph, compressed, state)
+    _attach_payloads(graph, compressed, state, num_workers=num_workers)
     run_task_graph(graph, num_workers)
     return state.output
 
@@ -213,16 +242,70 @@ def _parallel_evaluate_reference(compressed: CompressedMatrix, weights: np.ndarr
 # planned engine: plan-segment DAG
 # ---------------------------------------------------------------------------
 
+class _StripeLockSet:
+    """Ordered set of stripe locks one output-writing segment must hold.
+
+    Acquisition is always in ascending stripe order (the constructor
+    receives the locks pre-sorted), so two segments whose leaf ranges
+    overlap can never deadlock.
+    """
+
+    __slots__ = ("locks",)
+
+    def __init__(self, locks: list) -> None:
+        self.locks = locks
+
+    def __enter__(self) -> "_StripeLockSet":
+        for lock in self.locks:
+            lock.acquire()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        for lock in reversed(self.locks):
+            lock.release()
+        return False
+
+
+def _output_stripe_locks(compressed: CompressedMatrix, segments: dict, num_workers: int) -> dict:
+    """Per-leaf-range stripe locks for the segments that add into the output.
+
+    S2N-at-leaves and L2L both scatter into ``ctx.output``; a single shared
+    lock would serialize them entirely (the last contention point of the
+    threaded executor).  Leaves are split into contiguous ranges ("stripes"),
+    one lock each, and every output-writing segment takes exactly the locks
+    of the stripes its leaves fall in — segments touching disjoint leaf
+    ranges now add into the output concurrently.
+    """
+    tree = compressed.tree
+    stripe_locks, stripe_of_leaf = _leaf_stripes(tree, num_workers)
+    stripe_of_row = np.empty(tree.n, dtype=np.intp)
+    for slot, leaf in enumerate(tree.leaves):
+        stripe_of_row[leaf.indices] = stripe_of_leaf[slot]
+
+    locks: dict = {}
+    for tid, seg in segments.items():
+        dst = getattr(seg, "dst", None)
+        if dst is None or seg.kind not in ("S2N", "L2L"):
+            locks[tid] = None  # workspace scatters are disjoint by construction
+            continue
+        # Each dst row-block is one whole leaf, so its first row names the leaf.
+        stripes = np.unique(stripe_of_row[np.asarray(dst)[:, 0]])
+        locks[tid] = _StripeLockSet([stripe_locks[int(s)] for s in stripes])
+    return locks
+
+
 def _parallel_evaluate_planned(compressed: CompressedMatrix, weights: np.ndarray, num_workers: int) -> np.ndarray:
     plan = compressed.plan()
     ctx = plan.new_context(weights)
     graph, segments = build_plan_dag(plan, num_rhs=weights.shape[1])
-    # One lock is all the planned engine needs: S2N-at-leaves overlaps L2L
-    # on the output.  Workspace scatters are disjoint per stage by
-    # construction (see plan.PlanSegment).
-    out_lock = threading.Lock()
+    # S2N-at-leaves overlaps L2L on the output; instead of one shared lock,
+    # the output is striped by leaf range and each segment holds only the
+    # stripes it writes.  Workspace scatters are disjoint per stage by
+    # construction (see plan.PlanSegment) and need no lock.
+    out_locks = _output_stripe_locks(compressed, segments, num_workers)
     payloads = {
-        tid: (lambda s=seg: s.run(ctx, out_lock=out_lock)) for tid, seg in segments.items()
+        tid: (lambda s=seg, l=out_locks[tid]: s.run(ctx, out_lock=l))
+        for tid, seg in segments.items()
     }
     run_task_graph(graph, num_workers, payloads=payloads)
     return ctx.output

@@ -63,8 +63,10 @@ class TestInvalidationMatrix:
             ("seed", set(STAGE_ORDER)),
             ("cache_near_blocks", {"blocks", "plan"}),
             ("cache_far_blocks", {"blocks", "plan"}),
+            ("compression_backend", {"skeletons", "blocks", "plan"}),
             ("evaluation_engine", {"plan"}),
             ("prebuild_plan", {"plan"}),
+            ("plan_rank_bucketing", {"plan"}),
         ],
     )
     def test_single_field_invalidation(self, field, expected):
@@ -157,6 +159,21 @@ class TestSessionReuse:
         assert session.stale_stages() == frozenset()
         assert session.stale_stages(tolerance=1e-3) == frozenset({"skeletons", "blocks", "plan"})
         assert "partition" in session.stale_stages(leaf_size=16)
+
+    def test_invalidate_drops_stage_and_downstream(self, matrix):
+        session = make_session(matrix)
+        session.compress()
+        dropped = session.invalidate("skeletons")
+        assert dropped == frozenset({"skeletons", "blocks", "plan"})
+        assert session.artifact("skeletons") is None
+        assert session.artifact("partition") is not None
+        session.compress()
+        assert session.last_built == ("skeletons", "blocks", "plan")
+        assert session.last_reused == ("partition", "neighbors", "interactions")
+        with pytest.raises(CompressionError, match="unknown stage"):
+            session.invalidate("nonsense")
+        assert session.invalidate() == frozenset(STAGE_ORDER)
+        assert session.artifact("partition") is None
 
     def test_artifact_accessors(self, matrix):
         session = make_session(matrix)
@@ -326,3 +343,125 @@ class TestAttach:
         assert op1.tree is not op2.tree
         w = np.random.default_rng(5).standard_normal(first.n)
         assert not np.allclose(op1.apply(w), op2.apply(w))
+
+
+class TestArtifactPersistence:
+    """Session.save_artifacts / load_artifacts: disk-backed Partition + Neighbors."""
+
+    def test_roundtrip_reproduces_operator_exactly(self, matrix, tmp_path):
+        session = make_session(matrix)
+        op1 = session.compress()
+        path = tmp_path / "artifacts.npz"
+        session.save_artifacts(path)
+
+        fresh = make_session(make_gaussian_kernel_matrix(n=240, d=3, bandwidth=1.5, seed=0))
+        assert fresh.load_artifacts(path) == ("partition", "neighbors")
+        op2 = fresh.compress()
+        assert fresh.last_reused == ("partition", "neighbors")
+        assert fresh.stage_builds["partition"] == 0
+        assert fresh.stage_builds["neighbors"] == 0
+        w = np.random.default_rng(0).standard_normal((matrix.n, 3))
+        assert np.array_equal(op1.compressed.matvec(w), op2.compressed.matvec(w))
+
+    def test_restored_tree_is_structurally_identical(self, matrix, tmp_path):
+        session = make_session(matrix)
+        session.prepare()
+        path = tmp_path / "artifacts.npz"
+        session.save_artifacts(path)
+        fresh = make_session(matrix)
+        fresh.load_artifacts(path)
+        original = session.artifact("partition").tree
+        restored = fresh.artifact("partition").tree
+        assert np.array_equal(original.permutation, restored.permutation)
+        assert original.depth == restored.depth
+        for a, b in zip(original.nodes, restored.nodes):
+            assert a.level == b.level and a.morton == b.morton
+            assert np.array_equal(a.indices, b.indices)
+        restored.check_invariants(session.config.leaf_size)
+
+    def test_neighbor_table_roundtrip(self, matrix, tmp_path):
+        session = make_session(matrix)
+        session.prepare()
+        path = tmp_path / "artifacts.npz"
+        session.save_artifacts(path)
+        fresh = make_session(matrix)
+        fresh.load_artifacts(path)
+        original = session.artifact("neighbors").table
+        restored = fresh.artifact("neighbors").table
+        assert np.array_equal(original.indices, restored.indices)
+        assert np.array_equal(original.distances, restored.distances)
+        assert original.iterations == restored.iterations
+        assert original.converged == restored.converged
+
+    def test_metric_free_ordering_saves_none_table(self, tmp_path):
+        from repro.config import DistanceMetric
+
+        matrix = make_gaussian_kernel_matrix(n=128, d=2, bandwidth=1.0, seed=1)
+        session = make_session(matrix, distance=DistanceMetric.LEXICOGRAPHIC)
+        path = tmp_path / "artifacts.npz"
+        session.save_artifacts(path)
+        fresh = make_session(matrix, distance=DistanceMetric.LEXICOGRAPHIC)
+        fresh.load_artifacts(path)
+        assert fresh.artifact("neighbors").table is None
+        fresh.compress()
+
+    def test_size_mismatch_rejected(self, matrix, tmp_path):
+        session = make_session(matrix)
+        path = tmp_path / "artifacts.npz"
+        session.save_artifacts(path)
+        other = make_session(make_gaussian_kernel_matrix(n=128, d=3, bandwidth=1.5, seed=0))
+        with pytest.raises(CompressionError, match="n="):
+            other.load_artifacts(path)
+
+    def test_save_builds_only_persistable_stages(self, matrix, tmp_path):
+        """Snapshotting tree+ANN must not pay for interaction lists."""
+        session = make_session(matrix)
+        session.save_artifacts(tmp_path / "artifacts.npz")
+        assert session.stage_builds["partition"] == 1
+        assert session.stage_builds["neighbors"] == 1
+        assert session.stage_builds["interactions"] == 0
+
+    def test_truncated_neighbor_table_rejected_at_load(self, matrix, tmp_path):
+        session = make_session(matrix)
+        path = tmp_path / "artifacts.npz"
+        session.save_artifacts(path)
+        with np.load(path) as data:
+            payload = {k: data[k] for k in data.files}
+        payload["neighbor_indices"] = payload["neighbor_indices"][:100]
+        payload["neighbor_distances"] = payload["neighbor_distances"][:100]
+        with open(path, "wb") as fh:
+            np.savez(fh, **payload)
+        with pytest.raises(CompressionError, match="neighbor table"):
+            make_session(matrix).load_artifacts(path)
+
+    def test_malformed_partition_rejected_at_load(self, matrix, tmp_path):
+        session = make_session(matrix)
+        path = tmp_path / "artifacts.npz"
+        session.save_artifacts(path)
+        with np.load(path) as data:
+            payload = {k: data[k] for k in data.files}
+        payload["node_indices"] = payload["node_indices"].copy()
+        payload["node_indices"][-5:] = 0  # duplicate indices: leaves now overlap
+        with open(path, "wb") as fh:
+            np.savez(fh, **payload)
+        with pytest.raises(CompressionError):
+            make_session(matrix).load_artifacts(path)
+
+    def test_fingerprint_mismatch_rejected(self, matrix, tmp_path):
+        session = make_session(matrix)
+        path = tmp_path / "artifacts.npz"
+        session.save_artifacts(path)
+        other = make_session(matrix, leaf_size=64)
+        with pytest.raises(CompressionError, match="fingerprint"):
+            other.load_artifacts(path)
+
+    def test_downstream_config_changes_do_not_block_load(self, matrix, tmp_path):
+        """Artifacts only depend on partition/neighbors fields; sweeping
+        tolerance or budget must still accept the saved file."""
+        session = make_session(matrix)
+        path = tmp_path / "artifacts.npz"
+        session.save_artifacts(path)
+        other = make_session(matrix, tolerance=1e-3, budget=0.0, max_rank=12)
+        other.load_artifacts(path)
+        op = other.compress()
+        assert op.relative_error() < 1.0

@@ -1,0 +1,293 @@
+"""Unit tests for the compression-backend registry and the batched skeletonizer.
+
+The contract under test: ``"reference"`` and ``"batched"`` draw every
+node's row sample from the same deterministic per-node stream, so with a
+shared stage generator they must select **identical** skeletons and ranks
+(not merely statistically equivalent ones), and the compressed operators
+they produce must agree to floating-point noise.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ConfigurationError, GOFMMConfig
+from repro.api import Session
+from repro.config import DistanceMetric
+from repro.core import backends
+from repro.core.backends import bucket_size, pad_ranks
+from repro.core.compress import stage_rng
+from repro.core.distances import make_distance
+from repro.core.interactions import build_node_neighbor_lists
+from repro.core.neighbors import all_nearest_neighbors
+from repro.core.skeletonization import skeletonize_tree
+from repro.core.skeletonization_batched import skeletonize_tree_batched
+from repro.core.tree import build_tree
+from repro.errors import CompressionError, RankDeficiencyError
+from repro.linalg.id import batched_interpolative_decomposition, interpolative_decomposition
+from repro.matrices import DenseSPD
+
+from ..conftest import make_gaussian_kernel_matrix
+
+
+def prepared(n=320, leaf_size=32, max_rank=16, tolerance=1e-6, adaptive=True, seed=0):
+    matrix = make_gaussian_kernel_matrix(n=n, d=3, bandwidth=1.5, seed=seed)
+    config = GOFMMConfig(
+        leaf_size=leaf_size, max_rank=max_rank, tolerance=tolerance, neighbors=8,
+        budget=0.2, num_neighbor_trees=3, adaptive_rank=adaptive,
+        distance=DistanceMetric.KERNEL, seed=seed,
+    )
+    distance = make_distance(matrix, config.distance)
+    rng = np.random.default_rng(seed)
+    neighbors = all_nearest_neighbors(distance, config, rng=rng)
+    tree = build_tree(matrix.n, config, distance, rng=rng)
+    build_node_neighbor_lists(tree, neighbors, rng=rng)
+    return matrix, config, tree, neighbors
+
+
+class TestRegistry:
+    def test_builtins_available(self):
+        assert {"reference", "batched"} <= set(backends.available_backends())
+        assert backends.is_registered("reference")
+        assert backends.is_registered("batched")
+
+    def test_get_unknown_raises_with_known_list(self):
+        with pytest.raises(CompressionError, match="registered backends"):
+            backends.get_backend("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(CompressionError, match="already registered"):
+            backends.register("reference", lambda *a, **k: None)
+
+    def test_register_unregister_roundtrip(self):
+        spec = backends.register("custom-test", lambda *a, **k: None, description="x")
+        try:
+            assert backends.get_backend("custom-test") is spec
+            assert "custom-test" in backends.available_backends()
+        finally:
+            backends.unregister("custom-test")
+        assert not backends.is_registered("custom-test")
+        with pytest.raises(CompressionError):
+            backends.unregister("custom-test")
+
+    def test_config_validates_against_registry(self):
+        with pytest.raises(ConfigurationError, match="compression_backend"):
+            GOFMMConfig(compression_backend="does-not-exist")
+        assert GOFMMConfig(compression_backend="reference").compression_backend == "reference"
+        assert GOFMMConfig().compression_backend == "batched"
+
+    def test_custom_backend_usable_through_config_and_session(self):
+        calls = []
+
+        def spy(tree, matrix, config, neighbors, rng=None):
+            calls.append(tree)
+            return skeletonize_tree(tree, matrix, config, neighbors, rng=rng)
+
+        backends.register("spy-test", spy)
+        try:
+            matrix = make_gaussian_kernel_matrix(n=96, d=2, bandwidth=1.0, seed=3)
+            config = GOFMMConfig(
+                leaf_size=16, max_rank=8, neighbors=4, num_neighbor_trees=2,
+                seed=0, compression_backend="spy-test",
+            )
+            op = Session(matrix, config).compress()
+            assert len(calls) == 1
+            assert op.relative_error() < 0.5
+        finally:
+            backends.unregister("spy-test")
+
+    def test_plan_rank_bucketing_validated(self):
+        with pytest.raises(ConfigurationError, match="plan_rank_bucketing"):
+            GOFMMConfig(plan_rank_bucketing="fibonacci")
+
+
+class TestBucketing:
+    def test_bucket_size_pow2(self):
+        assert [bucket_size(v) for v in (0, 1, 2, 3, 5, 8, 9)] == [0, 1, 2, 4, 8, 8, 16]
+
+    def test_bucket_size_none_and_max_are_identity(self):
+        assert bucket_size(13, "none") == 13
+        assert bucket_size(13, "max") == 13
+
+    def test_bucket_size_rejects_unknown_mode(self):
+        with pytest.raises(CompressionError):
+            bucket_size(4, "weird")
+
+    def test_pad_ranks_modes(self):
+        ranks = np.array([0, 3, 5, 8])
+        assert list(pad_ranks(ranks, "none")) == [0, 3, 5, 8]
+        assert list(pad_ranks(ranks, "pow2")) == [0, 4, 8, 8]
+        assert list(pad_ranks(ranks, "max")) == [0, 8, 8, 8]
+
+    def test_pad_ranks_rejects_unknown_mode(self):
+        with pytest.raises(CompressionError):
+            pad_ranks(np.array([1, 2]), "weird")
+
+
+class TestBatchedID:
+    """batched_interpolative_decomposition vs the per-block reference."""
+
+    @pytest.mark.parametrize("adaptive,tolerance,max_rank", [(True, 1e-6, 10), (False, 0.0, 10)])
+    def test_padded_stack_matches_per_block(self, adaptive, tolerance, max_rank):
+        rng = np.random.default_rng(7)
+        g, P, K = 12, 40, 24
+        stack = np.zeros((g, P, K))
+        blocks, rc, cc = [], [], []
+        for i in range(g):
+            p, k = int(rng.integers(8, P + 1)), int(rng.integers(3, K + 1))
+            r = int(rng.integers(1, min(p, k) + 1))
+            b = rng.standard_normal((p, r)) @ rng.standard_normal((r, k))
+            b += 1e-10 * rng.standard_normal((p, k))
+            blocks.append(b)
+            rc.append(p)
+            cc.append(k)
+            stack[i, :p, :k] = b
+        results = batched_interpolative_decomposition(
+            stack, max_rank, tolerance, adaptive=adaptive,
+            row_counts=np.array(rc), col_counts=np.array(cc),
+        )
+        for i in range(g):
+            ref = interpolative_decomposition(blocks[i], max_rank, tolerance, adaptive=adaptive)
+            assert results[i].rank == ref.rank
+            assert np.array_equal(results[i].skeleton, ref.skeleton)
+            if ref.rank:
+                approx_ref = blocks[i][:, ref.skeleton] @ ref.coeffs
+                approx_bat = blocks[i][:, results[i].skeleton] @ results[i].coeffs
+                scale = np.linalg.norm(blocks[i])
+                assert np.linalg.norm(approx_bat - blocks[i]) <= np.linalg.norm(
+                    approx_ref - blocks[i]
+                ) + 1e-9 * scale
+
+    def test_padding_never_enters_skeleton(self):
+        rng = np.random.default_rng(1)
+        stack = np.zeros((9, 16, 16))
+        cc = np.full(9, 5)
+        stack[:, :10, :5] = rng.standard_normal((9, 10, 5))
+        results = batched_interpolative_decomposition(
+            stack, 16, 0.0, adaptive=False, row_counts=np.full(9, 10), col_counts=cc
+        )
+        for res in results:
+            assert res.rank <= 5
+            assert np.all(res.skeleton < 5)
+            assert res.coeffs.shape[1] == 5
+
+    def test_empty_and_zero_blocks(self):
+        stack = np.zeros((8, 6, 4))
+        results = batched_interpolative_decomposition(stack, 4, 1e-8, adaptive=True)
+        assert all(r.rank == 0 for r in results)
+        assert batched_interpolative_decomposition(np.zeros((0, 4, 4)), 4) == []
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("adaptive", [True, False])
+    def test_identical_skeletons_and_stats(self, adaptive):
+        m1, c1, t1, n1 = prepared(adaptive=adaptive)
+        m2, c2, t2, n2 = prepared(adaptive=adaptive)
+        s1 = skeletonize_tree(t1, m1, c1, n1, rng=np.random.default_rng(11))
+        s2 = skeletonize_tree_batched(t2, m2, c2, n2, rng=np.random.default_rng(11))
+        for a, b in zip(t1.nodes, t2.nodes):
+            assert a.skeleton_rank == b.skeleton_rank
+            if a.skeleton is None:
+                assert b.skeleton is None
+            else:
+                assert np.array_equal(a.skeleton, b.skeleton)
+                assert np.allclose(a.coeffs, b.coeffs, atol=1e-8)
+        assert s1.ranks == s2.ranks
+        assert s1.num_nodes == s2.num_nodes
+        assert s1.max_rank == s2.max_rank
+
+    def test_identical_entry_evaluation_counts(self):
+        m1, c1, t1, n1 = prepared()
+        m2, c2, t2, n2 = prepared()
+        base1, base2 = m1.entry_evaluations, m2.entry_evaluations
+        skeletonize_tree(t1, m1, c1, n1, rng=np.random.default_rng(5))
+        skeletonize_tree_batched(t2, m2, c2, n2, rng=np.random.default_rng(5))
+        assert m1.entry_evaluations - base1 == m2.entry_evaluations - base2
+
+    def test_operators_agree_through_session(self):
+        matrix = make_gaussian_kernel_matrix(n=256, d=3, bandwidth=1.5, seed=2)
+        config = GOFMMConfig(
+            leaf_size=32, max_rank=16, tolerance=1e-6, neighbors=8, budget=0.1,
+            num_neighbor_trees=3, seed=0,
+        )
+        op_ref = Session(matrix, config.replace(compression_backend="reference")).compress()
+        op_bat = Session(matrix, config.replace(compression_backend="batched")).compress()
+        w = np.random.default_rng(0).standard_normal((matrix.n, 4))
+        assert np.allclose(op_ref.compressed.matvec(w), op_bat.compressed.matvec(w), atol=1e-8)
+        err_ref = op_ref.relative_error()
+        err_bat = op_bat.relative_error()
+        assert err_bat == pytest.approx(err_ref, abs=1e-10)
+
+    def test_secure_accuracy_raises_in_batched(self):
+        identity = DenseSPD(np.eye(64))
+        config = GOFMMConfig(
+            leaf_size=16, max_rank=8, tolerance=1e-3, budget=0.0,
+            distance=DistanceMetric.LEXICOGRAPHIC, secure_accuracy=True,
+            compression_backend="batched",
+        )
+        tree = build_tree(64, config, distance=None)
+        with pytest.raises(RankDeficiencyError):
+            skeletonize_tree_batched(tree, identity, config, None)
+
+    def test_zero_offdiagonal_allowed_without_secure_accuracy(self):
+        identity = DenseSPD(np.eye(64))
+        config = GOFMMConfig(
+            leaf_size=16, max_rank=8, tolerance=1e-3, budget=0.0,
+            distance=DistanceMetric.LEXICOGRAPHIC, secure_accuracy=False,
+            compression_backend="batched",
+        )
+        tree = build_tree(64, config, distance=None)
+        stats = skeletonize_tree_batched(tree, identity, config, None)
+        assert stats.max_rank == 0
+
+
+class TestStageDispatch:
+    def test_run_skeletons_stage_uses_configured_backend(self, monkeypatch):
+        matrix = make_gaussian_kernel_matrix(n=96, d=2, bandwidth=1.0, seed=4)
+        called = []
+
+        def fake_batched(tree, m, config, neighbors, rng=None):
+            called.append("batched")
+            return skeletonize_tree(tree, m, config, neighbors, rng=rng)
+
+        backends.register("batched", fake_batched, overwrite=True)
+        try:
+            config = GOFMMConfig(
+                leaf_size=16, max_rank=8, neighbors=4, num_neighbor_trees=2, seed=0,
+                compression_backend="batched",
+            )
+            Session(matrix, config).compress()
+        finally:
+            backends.register("batched", backends._run_batched, overwrite=True)
+        assert called == ["batched"]
+
+    def test_switching_backend_invalidates_only_skeletons_onward(self):
+        matrix = make_gaussian_kernel_matrix(n=128, d=2, bandwidth=1.2, seed=6)
+        config = GOFMMConfig(
+            leaf_size=16, max_rank=8, neighbors=4, num_neighbor_trees=2, seed=0,
+            compression_backend="batched",
+        )
+        session = Session(matrix, config)
+        session.compress()
+        assert session.stale_stages(compression_backend="reference") == frozenset(
+            {"skeletons", "blocks", "plan"}
+        )
+        session.recompress(compression_backend="reference")
+        assert session.last_built == ("skeletons", "blocks", "plan")
+        assert session.last_reused == ("partition", "neighbors", "interactions")
+
+    def test_switching_bucketing_invalidates_only_plan(self):
+        matrix = make_gaussian_kernel_matrix(n=128, d=2, bandwidth=1.2, seed=6)
+        config = GOFMMConfig(
+            leaf_size=16, max_rank=8, neighbors=4, num_neighbor_trees=2, seed=0,
+        )
+        session = Session(matrix, config)
+        session.compress()
+        assert session.stale_stages(plan_rank_bucketing="none") == frozenset({"plan"})
+        op = session.recompress(plan_rank_bucketing="none")
+        assert session.last_built == ("plan",)
+        w = np.random.default_rng(1).standard_normal(matrix.n)
+        assert np.allclose(
+            op.compressed.matvec(w, engine="planned"),
+            op.compressed.matvec(w, engine="reference"),
+            atol=1e-10,
+        )
