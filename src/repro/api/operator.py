@@ -9,10 +9,24 @@ and any other consumer of the ``LinearOperator`` protocol.  On top of the
 protocol it carries the library-native conveniences: ``solve`` (block-Jacobi
 preconditioned CG on the compressed matvec), ``relative_error`` (the
 paper's ε2), and the rank / storage / plan / interaction reports.
+
+**Thread safety.**  ``matvec`` / ``matmat`` / ``apply`` / ``solve`` are safe
+to call from concurrent threads on one operator — the serving runtime
+(:mod:`repro.serving`) does exactly that.  The compressed representation
+(tree, packed plan, cached blocks) is immutable after compression; all
+per-call state lives in per-call contexts, with the planned engine drawing
+its workspaces from a small thread-safe pool on the plan
+(:meth:`repro.core.plan.EvaluationPlan.new_context`).  Two caveats: the
+FLOP ``counters`` carried by the underlying :class:`CompressedMatrix` are
+updated without a lock (concurrent calls may under-count — they are
+diagnostics, never results), and the first ``plan()`` build is not
+synchronized, so prebuild the plan (``compressed.plan()``) before fanning
+out threads — the server does this at registration.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Optional
 
 import numpy as np
@@ -33,9 +47,17 @@ class CompressedOperator(LinearOperator):
     pass of the planned engine.
     """
 
+    #: Block-Jacobi factor sets kept per operator (one per distinct shift).
+    _PRECONDITIONER_CACHE_MAX = 8
+
     def __init__(self, compressed: CompressedMatrix, report: Optional[CompressionReport] = None) -> None:
         self.compressed = compressed
         self.report = report
+        # Block-Jacobi factors per shift, built once and shared across solves
+        # (they are read-only after construction): a serving batch of solves
+        # must not re-factor every leaf diagonal block per request batch.
+        self._preconditioners: dict[float, object] = {}
+        self._preconditioner_lock = threading.Lock()
         super().__init__(dtype=np.dtype(compressed.config.dtype), shape=compressed.shape)
 
     # -- LinearOperator protocol ------------------------------------------------
@@ -65,6 +87,41 @@ class CompressedOperator(LinearOperator):
         return self.compressed.default_engine()
 
     # -- solving / accuracy -------------------------------------------------------
+    def preconditioner(self, shift: float = 0.0):
+        """The block-Jacobi preconditioner for ``K̃ + shift·I``, cached per shift.
+
+        Factoring the leaf diagonal blocks costs as much as several CG
+        iterations; a server answering a stream of solves must pay it once
+        per operator, not once per request batch.  The returned object is
+        immutable and safe to share across threads.  The cache is bounded
+        (oldest shift evicted) so request streams sweeping ``shift`` — a
+        client-controllable solve parameter — cannot grow memory without
+        limit.
+        """
+        from ..solvers import BlockJacobiPreconditioner
+
+        key = float(shift)
+        with self._preconditioner_lock:
+            preconditioner = self._preconditioners.pop(key, None)
+            if preconditioner is not None:
+                # re-insert on hit: insertion order approximates LRU, so a
+                # sweep of fresh shifts evicts cold entries, not the hot one
+                self._preconditioners[key] = preconditioner
+        if preconditioner is not None:
+            return preconditioner
+        # Build outside the lock: the factorization is expensive and must not
+        # serialize concurrent solves with other shifts (racing builders of
+        # the same shift duplicate work once; the first insert wins).
+        preconditioner = BlockJacobiPreconditioner(self.compressed, shift=key)
+        with self._preconditioner_lock:
+            existing = self._preconditioners.get(key)
+            if existing is not None:
+                return existing
+            while len(self._preconditioners) >= self._PRECONDITIONER_CACHE_MAX:
+                self._preconditioners.pop(next(iter(self._preconditioners)))
+            self._preconditioners[key] = preconditioner
+        return preconditioner
+
     def solve(
         self,
         rhs: np.ndarray,
@@ -78,18 +135,20 @@ class CompressedOperator(LinearOperator):
 
         ``rhs`` may be a vector or an ``(N, k)`` block of right-hand sides;
         the blocked solver evaluates all Krylov products as one wide GEMM
-        per iteration.  Returns a :class:`repro.solvers.CGResult`.
+        per iteration.  The block-Jacobi factors are cached per ``shift``
+        (see :meth:`preconditioner`), so repeated solves — a serving
+        workload — skip the per-call factorization of
+        :func:`repro.solvers.solve`.  Returns a :class:`repro.solvers.CGResult`.
         """
-        from ..solvers import solve as _solve
+        from ..solvers import conjugate_gradient
 
-        return _solve(
-            self.compressed,
-            rhs,
+        return conjugate_gradient(
+            matvec=lambda v: self.compressed.matvec(v, engine=engine),
+            rhs=rhs,
             shift=shift,
             tolerance=tolerance,
             max_iterations=max_iterations,
-            use_preconditioner=use_preconditioner,
-            engine=engine,
+            preconditioner=self.preconditioner(shift) if use_preconditioner else None,
         )
 
     def relative_error(

@@ -396,29 +396,53 @@ class Session:
 
     # -- artifact persistence ----------------------------------------------------
     def save_artifacts(self, path) -> None:
-        """Persist the Partition and Neighbors artifacts to one ``.npz`` file.
+        """Persist the Partition, Neighbors and Interactions artifacts to one ``.npz``.
 
-        These are the two matrix-light artifacts that dominate a cold
-        compression at large n (tree build + iterative ANN search) and are
-        plain arrays; a later process can :meth:`load_artifacts` them and
-        pay only for skeletonization onward — the on-disk analogue of
-        :meth:`attach` for repeated processes / service sharding.  The file
-        records each artifact's config fingerprint, and loading validates
-        it against the loading session's config.
+        These are the matrix-light artifacts that dominate a cold
+        compression at large n (tree build + iterative ANN search +
+        interaction-list construction) and are plain arrays; a later
+        process can :meth:`load_artifacts` them and pay only for
+        skeletonization onward — the on-disk analogue of :meth:`attach`
+        for repeated processes / service sharding, and the cold-start path
+        of the serving runtime (:mod:`repro.serving`).  The file records
+        each artifact's config fingerprint, and loading validates it
+        against the loading session's config.
         """
-        partition, neighbors = self._ensure_partition_and_neighbors(None, set())
+        partition, neighbors, interactions = self.prepare()
         arrays = partition.to_arrays()
         table = neighbors.table
+        lists = interactions.lists
+        num_nodes = len(partition.tree.nodes)
+
+        def csr(values_of) -> tuple[np.ndarray, np.ndarray]:
+            """Node-id-indexed ragged lists as (indptr, cols); order-preserving."""
+            indptr = np.zeros(num_nodes + 1, dtype=np.intp)
+            cols: list[int] = []
+            for node_id in range(num_nodes):
+                cols.extend(values_of(node_id))
+                indptr[node_id + 1] = len(cols)
+            return indptr, np.asarray(cols, dtype=np.intp)
+
+        near_indptr, near_cols = csr(lambda i: lists.near.get(i, []))
+        far_indptr, far_cols = csr(lambda i: lists.far.get(i, []))
+        nl_present = np.zeros(num_nodes, dtype=bool)
+        for node_id in interactions.neighbor_lists:
+            nl_present[node_id] = True
+        nl_indptr, nl_cols = csr(
+            lambda i: interactions.neighbor_lists.get(i, np.empty(0, dtype=np.intp))
+        )
         meta = {
-            "format": 1,
+            "format": 2,
             "n": int(self.matrix.n),
             "depth": int(partition.depth),
             "has_neighbors": table is not None,
             "iterations": int(neighbors.iterations),
             "converged": bool(neighbors.converged),
+            "budget_cap": int(lists.budget_cap),
+            "num_leaves": int(lists.num_leaves),
             "fingerprints": {
                 stage: _jsonable_fingerprint(stage_fingerprint(self._config, stage))
-                for stage in ("partition", "neighbors")
+                for stage in ("partition", "neighbors", "interactions")
             },
         }
         payload = {
@@ -427,18 +451,28 @@ class Session:
             "node_indices": arrays["node_indices"],
             "neighbor_indices": table.indices if table is not None else np.empty((0, 0), dtype=np.intp),
             "neighbor_distances": table.distances if table is not None else np.empty((0, 0)),
+            "near_indptr": near_indptr,
+            "near_cols": near_cols,
+            "far_indptr": far_indptr,
+            "far_cols": far_cols,
+            "nl_present": nl_present,
+            "nl_indptr": nl_indptr,
+            "nl_cols": nl_cols,
         }
         with open(path, "wb") as fh:
             np.savez(fh, **payload)
 
     def load_artifacts(self, path) -> tuple[str, ...]:
-        """Install Partition + Neighbors artifacts saved by :meth:`save_artifacts`.
+        """Install the artifacts saved by :meth:`save_artifacts`.
 
+        Format-2 files carry Partition + Neighbors + Interactions (servers
+        cold-start without re-running interaction-list construction);
+        format-1 files (pre-Interactions) still load their two stages.
         Validates the stored problem size and per-stage config fingerprints
         against this session's matrix and config; a mismatch raises
         :class:`~repro.errors.CompressionError` rather than silently
         compressing against a foreign partition.  Returns the names of the
-        installed stages; a following :meth:`compress` skips both.
+        installed stages; a following :meth:`compress` skips them all.
         """
         with np.load(path) as data:
             meta = json.loads(bytes(data["meta"]))
@@ -446,6 +480,15 @@ class Session:
             node_indices = data["node_indices"]
             neighbor_indices = data["neighbor_indices"]
             neighbor_distances = data["neighbor_distances"]
+            fmt = int(meta.get("format", 1))
+            if fmt >= 2:
+                near_indptr = data["near_indptr"]
+                near_cols = data["near_cols"]
+                far_indptr = data["far_indptr"]
+                far_cols = data["far_cols"]
+                nl_present = data["nl_present"]
+                nl_indptr = data["nl_indptr"]
+                nl_cols = data["nl_cols"]
         if int(meta["n"]) != self.matrix.n:
             raise CompressionError(
                 f"artifact file holds a partition of n={meta['n']}, session matrix has n={self.matrix.n}"
@@ -460,6 +503,12 @@ class Session:
                 f"artifact fingerprints do not match the session config for stage(s) "
                 f"{', '.join(stale)}; recompute with save_artifacts under the current config"
             )
+        # The interactions artifact is optional cargo: a fingerprint mismatch
+        # (e.g. the loading session sweeps ``budget``) just means the lists
+        # must be rebuilt — it never blocks loading the partition + ANN table.
+        load_interactions = fmt >= 2 and meta["fingerprints"]["interactions"] == (
+            _jsonable_fingerprint(stage_fingerprint(self._config, "interactions"))
+        )
 
         try:
             partition = Partition.from_arrays(node_offsets, node_indices, meta["depth"], meta["n"])
@@ -502,7 +551,90 @@ class Session:
                 version=next(_VERSION_COUNTER),
                 upstream_versions={},
             )
-        return ("partition", "neighbors")
+        if not load_interactions:
+            return ("partition", "neighbors")
+
+        # -- interactions (format >= 2): CSR over node ids, order-preserving --
+        num_nodes = len(partition.tree.nodes)
+        interactions = self._decode_interactions(
+            partition, num_nodes,
+            near_indptr, near_cols, far_indptr, far_cols,
+            nl_present, nl_indptr, nl_cols,
+            budget_cap=int(meta["budget_cap"]), num_leaves=int(meta["num_leaves"]),
+        )
+        self._cache["interactions"] = _CachedStage(
+            value=interactions,
+            fingerprint=stage_fingerprint(self._config, "interactions"),
+            version=next(_VERSION_COUNTER),
+            upstream_versions={
+                up: self._cache[up].version for up in STAGE_UPSTREAM["interactions"]
+            },
+        )
+        return ("partition", "neighbors", "interactions")
+
+    def _decode_interactions(
+        self, partition, num_nodes,
+        near_indptr, near_cols, far_indptr, far_cols,
+        nl_present, nl_indptr, nl_cols,
+        budget_cap: int, num_leaves: int,
+    ) -> Interactions:
+        """Rebuild the :class:`Interactions` artifact from its CSR encoding.
+
+        Same trust-boundary stance as the partition/neighbor loaders: a
+        truncated or hand-edited file must fail here with a
+        :class:`CompressionError`, not as an IndexError deep inside
+        compression.
+        """
+        from ..core.interactions import InteractionLists
+
+        def decode(indptr, cols, what: str, bound: int) -> dict[int, list[int]]:
+            # ``bound``: node ids for Near/Far lists, global point indices
+            # (``n``) for the per-node neighbor lists N(α).
+            indptr = np.asarray(indptr, dtype=np.intp)
+            cols = np.asarray(cols, dtype=np.intp)
+            if (
+                indptr.shape != (num_nodes + 1,)
+                or indptr[0] != 0
+                or np.any(np.diff(indptr) < 0)
+                or indptr[-1] != cols.size
+                or (cols.size and (cols.min() < 0 or cols.max() >= bound))
+            ):
+                raise CompressionError(f"artifact file holds malformed {what} lists")
+            return {
+                i: cols[indptr[i] : indptr[i + 1]].tolist() for i in range(num_nodes)
+            }
+
+        tree = partition.tree
+        leaf_ids = {leaf.node_id for leaf in tree.leaves}
+        if num_leaves != len(leaf_ids):
+            raise CompressionError(
+                f"artifact file holds interaction lists over {num_leaves} leaves, "
+                f"partition has {len(leaf_ids)}"
+            )
+        near_all = decode(near_indptr, near_cols, "Near", num_nodes)
+        far = decode(far_indptr, far_cols, "Far", num_nodes)
+        # Near lists exist for leaves only (matching build_near_lists); a
+        # non-empty Near list on an internal node is a malformed file.
+        near = {i: members for i, members in near_all.items() if i in leaf_ids}
+        if any(members for i, members in near_all.items() if i not in leaf_ids):
+            raise CompressionError("artifact file holds Near lists on internal nodes")
+        nl_all = decode(nl_indptr, nl_cols, "node-neighbor", self.matrix.n)
+        nl_present = np.asarray(nl_present, dtype=bool)
+        if nl_present.shape != (num_nodes,):
+            raise CompressionError("artifact file holds a malformed node-neighbor mask")
+        neighbor_lists = {
+            i: np.asarray(nl_all[i], dtype=np.intp)
+            for i in range(num_nodes)
+            if nl_present[i]
+        }
+        lists = InteractionLists(
+            near=near,
+            far=far,
+            leaf_position={leaf.node_id: pos for pos, leaf in enumerate(tree.leaves)},
+            num_leaves=num_leaves,
+            budget_cap=budget_cap,
+        )
+        return Interactions(lists=lists, neighbor_lists=neighbor_lists)
 
     # -- operator families -----------------------------------------------------
     def attach(self, matrix, **config_changes) -> "Session":

@@ -136,6 +136,15 @@ class GOFMMConfig:
     prebuild_plan:
         build the evaluation plan during compression (phase ``"plan"`` of
         the report) instead of lazily on the first planned matvec.
+    executor_stall_timeout:
+        watchdog for the threaded executor (:mod:`repro.runtime.executor`):
+        if no task of an evaluation completes within this many seconds
+        while tasks are still in flight, the run is abandoned with a
+        :class:`~repro.errors.SchedulingError` instead of hanging forever.
+        ``None`` disables the watchdog.  Long-running server evaluations
+        (huge n, few workers) should raise this rather than risk a
+        false positive — it bounds the *gap between task completions*,
+        not total evaluation time.
     dtype:
         floating point type of the compressed representation.
     seed:
@@ -162,6 +171,7 @@ class GOFMMConfig:
     compression_backend: str = "batched"
     plan_rank_bucketing: str = "pow2"
     prebuild_plan: bool = False
+    executor_stall_timeout: Optional[float] = 300.0
     dtype: np.dtype = np.float64
     seed: Optional[int] = 0
 
@@ -186,6 +196,10 @@ class GOFMMConfig:
             raise ConfigurationError("oversampling must be >= 1")
         if self.centroid_samples < 1:
             raise ConfigurationError("centroid_samples must be >= 1")
+        if self.executor_stall_timeout is not None and not (self.executor_stall_timeout > 0.0):
+            raise ConfigurationError(
+                f"executor_stall_timeout must be positive or None, got {self.executor_stall_timeout}"
+            )
         # Validate against the engine registry (lazy import: repro.core modules
         # import this module, so the registry cannot be a top-level import).
         from .core.engines import available_engines, is_registered

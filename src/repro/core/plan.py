@@ -43,10 +43,22 @@ plain vectorized fancy-index add — no ``np.add.at`` in the hot loop.
 :func:`evaluate_planned` is numerically equivalent to
 :func:`repro.core.evaluate.evaluate` up to floating-point summation order
 (the equivalence tests assert agreement to 1e-10).
+
+**Thread safety / reentrancy.**  The plan itself (packed coefficients,
+blocks, index tables) is immutable after :func:`build_plan`; all mutable
+per-matvec state lives in a :class:`PlanContext`.  Contexts are created per
+call — never shared — so any number of threads may evaluate the same plan
+concurrently (the serving runtime relies on this).  To avoid paying two
+workspace allocations per request under load, the plan keeps a small
+thread-safe pool of workspace buffers: :meth:`EvaluationPlan.new_context`
+reuses a (zeroed) buffer pair when one of matching width is available and
+:meth:`EvaluationPlan.release_context` returns it.  The output array is
+always freshly allocated — it is handed to the caller.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
@@ -87,12 +99,22 @@ class PlanContext:
         leaf_perm: Optional[np.ndarray] = None,
         leaf_size: int = 0,
         rank: int = 0,
+        buffers: Optional[tuple[np.ndarray, np.ndarray]] = None,
     ) -> None:
         self.weights = weights
         self.num_rhs = weights.shape[1]
         self.output = np.zeros_like(weights)
-        self.wtil = np.zeros((workspace_rows, self.num_rhs), dtype=weights.dtype)
-        self.util = np.zeros((workspace_rows, self.num_rhs), dtype=weights.dtype)
+        if buffers is not None:
+            # Pooled workspaces (EvaluationPlan.new_context): zeroed here so a
+            # reused buffer is indistinguishable from a fresh allocation.
+            wtil, util = buffers
+            wtil.fill(0.0)
+            util.fill(0.0)
+            self.wtil = wtil
+            self.util = util
+        else:
+            self.wtil = np.zeros((workspace_rows, self.num_rhs), dtype=weights.dtype)
+            self.util = np.zeros((workspace_rows, self.num_rhs), dtype=weights.dtype)
         if leaf_perm is not None and leaf_size > 0:
             self.leaf_view = weights[leaf_perm].reshape(-1, leaf_size, self.num_rhs)
         else:
@@ -484,6 +506,12 @@ class EvaluationPlan:
         self.near_cols = near_cols
         self.far_indptr = far_indptr
         self.far_cols = far_cols
+        # Pooled per-call workspace buffers (see the module docstring): a
+        # bounded LIFO of (wtil, util) pairs protected by a lock, so
+        # concurrent callers are reentrant while repeated matvecs (CG,
+        # serving) skip the two workspace allocations per call.
+        self._pool_lock = threading.Lock()
+        self._workspace_pool: List[tuple[np.ndarray, np.ndarray]] = []
         self.flops_per_rhs: Dict[str, float] = {
             "n2s": sum(s.flops_per_rhs for level in n2s_levels for s in level),
             "s2s": sum(s.flops_per_rhs for s in s2s_segments),
@@ -545,24 +573,66 @@ class EvaluationPlan:
         )
 
     # -- execution ----------------------------------------------------------
+    #: Maximum number of pooled workspace pairs kept per plan (≈ the number
+    #: of concurrent evaluations worth caching for; beyond it, extra
+    #: contexts simply allocate and are dropped on release).
+    WORKSPACE_POOL_MAX = 8
+
     def new_context(self, weights: np.ndarray) -> PlanContext:
+        """A fresh per-call context, reusing a pooled workspace when possible.
+
+        Pair every ``new_context`` with a :meth:`release_context` (use
+        ``try/finally`` as :meth:`execute` does) so the buffers return to
+        the pool; forgetting to release is safe — it only costs the reuse.
+        """
+        buffers = None
+        with self._pool_lock:
+            for i, (wtil, _) in enumerate(self._workspace_pool):
+                if wtil.shape[1] == weights.shape[1] and wtil.dtype == weights.dtype:
+                    buffers = self._workspace_pool.pop(i)
+                    break
         return PlanContext(
             weights,
             self.workspace_rows,
             leaf_perm=self.leaf_perm,
             leaf_size=self.uniform_leaf_size,
             rank=self.uniform_rank,
+            buffers=buffers,
         )
 
+    def release_context(self, ctx: PlanContext) -> None:
+        """Return a context's workspace buffers to the pool (not the output)."""
+        wtil, util = ctx.wtil, ctx.util
+        # Defensive: a released context must never be run again.
+        ctx.wtil = ctx.util = ctx.wtil3 = ctx.util3 = None
+        if wtil is None:
+            return
+        with self._pool_lock:
+            if len(self._workspace_pool) < self.WORKSPACE_POOL_MAX:
+                self._workspace_pool.append((wtil, util))
+
+    def workspace_pool_size(self) -> int:
+        with self._pool_lock:
+            return len(self._workspace_pool)
+
     def execute(self, weights: np.ndarray, counters: Optional[EvaluationCounters] = None) -> np.ndarray:
-        """Sequential execution of the plan on an ``(N, r)`` weight matrix."""
+        """Sequential execution of the plan on an ``(N, r)`` weight matrix.
+
+        Reentrant: all mutable state lives in the per-call context, so
+        concurrent ``execute`` calls on one plan are safe and each is
+        bit-identical to running alone.
+        """
         ctx = self.new_context(weights)
-        for _, stage in self.stages():
-            for segment in stage:
-                segment.run(ctx)
+        try:
+            for _, stage in self.stages():
+                for segment in stage:
+                    segment.run(ctx)
+            output = ctx.output
+        finally:
+            self.release_context(ctx)
         if counters is not None:
             self.add_flops(counters, weights.shape[1])
-        return ctx.output
+        return output
 
     def add_flops(self, counters: EvaluationCounters, num_rhs: int) -> None:
         counters.n2s += self.flops_per_rhs["n2s"] * num_rhs

@@ -16,6 +16,8 @@ __all__ = [
     "EvaluationError",
     "SchedulingError",
     "MatrixDefinitionError",
+    "ServingError",
+    "ServerOverloadedError",
 ]
 
 
@@ -62,3 +64,23 @@ class SchedulingError(GOFMMError, RuntimeError):
 
 class MatrixDefinitionError(GOFMMError, ValueError):
     """A test-matrix generator was asked for an impossible configuration."""
+
+
+class ServingError(GOFMMError, RuntimeError):
+    """The serving runtime was used in an invalid state.
+
+    Unknown operator name, a closed server/batcher, a malformed request
+    vector, or a hot-reload attempt on an entry with no artifact source.
+    """
+
+
+class ServerOverloadedError(ServingError):
+    """Backpressure rejection: the request queue is at capacity.
+
+    Carries ``retry_after_s`` — the server's hint for how long the client
+    should back off before retrying (the serving clients honor it).
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)

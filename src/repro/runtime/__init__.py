@@ -30,7 +30,7 @@ from .schedulers import (
     ScheduleResult,
     simulate_all_schedulers,
 )
-from .executor import parallel_evaluate, run_task_graph
+from .executor import WorkerPool, parallel_evaluate, run_task_graph
 
 __all__ = [
     "Task",
@@ -53,4 +53,5 @@ __all__ = [
     "simulate_all_schedulers",
     "parallel_evaluate",
     "run_task_graph",
+    "WorkerPool",
 ]

@@ -16,13 +16,25 @@ Two engines share one worker pool:
   :mod:`repro.core.evaluate` over the per-node DAG, as the original
   correctness oracle for out-of-order traversal.
 
-The pool itself is a condition-variable work queue: workers sleep until a
-task becomes ready, an error is recorded, or the graph is drained.  There
-is no timeout polling, and a worker can never exit while sibling tasks are
-still in flight — completion is decided solely by the remaining-task count
-under the queue lock.  NumPy releases the GIL inside BLAS calls, so the
-parallel speed-up is real, especially for the large batched GEMMs of the
-planned engine.
+The pool itself is a :class:`WorkerPool`: a condition-variable work queue
+whose workers sleep until a task becomes ready, an error is recorded, or a
+graph is drained.  A pool is *shared across concurrent evaluations* — any
+number of threads may call :meth:`WorkerPool.run` at once (the serving
+runtime does exactly this), each run keeping its own bookkeeping while all
+runs draw from one set of worker threads, largest-estimated-flops first.
+:func:`run_task_graph` keeps the original one-shot API by wrapping a
+transient pool.  There is no timeout polling for normal progress, and a
+worker never abandons a run while sibling tasks of that run are still in
+flight — completion is decided solely by the remaining-task count under
+the queue lock.  NumPy releases the GIL inside BLAS calls, so the parallel
+speed-up is real, especially for the large batched GEMMs of the planned
+engine.
+
+Stall handling is two-layered: a *dependency* stall (nothing ready, nothing
+in flight, tasks remaining — a malformed DAG) fails immediately, while a
+*watchdog* timeout (``stall_timeout``, defaulting to
+``GOFMMConfig.executor_stall_timeout``) bounds the gap between task
+completions so a wedged payload cannot hang a server evaluation forever.
 
 Output writes (S2N-at-leaves and L2L, which overlap on ``ctx.output``) are
 serialized per *leaf range*, not through one shared lock: the leaves are
@@ -35,6 +47,7 @@ from __future__ import annotations
 
 import heapq
 import threading
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
@@ -47,7 +60,7 @@ from .costs import CostModel
 from .dag import build_evaluation_dag, build_plan_dag
 from .task import TaskGraph
 
-__all__ = ["ParallelEvaluation", "parallel_evaluate", "run_task_graph"]
+__all__ = ["ParallelEvaluation", "WorkerPool", "parallel_evaluate", "run_task_graph"]
 
 
 @dataclass
@@ -60,97 +73,237 @@ class ParallelEvaluation:
 
 
 # ---------------------------------------------------------------------------
-# generic worker pool over a TaskGraph
+# shared worker pool
 # ---------------------------------------------------------------------------
+
+class _GraphRun:
+    """Bookkeeping of one task graph being executed on a (shared) pool."""
+
+    __slots__ = (
+        "graph", "payloads", "pending", "remaining", "in_flight",
+        "ready_count", "executed", "errors", "finished",
+    )
+
+    def __init__(self, graph: TaskGraph, payloads: Optional[Dict[str, Callable[[], None]]]) -> None:
+        self.graph = graph
+        self.payloads = payloads
+        self.pending = {tid: len(graph.predecessors(tid)) for tid in graph.tasks}
+        self.remaining = len(graph.tasks)
+        self.in_flight = 0
+        self.ready_count = 0
+        self.executed = 0
+        self.errors: list[BaseException] = []
+        self.finished = False
+
+    def payload_for(self, tid: str):
+        if self.payloads is not None:
+            return self.payloads.get(tid)
+        return self.graph.tasks[tid].payload
+
+
+class WorkerPool:
+    """Persistent worker threads shared across concurrent task-graph runs.
+
+    Create one pool per process (or per server) and call :meth:`run` from as
+    many threads as you like: every run's ready tasks feed one global
+    largest-flops-first heap, so concurrent evaluations interleave on the
+    same workers instead of oversubscribing the machine with one thread
+    pool per call.  ``run`` blocks until its own graph is drained (or
+    failed) and is independent of every other run: an error or stall in one
+    graph never affects its siblings.
+
+    The pool is a context manager; :meth:`shutdown` (idempotent) stops the
+    workers after the ready queue is empty.
+    """
+
+    def __init__(self, num_workers: int, name: str = "gofmm-worker") -> None:
+        if num_workers < 1:
+            raise SchedulingError("need at least one worker")
+        self.num_workers = num_workers
+        self._cv = threading.Condition()
+        self._ready: list[tuple[float, int, _GraphRun, str]] = []
+        self._seq = 0
+        self._closed = False
+        self._threads = [
+            threading.Thread(target=self._worker, name=f"{name}-{i}", daemon=True)
+            for i in range(num_workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- lifecycle ----------------------------------------------------------
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.shutdown()
+        return False
+
+    def shutdown(self, join_timeout: Optional[float] = None) -> None:
+        """Stop the workers once the ready queue drains (idempotent).
+
+        ``join_timeout`` bounds how long each worker join may take; a
+        worker still wedged inside a payload after the timeout is
+        abandoned (the threads are daemons).  Use a bounded timeout when
+        shutting down after a watchdog-abandoned run — a full join would
+        reintroduce exactly the hang the watchdog exists to prevent.
+        """
+        with self._cv:
+            self._closed = True
+            self._cv.notify_all()
+        if join_timeout is None:
+            for thread in self._threads:
+                thread.join()
+        else:
+            # One deadline for the whole pool: several wedged workers must
+            # not stack their timeouts.
+            deadline = time.monotonic() + join_timeout
+            for thread in self._threads:
+                thread.join(max(0.0, deadline - time.monotonic()))
+
+    # -- submission ---------------------------------------------------------
+    def _push(self, run: _GraphRun, tid: str) -> None:
+        # cv held.  seq breaks flops ties so heap tuples never compare runs.
+        heapq.heappush(self._ready, (-run.graph.tasks[tid].flops, self._seq, run, tid))
+        self._seq += 1
+        run.ready_count += 1
+
+    def run(
+        self,
+        graph: TaskGraph,
+        payloads: Optional[Dict[str, Callable[[], None]]] = None,
+        stall_timeout: Optional[float] = None,
+    ) -> int:
+        """Execute every task of ``graph``, honoring RAW edges; returns the count.
+
+        ``payloads`` maps task ids to callables; tasks without a payload (or
+        with ``task.payload`` unset) are treated as no-ops.  The first
+        payload exception is re-raised here once no more of this graph's
+        tasks are in flight.  A dependency deadlock (no ready task, none in
+        flight, tasks remaining) raises :class:`SchedulingError` instead of
+        hanging; ``stall_timeout`` additionally bounds the gap between task
+        completions (see :attr:`repro.config.GOFMMConfig.executor_stall_timeout`).
+        Safe to call from multiple threads concurrently.
+        """
+        run = _GraphRun(graph, payloads)
+        with self._cv:
+            if self._closed:
+                raise SchedulingError("worker pool is shut down")
+            for tid, count in run.pending.items():
+                if count == 0:
+                    self._push(run, tid)
+            if run.remaining == 0:
+                run.finished = True
+            elif run.ready_count == 0:
+                run.errors.append(
+                    SchedulingError(f"task graph stalled with {run.remaining} tasks pending")
+                )
+                run.finished = True
+            else:
+                self._cv.notify_all()
+
+            last_executed = run.executed
+            deadline = None if stall_timeout is None else time.monotonic() + stall_timeout
+            while not run.finished:
+                timeout = None if deadline is None else max(0.0, deadline - time.monotonic())
+                self._cv.wait(timeout)
+                if run.finished or deadline is None:
+                    continue
+                if run.executed != last_executed:
+                    # progress since the last check: restart the window
+                    last_executed = run.executed
+                    deadline = time.monotonic() + stall_timeout
+                elif time.monotonic() >= deadline:
+                    run.errors.append(
+                        SchedulingError(
+                            f"no task completed within the stall timeout ({stall_timeout:g}s) "
+                            f"with {run.in_flight} in flight and {run.remaining} pending; "
+                            "raise GOFMMConfig.executor_stall_timeout for long-running evaluations"
+                        )
+                    )
+                    # Abandon the run: queued tasks are dropped lazily by the
+                    # workers, in-flight results are ignored.
+                    run.finished = True
+                    self._cv.notify_all()
+        if run.errors:
+            raise run.errors[0]
+        return run.executed
+
+    # -- workers ------------------------------------------------------------
+    def _worker(self) -> None:
+        cv = self._cv
+        while True:
+            with cv:
+                while not self._ready and not self._closed:
+                    cv.wait()
+                if not self._ready:
+                    return  # closed and drained
+                _, _, run, tid = heapq.heappop(self._ready)
+                run.ready_count -= 1
+                if run.finished or run.errors:
+                    continue  # failed/abandoned run: drop its queued tasks
+                run.in_flight += 1
+            payload = run.payload_for(tid)
+            exc: Optional[BaseException] = None
+            try:
+                if payload is not None:
+                    payload()
+            except BaseException as caught:  # propagate to the run's caller
+                exc = caught
+            with cv:
+                run.in_flight -= 1
+                if exc is not None:
+                    run.errors.append(exc)
+                if run.errors or run.finished:
+                    # Failed (or abandoned by the watchdog): finish once the
+                    # last in-flight task of this run has landed.
+                    if run.errors and run.in_flight == 0:
+                        run.finished = True
+                    cv.notify_all()
+                    continue
+                run.remaining -= 1
+                run.executed += 1
+                for succ in run.graph.successors(tid):
+                    run.pending[succ] -= 1
+                    if run.pending[succ] == 0:
+                        self._push(run, succ)
+                if run.remaining == 0:
+                    run.finished = True
+                elif run.in_flight == 0 and run.ready_count == 0:
+                    # Nothing of this run is ready or running, tasks left:
+                    # the graph cannot make progress.
+                    run.errors.append(
+                        SchedulingError(f"task graph stalled with {run.remaining} tasks pending")
+                    )
+                    run.finished = True
+                cv.notify_all()
+
 
 def run_task_graph(
     graph: TaskGraph,
     num_workers: int,
     payloads: Optional[Dict[str, Callable[[], None]]] = None,
+    stall_timeout: Optional[float] = None,
 ) -> int:
-    """Execute every task of ``graph`` on ``num_workers`` threads, honoring RAW edges.
+    """Execute ``graph`` on a transient :class:`WorkerPool` of ``num_workers`` threads.
 
-    ``payloads`` maps task ids to callables; tasks without a payload (or with
-    ``task.payload`` unset) are treated as no-ops.  Ready tasks are executed
-    largest-estimated-flops first, like the HEFT runtime.  Returns the number
-    of tasks executed.  The first payload exception is re-raised in the
-    caller after all workers have stopped; a dependency deadlock (no ready
-    task, none in flight, tasks remaining) raises :class:`SchedulingError`
-    instead of hanging.
+    One-shot convenience around :meth:`WorkerPool.run`; long-lived callers
+    (servers) should hold a pool and share it across evaluations instead of
+    paying thread startup per call.
     """
     if num_workers < 1:
         raise SchedulingError("need at least one worker")
-
-    pending = {tid: len(graph.predecessors(tid)) for tid in graph.tasks}
-    ready: list[tuple[float, int, str]] = []
-    cv = threading.Condition()
-    state = {"remaining": len(graph.tasks), "in_flight": 0, "executed": 0, "seq": 0}
-    errors: list[BaseException] = []
-
-    def push(tid: str) -> None:
-        heapq.heappush(ready, (-graph.tasks[tid].flops, state["seq"], tid))
-        state["seq"] += 1
-
-    for tid, count in pending.items():
-        if count == 0:
-            push(tid)
-
-    def worker() -> None:
-        while True:
-            with cv:
-                while not ready and not errors and state["remaining"] > 0:
-                    if state["in_flight"] == 0:
-                        # Nothing ready, nothing running, tasks left: the
-                        # graph cannot make progress.  Wake everyone and fail.
-                        errors.append(
-                            SchedulingError(
-                                f"task graph stalled with {state['remaining']} tasks pending"
-                            )
-                        )
-                        cv.notify_all()
-                        break
-                    cv.wait()
-                if errors or state["remaining"] == 0:
-                    return
-                _, _, tid = heapq.heappop(ready)
-                state["in_flight"] += 1
-            task = graph.tasks[tid]
-            payload = payloads.get(tid) if payloads is not None else task.payload
-            try:
-                if payload is not None:
-                    payload()
-            except BaseException as exc:  # propagate to the caller
-                with cv:
-                    errors.append(exc)
-                    state["in_flight"] -= 1
-                    cv.notify_all()
-                return
-            with cv:
-                state["in_flight"] -= 1
-                state["remaining"] -= 1
-                state["executed"] += 1
-                for succ in graph.successors(tid):
-                    pending[succ] -= 1
-                    if pending[succ] == 0:
-                        push(succ)
-                # Successors may now be ready, or the graph may be drained:
-                # either way sleeping siblings must re-check their predicate.
-                cv.notify_all()
-
-    threads = [
-        threading.Thread(target=worker, name=f"gofmm-worker-{i}", daemon=True)
-        for i in range(min(num_workers, max(len(graph.tasks), 1)))
-    ]
-    for thread in threads:
-        thread.start()
-    for thread in threads:
-        thread.join()
-
-    if errors:
-        raise errors[0]
-    if state["remaining"] != 0:  # pragma: no cover - defended by the stall check
-        raise SchedulingError(f"parallel evaluation finished with {state['remaining']} tasks pending")
-    return state["executed"]
+    pool = WorkerPool(min(num_workers, max(len(graph.tasks), 1)))
+    try:
+        result = pool.run(graph, payloads=payloads, stall_timeout=stall_timeout)
+    except BaseException:
+        # A failed run may have a worker wedged in its payload (that is what
+        # the stall watchdog fires on): bound the join so the error — not a
+        # fresh hang — reaches the caller.  Wedged daemons are abandoned.
+        pool.shutdown(join_timeout=0.1)
+        raise
+    pool.shutdown()
+    return result
 
 
 def _leaf_stripes(tree, num_workers: int) -> tuple[list, np.ndarray]:
@@ -224,7 +377,25 @@ def _attach_payloads(
             raise SchedulingError(f"unexpected task kind {task.kind!r} in evaluation DAG")
 
 
-def _parallel_evaluate_reference(compressed: CompressedMatrix, weights: np.ndarray, num_workers: int) -> np.ndarray:
+def _run_graph(
+    graph: TaskGraph,
+    num_workers: int,
+    payloads,
+    pool: Optional[WorkerPool],
+    stall_timeout: Optional[float],
+) -> int:
+    if pool is not None:
+        return pool.run(graph, payloads=payloads, stall_timeout=stall_timeout)
+    return run_task_graph(graph, num_workers, payloads=payloads, stall_timeout=stall_timeout)
+
+
+def _parallel_evaluate_reference(
+    compressed: CompressedMatrix,
+    weights: np.ndarray,
+    num_workers: int,
+    pool: Optional[WorkerPool] = None,
+    stall_timeout: Optional[float] = None,
+) -> np.ndarray:
     tree = compressed.tree
     state = EvaluationState(weights=weights, output=np.zeros_like(weights))
     cost = CostModel(
@@ -234,7 +405,7 @@ def _parallel_evaluate_reference(compressed: CompressedMatrix, weights: np.ndarr
     )
     graph = build_evaluation_dag(tree, cost)
     _attach_payloads(graph, compressed, state, num_workers=num_workers)
-    run_task_graph(graph, num_workers)
+    _run_graph(graph, num_workers, None, pool, stall_timeout)
     return state.output
 
 
@@ -294,7 +465,13 @@ def _output_stripe_locks(compressed: CompressedMatrix, segments: dict, num_worke
     return locks
 
 
-def _parallel_evaluate_planned(compressed: CompressedMatrix, weights: np.ndarray, num_workers: int) -> np.ndarray:
+def _parallel_evaluate_planned(
+    compressed: CompressedMatrix,
+    weights: np.ndarray,
+    num_workers: int,
+    pool: Optional[WorkerPool] = None,
+    stall_timeout: Optional[float] = None,
+) -> np.ndarray:
     plan = compressed.plan()
     ctx = plan.new_context(weights)
     graph, segments = build_plan_dag(plan, num_rhs=weights.shape[1])
@@ -307,8 +484,18 @@ def _parallel_evaluate_planned(compressed: CompressedMatrix, weights: np.ndarray
         tid: (lambda s=seg, l=out_locks[tid]: s.run(ctx, out_lock=l))
         for tid, seg in segments.items()
     }
-    run_task_graph(graph, num_workers, payloads=payloads)
-    return ctx.output
+    _run_graph(graph, num_workers, payloads, pool, stall_timeout)
+    # Release only on success: after a failed or watchdog-abandoned run an
+    # in-flight payload may still be writing through the context, so pooling
+    # its buffers could corrupt a later evaluation — let the GC take them.
+    output = ctx.output
+    plan.release_context(ctx)
+    return output
+
+
+#: Sentinel: "take the stall timeout from the compression's config" — distinct
+#: from None, which explicitly disables the watchdog (WorkerPool.run semantics).
+_CONFIG_TIMEOUT = object()
 
 
 def parallel_evaluate(
@@ -316,6 +503,8 @@ def parallel_evaluate(
     w: np.ndarray,
     num_workers: int = 4,
     engine: Optional[str] = None,
+    pool: Optional[WorkerPool] = None,
+    stall_timeout=_CONFIG_TIMEOUT,
 ) -> np.ndarray:
     """Evaluate ``K̃ w`` by executing the evaluation DAG with ``num_workers`` threads.
 
@@ -323,16 +512,22 @@ def parallel_evaluate(
     cached evaluation plan; ``engine="reference"`` schedules one task per
     tree node, re-using the exact task functions of the sequential driver.
     Both agree with the sequential engines to floating-point summation
-    order.
+    order.  Passing a :class:`WorkerPool` as ``pool`` reuses its persistent
+    workers (and ignores ``num_workers`` for thread creation — the pool's
+    size governs concurrency).  ``stall_timeout`` defaults to the
+    compression's ``GOFMMConfig.executor_stall_timeout``; pass ``None``
+    explicitly to disable the watchdog for this call.
     """
     if num_workers < 1:
         raise SchedulingError("need at least one worker")
     engine = engine or compressed.default_engine()
+    if stall_timeout is _CONFIG_TIMEOUT:
+        stall_timeout = getattr(compressed.config, "executor_stall_timeout", None)
     weights, was_vector = _as_matrix(w, compressed.tree.n)
     if engine == "planned":
-        output = _parallel_evaluate_planned(compressed, weights, num_workers)
+        output = _parallel_evaluate_planned(compressed, weights, num_workers, pool, stall_timeout)
     elif engine == "reference":
-        output = _parallel_evaluate_reference(compressed, weights, num_workers)
+        output = _parallel_evaluate_reference(compressed, weights, num_workers, pool, stall_timeout)
     else:
         raise SchedulingError(f"unknown evaluation engine {engine!r}; use 'planned' or 'reference'")
     return output[:, 0] if was_vector else output

@@ -1,0 +1,50 @@
+"""Micro-batching serving runtime for compressed-operator traffic.
+
+The paper's thesis is that hierarchical matrix evaluation reaches hardware
+throughput only when fine-grained work is batched into level-wise BLAS-3
+calls; the planned engine (PR 1) therefore wants wide ``(n, k)`` blocks,
+while a serving workload arrives as independent single vectors.  This
+package turns the one into the other:
+
+* :class:`MatvecServer` — a registry of named
+  :class:`~repro.api.operator.CompressedOperator` entries, each behind a
+  :class:`MicroBatcher`, with hot reload of artifact-backed operators,
+* :class:`BatchPolicy` — the batching knobs (``max_batch``,
+  ``max_wait_ms``, bounded queue with
+  :class:`~repro.errors.ServerOverloadedError` backpressure, canonical
+  GEMM width for bitwise batch-invariance),
+* :class:`ServingClient` / :class:`AsyncServingClient` — blocking and
+  ``asyncio`` front ends with retry-after-aware backoff,
+* :class:`ServingMetrics` — request / latency / batch-occupancy metrics.
+
+Quickstart::
+
+    from repro.serving import BatchPolicy, MatvecServer
+
+    server = MatvecServer(policy=BatchPolicy(max_batch=16, max_wait_ms=2.0))
+    server.register("kernel", operator)
+    with server:
+        u = server.matvec("kernel", w)          # one request
+        futs = [server.submit("kernel", w) for w in stream]   # batched
+
+A demo traffic generator ships as ``python -m repro.serving``;
+``benchmarks/bench_serving_throughput.py`` measures the batched-vs-
+sequential request throughput and tail latency.
+"""
+
+from .batcher import MATVEC, SOLVE, BatchPolicy, MicroBatcher
+from .client import AsyncServingClient, ServingClient
+from .metrics import ServingMetrics
+from .server import MatvecServer, OperatorEntry
+
+__all__ = [
+    "MatvecServer",
+    "OperatorEntry",
+    "MicroBatcher",
+    "BatchPolicy",
+    "ServingClient",
+    "AsyncServingClient",
+    "ServingMetrics",
+    "MATVEC",
+    "SOLVE",
+]

@@ -1,0 +1,285 @@
+"""Micro-batching request queue: coalesce single-vector requests into wide GEMMs.
+
+conf_sc_YuLRB17's central performance observation is that the compressed
+evaluation only reaches BLAS-3 throughput when fed wide right-hand-side
+blocks — the planned engine is several-fold faster at 16 RHS than at 1.  A
+serving workload, however, arrives as a stream of *independent* ``(n,)``
+vectors.  This module closes that gap: a :class:`MicroBatcher` queues
+concurrent requests per operator and hands the evaluation one ``(n, k)``
+block, slicing the result columns back to per-request futures.
+
+Batching policy (:class:`BatchPolicy`):
+
+* ``max_batch`` — evaluate as soon as this many coalescable requests are
+  queued (the GEMM width the operator was tuned for),
+* ``max_wait_ms`` — a request never waits longer than this for co-batched
+  traffic; an idle server degenerates to at most one ``max_wait_ms`` of
+  added latency,
+* ``max_queue`` — bounded queue; submissions beyond it are rejected with
+  :class:`~repro.errors.ServerOverloadedError` carrying a ``retry_after_s``
+  hint (backpressure instead of unbounded memory),
+* ``pad_to_full_width`` — see below.
+
+**Bit-identity.**  BLAS kernels select different accumulation strategies
+for different GEMM widths, so the columns of ``K̃ @ [w₁ … w₁₆]`` are *not*
+bitwise equal to the sixteen ``K̃ @ wⱼ`` products.  At a *fixed* width,
+however, each output column is a bit-deterministic function of its own
+input column alone (a GEMM output element only ever accumulates products
+of its own column; zero padding and column position are irrelevant — the
+serving tests pin this).  The batcher therefore evaluates every matvec
+batch at the canonical width ``max_batch``, zero-padding partial batches:
+a request's response is bitwise identical whether it ran alone, in a full
+batch, or co-batched with any other traffic.  Setting
+``pad_to_full_width=False`` trades that guarantee for fewer padded columns
+at low load (responses stay within floating-point round-off of each
+other).
+
+Requests only coalesce within a *lane* — same kind (``"matvec"`` /
+``"solve"``) and, for solves, identical solver parameters.  Solve batches
+run the blocked CG of :mod:`repro.solvers` (one wide matvec per Krylov
+iteration); their responses are accurate to the requested tolerance but
+not bit-pinned, because the blocked CG drops converged columns from the
+active set, which couples the iteration shapes across co-batched requests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ServerOverloadedError, ServingError
+
+__all__ = ["BatchPolicy", "MicroBatcher", "MATVEC", "SOLVE"]
+
+MATVEC = "matvec"
+SOLVE = "solve"
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Knobs of the micro-batching queue (see the module docstring)."""
+
+    max_batch: int = 16
+    max_wait_ms: float = 2.0
+    max_queue: int = 256
+    pad_to_full_width: bool = True
+    retry_after_ms: float = 25.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ServingError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait_ms < 0.0:
+            raise ServingError(f"max_wait_ms must be >= 0, got {self.max_wait_ms}")
+        if self.max_queue < 1:
+            raise ServingError(f"max_queue must be >= 1, got {self.max_queue}")
+        if self.retry_after_ms < 0.0:
+            raise ServingError(f"retry_after_ms must be >= 0, got {self.retry_after_ms}")
+
+
+class _Request:
+    __slots__ = ("kind", "lane", "vector", "params", "future", "enqueued_at")
+
+    def __init__(self, kind: str, lane: tuple, vector: np.ndarray, params: Optional[dict]) -> None:
+        self.kind = kind
+        self.lane = lane
+        self.vector = vector
+        self.params = params
+        self.future: Future = Future()
+        self.enqueued_at = time.monotonic()
+
+
+class MicroBatcher:
+    """One bounded queue + one worker thread coalescing requests for one operator.
+
+    ``runner(kind, W, params)`` performs the wide evaluation: it receives
+    the request kind, the stacked ``(n, k)`` block (``k`` = the number of
+    coalesced requests; the runner applies the policy's canonical-width
+    padding for matvec lanes), and the lane's solver parameters; it
+    returns one response per request, in column order.  The runner is
+    looked up per batch, so
+    swapping the underlying operator (hot reload) applies to every batch
+    formed after the swap while in-flight batches finish on the operator
+    they captured.
+    """
+
+    def __init__(
+        self,
+        runner: Callable[[str, np.ndarray, Optional[dict]], Sequence],
+        policy: BatchPolicy,
+        metrics,
+        name: str = "operator",
+    ) -> None:
+        self._runner = runner
+        self.policy = policy
+        self.metrics = metrics
+        self.name = name
+        self._cond = threading.Condition()
+        self._queue: deque[_Request] = deque()
+        #: queued requests per lane — keeps the batch-fullness check O(1)
+        #: instead of rescanning the queue on every submit notification.
+        self._lane_counts: dict[tuple, int] = {}
+        self._closed = False
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ----------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        return self._thread is not None
+
+    def start(self) -> None:
+        """Start (or restart) the worker; a closed batcher reopens empty."""
+        if self._thread is not None:
+            return
+        with self._cond:
+            self._closed = False
+        self._thread = threading.Thread(
+            target=self._worker, name=f"serving-batcher-{self.name}", daemon=True
+        )
+        self._thread.start()
+
+    def close(self, drain: bool = True) -> None:
+        """Stop the worker.  ``drain=True`` serves queued requests first;
+        ``drain=False`` fails them with :class:`ServingError`."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            dropped: List[_Request] = []
+            if not drain:
+                dropped = list(self._queue)
+                self._queue.clear()
+                self._lane_counts.clear()
+            self._cond.notify_all()
+        for request in dropped:
+            if not request.future.set_running_or_notify_cancel():
+                continue  # already cancelled by the caller
+            request.future.set_exception(
+                ServingError(f"server for operator {self.name!r} shut down before the request ran")
+            )
+            self.metrics.record_response(time.monotonic() - request.enqueued_at, ok=False)
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    # -- submission ---------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    def submit(self, kind: str, vector: np.ndarray, params: Optional[dict] = None) -> Future:
+        """Enqueue one request; returns its future.
+
+        Raises :class:`ServerOverloadedError` when the queue is full and
+        :class:`ServingError` when the batcher is closed or was never
+        started.
+        """
+        if kind == SOLVE:
+            lane = (SOLVE, tuple(sorted((params or {}).items())))
+        elif kind == MATVEC:
+            lane = (MATVEC,)
+        else:
+            raise ServingError(f"unknown request kind {kind!r}; use {MATVEC!r} or {SOLVE!r}")
+        request = _Request(kind, lane, vector, params)
+        with self._cond:
+            if self._closed:
+                raise ServingError(f"server for operator {self.name!r} is shut down")
+            if self._thread is None:
+                raise ServingError(
+                    f"server for operator {self.name!r} is not started (call MatvecServer.start())"
+                )
+            if len(self._queue) >= self.policy.max_queue:
+                self.metrics.record_reject()
+                raise ServerOverloadedError(
+                    f"operator {self.name!r} queue is full ({self.policy.max_queue} requests); "
+                    f"retry after {self.policy.retry_after_ms:g} ms",
+                    retry_after_s=self.policy.retry_after_ms / 1e3,
+                )
+            self._queue.append(request)
+            self._lane_counts[lane] = self._lane_counts.get(lane, 0) + 1
+            self.metrics.record_submit(len(self._queue))
+            self._cond.notify_all()
+        return request.future
+
+    # -- worker -------------------------------------------------------------
+    def _lane_count(self, lane: tuple) -> int:
+        return self._lane_counts.get(lane, 0)
+
+    def _collect(self) -> Optional[List[_Request]]:
+        """Block until a batch is ready; ``None`` means closed and drained.
+
+        A batch is the oldest request's lane-mates, up to ``max_batch`` of
+        them, gathered once that lane is full or the oldest request has
+        waited ``max_wait_ms``.  Requests of other lanes stay queued in
+        order.
+        """
+        policy = self.policy
+        with self._cond:
+            while True:
+                while not self._queue and not self._closed:
+                    self._cond.wait()
+                if not self._queue:
+                    return None  # closed and drained
+                head = self._queue[0]
+                deadline = head.enqueued_at + policy.max_wait_ms / 1e3
+                while not self._closed:
+                    if self._lane_count(head.lane) >= policy.max_batch:
+                        break
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0.0:
+                        break
+                    self._cond.wait(remaining)
+                batch: List[_Request] = []
+                rest: deque[_Request] = deque()
+                for request in self._queue:
+                    if request.lane == head.lane and len(batch) < policy.max_batch:
+                        batch.append(request)
+                    else:
+                        rest.append(request)
+                self._queue = rest
+                remaining = self._lane_counts.get(head.lane, 0) - len(batch)
+                if remaining > 0:
+                    self._lane_counts[head.lane] = remaining
+                else:
+                    self._lane_counts.pop(head.lane, None)
+                return batch
+
+    def _worker(self) -> None:
+        while True:
+            batch = self._collect()
+            if batch is None:
+                return
+            # Claim every future before evaluating: a pending future can be
+            # cancelled at any time (e.g. an asyncio caller timing out), and
+            # set_result on a cancelled future raises — which would kill this
+            # worker and wedge the operator.  set_running_or_notify_cancel
+            # atomically drops already-cancelled requests and makes the rest
+            # uncancellable for the duration of the batch.
+            batch = [r for r in batch if r.future.set_running_or_notify_cancel()]
+            if not batch:
+                continue
+            started = time.monotonic()
+            try:
+                block = np.stack([request.vector for request in batch], axis=1)
+                results = self._runner(batch[0].kind, block, batch[0].params)
+                if len(results) != len(batch):
+                    raise ServingError(
+                        f"runner returned {len(results)} responses for a batch of {len(batch)}"
+                    )
+            except BaseException as exc:  # fail the whole batch, keep serving
+                now = time.monotonic()
+                for request in batch:
+                    request.future.set_exception(exc)
+                    self.metrics.record_response(now - request.enqueued_at, ok=False)
+                continue
+            now = time.monotonic()
+            self.metrics.record_batch(len(batch), now - started)
+            for request, result in zip(batch, results):
+                request.future.set_result(result)
+                self.metrics.record_response(now - request.enqueued_at)

@@ -1,0 +1,95 @@
+"""Serving clients: a blocking thread-based client and an ``asyncio`` front end.
+
+Both are thin wrappers over :meth:`MatvecServer.submit` that add the two
+behaviours a caller should not hand-roll:
+
+* **overload retry** — :class:`~repro.errors.ServerOverloadedError` carries
+  the server's ``retry_after_s`` hint; the clients back off for that long
+  (plus a small multiplicative factor per attempt) and retry up to
+  ``retries`` times before re-raising,
+* **event-loop integration** — :class:`AsyncServingClient` wraps the
+  request future with :func:`asyncio.wrap_future`, so thousands of
+  outstanding requests cost coroutines, not threads, while the batcher
+  coalesces them into wide evaluations exactly as with the sync client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ServerOverloadedError
+from .batcher import MATVEC, SOLVE
+
+__all__ = ["ServingClient", "AsyncServingClient"]
+
+#: Per-attempt multiplier on the server's retry_after hint.
+_BACKOFF_GROWTH = 1.5
+
+
+class ServingClient:
+    """Blocking client with bounded retry on backpressure rejections."""
+
+    def __init__(self, server, retries: int = 3) -> None:
+        self.server = server
+        self.retries = int(retries)
+
+    def _submit(self, name: str, w: np.ndarray, kind: str, params: dict):
+        backoff = None
+        for attempt in range(self.retries + 1):
+            try:
+                return self.server.submit(name, w, kind=kind, **params)
+            except ServerOverloadedError as exc:
+                if attempt == self.retries:
+                    raise
+                backoff = exc.retry_after_s if backoff is None else backoff * _BACKOFF_GROWTH
+                time.sleep(backoff)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def matvec(self, name: str, w: np.ndarray, timeout: Optional[float] = None) -> np.ndarray:
+        return self._submit(name, w, MATVEC, {}).result(timeout)
+
+    def solve(self, name: str, rhs: np.ndarray, timeout: Optional[float] = None, **solve_params):
+        return self._submit(name, rhs, SOLVE, solve_params).result(timeout)
+
+
+class AsyncServingClient:
+    """``asyncio`` front end: awaitable requests over the same thread-based server.
+
+    Usage::
+
+        client = AsyncServingClient(server)
+        results = await asyncio.gather(*(client.matvec("kernel", w) for w in vectors))
+
+    Submissions happen on the event-loop thread (they only enqueue);
+    responses are awaited without blocking the loop.  Backpressure retries
+    use ``asyncio.sleep``, so a congested server never stalls unrelated
+    coroutines.
+    """
+
+    def __init__(self, server, retries: int = 3) -> None:
+        self.server = server
+        self.retries = int(retries)
+
+    async def _submit(self, name: str, w: np.ndarray, kind: str, params: dict):
+        backoff = None
+        for attempt in range(self.retries + 1):
+            try:
+                future = self.server.submit(name, w, kind=kind, **params)
+            except ServerOverloadedError as exc:
+                if attempt == self.retries:
+                    raise
+                backoff = exc.retry_after_s if backoff is None else backoff * _BACKOFF_GROWTH
+                await asyncio.sleep(backoff)
+                continue
+            return await asyncio.wrap_future(future)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    async def matvec(self, name: str, w: np.ndarray) -> np.ndarray:
+        return await self._submit(name, w, MATVEC, {})
+
+    async def solve(self, name: str, rhs: np.ndarray, **solve_params):
+        return await self._submit(name, rhs, SOLVE, solve_params)

@@ -1,0 +1,126 @@
+"""Request / latency / batch-occupancy metrics for the serving runtime.
+
+One :class:`ServingMetrics` instance per served operator (the server
+aggregates snapshots in :meth:`repro.serving.server.MatvecServer.stats`).
+Counters are monotonic; latency and batch-size distributions are kept in
+bounded sliding windows so percentile reporting stays O(window) and the
+memory of a long-running server never grows with traffic.
+
+Everything is guarded by one lock per instance — recording is a few
+appends and adds, far off the evaluation hot path (one record per request
+plus one per batch, against milliseconds of GEMM work).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["ServingMetrics"]
+
+
+class ServingMetrics:
+    """Thread-safe serving statistics: counters + sliding-window distributions.
+
+    ``window`` bounds how many recent request latencies / batch sizes feed
+    the percentile and occupancy estimates.
+    """
+
+    def __init__(self, window: int = 4096) -> None:
+        self._lock = threading.Lock()
+        self._latencies: deque[float] = deque(maxlen=window)
+        self._batch_sizes: deque[int] = deque(maxlen=window)
+        self._batch_seconds: deque[float] = deque(maxlen=window)
+        self.requests = 0            # accepted into the queue
+        self.responses = 0           # futures resolved successfully
+        self.errors = 0              # futures resolved with an exception
+        self.rejected = 0            # backpressure rejections
+        self.batches = 0             # evaluations executed
+        self.batched_requests = 0    # requests served across those evaluations
+        self.reloads = 0             # successful operator swaps (hot reload)
+        self.reload_failures = 0
+        self.max_queue_depth = 0
+
+    # -- recording ----------------------------------------------------------
+    def record_submit(self, queue_depth: int) -> None:
+        with self._lock:
+            self.requests += 1
+            if queue_depth > self.max_queue_depth:
+                self.max_queue_depth = queue_depth
+
+    def record_reject(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def record_batch(self, size: int, seconds: float) -> None:
+        with self._lock:
+            self.batches += 1
+            self.batched_requests += size
+            self._batch_sizes.append(int(size))
+            self._batch_seconds.append(float(seconds))
+
+    def record_response(self, latency_seconds: float, ok: bool = True) -> None:
+        with self._lock:
+            if ok:
+                self.responses += 1
+                self._latencies.append(float(latency_seconds))
+            else:
+                self.errors += 1
+
+    def record_reload(self, ok: bool = True) -> None:
+        with self._lock:
+            if ok:
+                self.reloads += 1
+            else:
+                self.reload_failures += 1
+
+    # -- reporting ----------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """One JSON-friendly dict: counters plus latency/occupancy summaries.
+
+        ``batch_occupancy`` is the mean number of requests coalesced per
+        evaluation — the number that explains the serving speedup (a full
+        batch amortizes one wide evaluation over ``max_batch`` requests).
+        """
+        with self._lock:
+            latencies = np.asarray(self._latencies, dtype=np.float64)
+            sizes = np.asarray(self._batch_sizes, dtype=np.float64)
+            batch_seconds = np.asarray(self._batch_seconds, dtype=np.float64)
+            out: Dict[str, object] = {
+                "requests": self.requests,
+                "responses": self.responses,
+                "errors": self.errors,
+                "rejected": self.rejected,
+                "batches": self.batches,
+                "batch_occupancy": (
+                    self.batched_requests / self.batches if self.batches else 0.0
+                ),
+                "reloads": self.reloads,
+                "reload_failures": self.reload_failures,
+                "max_queue_depth": self.max_queue_depth,
+            }
+        if latencies.size:
+            out["latency_ms"] = {
+                "count": int(latencies.size),
+                "mean": float(latencies.mean() * 1e3),
+                "p50": float(np.percentile(latencies, 50) * 1e3),
+                "p90": float(np.percentile(latencies, 90) * 1e3),
+                "p99": float(np.percentile(latencies, 99) * 1e3),
+                "max": float(latencies.max() * 1e3),
+            }
+        else:
+            out["latency_ms"] = {"count": 0}
+        if sizes.size:
+            out["recent_batch_sizes"] = {
+                "mean": float(sizes.mean()),
+                "max": int(sizes.max()),
+            }
+        if batch_seconds.size:
+            out["batch_eval_ms"] = {
+                "mean": float(batch_seconds.mean() * 1e3),
+                "max": float(batch_seconds.max() * 1e3),
+            }
+        return out

@@ -355,11 +355,12 @@ class TestArtifactPersistence:
         session.save_artifacts(path)
 
         fresh = make_session(make_gaussian_kernel_matrix(n=240, d=3, bandwidth=1.5, seed=0))
-        assert fresh.load_artifacts(path) == ("partition", "neighbors")
+        assert fresh.load_artifacts(path) == ("partition", "neighbors", "interactions")
         op2 = fresh.compress()
-        assert fresh.last_reused == ("partition", "neighbors")
+        assert fresh.last_reused == ("partition", "neighbors", "interactions")
         assert fresh.stage_builds["partition"] == 0
         assert fresh.stage_builds["neighbors"] == 0
+        assert fresh.stage_builds["interactions"] == 0
         w = np.random.default_rng(0).standard_normal((matrix.n, 3))
         assert np.array_equal(op1.compressed.matvec(w), op2.compressed.matvec(w))
 
@@ -414,12 +415,14 @@ class TestArtifactPersistence:
             other.load_artifacts(path)
 
     def test_save_builds_only_persistable_stages(self, matrix, tmp_path):
-        """Snapshotting tree+ANN must not pay for interaction lists."""
+        """Snapshotting builds exactly the matrix-light artifacts, nothing more."""
         session = make_session(matrix)
         session.save_artifacts(tmp_path / "artifacts.npz")
         assert session.stage_builds["partition"] == 1
         assert session.stage_builds["neighbors"] == 1
-        assert session.stage_builds["interactions"] == 0
+        assert session.stage_builds["interactions"] == 1
+        assert session.stage_builds["skeletons"] == 0
+        assert session.stage_builds["blocks"] == 0
 
     def test_truncated_neighbor_table_rejected_at_load(self, matrix, tmp_path):
         session = make_session(matrix)
@@ -465,3 +468,92 @@ class TestArtifactPersistence:
         other.load_artifacts(path)
         op = other.compress()
         assert op.relative_error() < 1.0
+
+
+class TestInteractionsPersistence:
+    """Format-2 artifacts carry the interaction lists (serving cold start)."""
+
+    def test_interactions_lists_roundtrip_exactly(self, matrix, tmp_path):
+        session = make_session(matrix)
+        session.prepare()
+        path = tmp_path / "artifacts.npz"
+        session.save_artifacts(path)
+        fresh = make_session(matrix)
+        fresh.load_artifacts(path)
+        original = session.artifact("interactions")
+        restored = fresh.artifact("interactions")
+        assert restored is not None
+        assert set(original.lists.near) == set(restored.lists.near)
+        for node_id, members in original.lists.near.items():
+            assert list(members) == list(restored.lists.near[node_id])  # order too
+        assert set(original.lists.far) == set(restored.lists.far)
+        for node_id, members in original.lists.far.items():
+            assert list(members) == list(restored.lists.far[node_id])
+        assert original.lists.budget_cap == restored.lists.budget_cap
+        assert original.lists.num_leaves == restored.lists.num_leaves
+        assert set(original.neighbor_lists) == set(restored.neighbor_lists)
+        for node_id, lst in original.neighbor_lists.items():
+            assert np.array_equal(lst, restored.neighbor_lists[node_id])
+
+    def test_budget_change_degrades_to_two_stages(self, matrix, tmp_path):
+        """An interactions fingerprint mismatch skips the lists but still
+        installs the partition + ANN table (budget sweeps keep working)."""
+        session = make_session(matrix)
+        path = tmp_path / "artifacts.npz"
+        session.save_artifacts(path)
+        other = make_session(matrix, budget=0.0)
+        assert other.load_artifacts(path) == ("partition", "neighbors")
+        other.compress()
+        assert other.stage_builds["partition"] == 0
+        assert other.stage_builds["interactions"] == 1
+
+    def test_malformed_lists_rejected_at_load(self, matrix, tmp_path):
+        session = make_session(matrix)
+        path = tmp_path / "artifacts.npz"
+        session.save_artifacts(path)
+        with np.load(path) as data:
+            payload = {k: data[k] for k in data.files}
+        payload["far_cols"] = payload["far_cols"].copy()
+        if payload["far_cols"].size:
+            payload["far_cols"][0] = 10_000_000  # node id out of range
+        with open(path, "wb") as fh:
+            np.savez(fh, **payload)
+        with pytest.raises(CompressionError, match="Far"):
+            make_session(matrix).load_artifacts(path)
+
+    def test_format1_files_still_load(self, matrix, tmp_path):
+        """A pre-interactions artifact file installs its two stages."""
+        import json as _json
+
+        session = make_session(matrix)
+        path = tmp_path / "artifacts.npz"
+        session.save_artifacts(path)
+        with np.load(path) as data:
+            payload = {k: data[k] for k in data.files}
+        meta = _json.loads(bytes(payload["meta"]))
+        meta["format"] = 1
+        del meta["budget_cap"], meta["num_leaves"]
+        del meta["fingerprints"]["interactions"]
+        payload = {
+            k: v for k, v in payload.items()
+            if k in ("node_offsets", "node_indices", "neighbor_indices", "neighbor_distances")
+        }
+        payload["meta"] = np.frombuffer(_json.dumps(meta).encode(), dtype=np.uint8)
+        with open(path, "wb") as fh:
+            np.savez(fh, **payload)
+        fresh = make_session(matrix)
+        assert fresh.load_artifacts(path) == ("partition", "neighbors")
+        fresh.compress()
+
+    def test_cold_start_runs_zero_ann_and_list_work(self, matrix, tmp_path):
+        session = make_session(matrix)
+        op1 = session.compress()
+        path = tmp_path / "artifacts.npz"
+        session.save_artifacts(path)
+        fresh = make_session(make_gaussian_kernel_matrix(n=240, d=3, bandwidth=1.5, seed=0))
+        fresh.load_artifacts(path)
+        op2 = fresh.compress()
+        assert fresh.stage_builds["interactions"] == 0
+        assert fresh.last_built == ("skeletons", "blocks", "plan")
+        w = np.random.default_rng(3).standard_normal(matrix.n)
+        assert np.array_equal(op1.compressed.matvec(w), op2.compressed.matvec(w))

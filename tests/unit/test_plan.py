@@ -250,3 +250,55 @@ class TestValidation:
         plan = build_plan(cm)
         w = np.random.default_rng(13).standard_normal((cm.n, 2))
         assert np.allclose(plan.execute(w), evaluate(cm, w), atol=1e-10)
+
+
+class TestReentrancy:
+    """Concurrent matvecs on one plan: per-call pooled workspaces, no sharing."""
+
+    def test_concurrent_matvecs_bit_identical_to_alone(self, fmm_pair):
+        import threading
+
+        matrix, cm = fmm_pair
+        rng = np.random.default_rng(20)
+        vectors = rng.standard_normal((8, matrix.n, 2))
+        expected = [cm.matvec(v, engine="planned") for v in vectors]
+        results = [None] * len(vectors)
+        barrier = threading.Barrier(len(vectors))
+
+        def run(i):
+            barrier.wait(timeout=30)
+            results[i] = cm.matvec(vectors[i], engine="planned")
+
+        threads = [threading.Thread(target=run, args=(i,)) for i in range(len(vectors))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for got, want in zip(results, expected):
+            assert np.array_equal(got, want)
+
+    def test_workspace_pool_reuses_buffers(self, fmm_pair):
+        _, cm = fmm_pair
+        plan = cm.plan()
+        w = np.random.default_rng(21).standard_normal((cm.n, 3))
+        plan.execute(w)
+        assert plan.workspace_pool_size() >= 1
+        pooled = plan._workspace_pool[-1][0]
+        plan.execute(w)  # same width: the pooled pair is taken and returned
+        assert plan._workspace_pool[-1][0] is pooled
+
+    def test_pool_is_bounded(self, fmm_pair):
+        _, cm = fmm_pair
+        plan = cm.plan()
+        contexts = [plan.new_context(np.zeros((cm.n, 1))) for _ in range(2 * plan.WORKSPACE_POOL_MAX)]
+        for ctx in contexts:
+            plan.release_context(ctx)
+        assert plan.workspace_pool_size() <= plan.WORKSPACE_POOL_MAX
+
+    def test_released_context_is_inert(self, fmm_pair):
+        _, cm = fmm_pair
+        plan = cm.plan()
+        ctx = plan.new_context(np.zeros((cm.n, 1)))
+        plan.release_context(ctx)
+        assert ctx.wtil is None and ctx.util is None
+        plan.release_context(ctx)  # double release is a no-op

@@ -164,3 +164,127 @@ class TestRunTaskGraph:
             for engine in ("planned", "reference"):
                 out = parallel_evaluate(cm, w, num_workers=4, engine=engine)
                 assert np.allclose(out, expected, atol=1e-10)
+
+
+class TestWorkerPool:
+    """The persistent pool shared across concurrent evaluations."""
+
+    def test_concurrent_runs_share_one_pool(self, compressed_pair):
+        import threading
+
+        from repro.runtime import WorkerPool
+
+        matrix, cm = compressed_pair
+        w = np.random.default_rng(7).standard_normal((matrix.n, 2))
+        expected = cm.matvec(w, engine="reference")
+        results = [None] * 6
+        errors = []
+        with WorkerPool(3) as pool:
+            def run(i):
+                try:
+                    results[i] = parallel_evaluate(cm, w, pool=pool)
+                except BaseException as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=run, args=(i,)) for i in range(6)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert not errors
+        for out in results:
+            assert np.allclose(out, expected, atol=1e-10)
+
+    def test_pool_survives_a_failed_run(self):
+        from repro.runtime import WorkerPool
+        from repro.runtime.task import Task, TaskGraph
+
+        def graph_with(payload):
+            graph = TaskGraph()
+            graph.add_task(Task(task_id="t", kind="L2L", node_id=0))
+            return graph, {"t": payload}
+
+        with WorkerPool(2) as pool:
+            graph, payloads = graph_with(lambda: (_ for _ in ()).throw(ValueError("boom")))
+            with pytest.raises(ValueError, match="boom"):
+                pool.run(graph, payloads=payloads)
+            done = []
+            graph, payloads = graph_with(lambda: done.append(1))
+            assert pool.run(graph, payloads=payloads) == 1
+            assert done == [1]
+
+    def test_shutdown_rejects_new_runs(self):
+        from repro.runtime import WorkerPool
+        from repro.runtime.task import TaskGraph
+
+        pool = WorkerPool(1)
+        pool.shutdown()
+        with pytest.raises(SchedulingError, match="shut down"):
+            pool.run(TaskGraph())
+
+    def test_requires_positive_workers(self):
+        from repro.runtime import WorkerPool
+
+        with pytest.raises(SchedulingError):
+            WorkerPool(0)
+
+
+class TestStallTimeout:
+    """GOFMMConfig.executor_stall_timeout: the watchdog on completion gaps."""
+
+    def _hung_graph(self, release):
+        import threading
+
+        from repro.runtime.task import Task, TaskGraph
+
+        graph = TaskGraph()
+        graph.add_task(Task(task_id="hang", kind="L2L", node_id=0))
+        return graph, {"hang": (lambda: release.wait(timeout=30))}
+
+    def test_watchdog_fires_on_hung_payload(self):
+        import threading
+        import time as _time
+
+        release = threading.Event()
+        graph, payloads = self._hung_graph(release)
+        try:
+            started = _time.monotonic()
+            with pytest.raises(SchedulingError, match="stall timeout"):
+                run_task_graph(graph, 2, payloads=payloads, stall_timeout=0.05)
+            # the error must reach the caller promptly: shutdown may not
+            # full-join the worker still wedged inside the payload
+            assert _time.monotonic() - started < 5.0
+        finally:
+            release.set()
+
+    def test_no_false_positive_while_progressing(self):
+        # 30 quick tasks, each well under the timeout: the window restarts on
+        # every completion, so the watchdog must not fire.
+        import time as _time
+
+        from repro.runtime.task import Task, TaskGraph
+
+        graph = TaskGraph()
+        for i in range(30):
+            graph.add_task(Task(task_id=f"t{i}", kind="L2L", node_id=i))
+        for i in range(1, 30):
+            graph.add_dependency(f"t{i-1}", f"t{i}")
+        payloads = {f"t{i}": (lambda: _time.sleep(0.005)) for i in range(30)}
+        assert run_task_graph(graph, 2, payloads=payloads, stall_timeout=0.1) == 30
+
+    def test_config_validates_timeout(self):
+        from repro import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            GOFMMConfig(executor_stall_timeout=0.0)
+        with pytest.raises(ConfigurationError):
+            GOFMMConfig(executor_stall_timeout=-1.0)
+        assert GOFMMConfig(executor_stall_timeout=None).executor_stall_timeout is None
+        assert GOFMMConfig().executor_stall_timeout == 300.0
+
+    def test_parallel_evaluate_inherits_config_timeout(self, compressed_pair):
+        matrix, cm = compressed_pair
+        w = np.random.default_rng(8).standard_normal(matrix.n)
+        # a generous config timeout must not disturb a normal evaluation
+        out = parallel_evaluate(cm, w, num_workers=2)
+        assert np.allclose(out, cm.matvec(w), atol=1e-10)
