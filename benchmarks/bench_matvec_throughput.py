@@ -30,6 +30,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import resource
 import time
 from pathlib import Path
 
@@ -39,6 +40,11 @@ from repro import GOFMMConfig, compress
 from repro.matrices import KernelMatrix
 from repro.matrices.kernels import GaussianKernel
 from repro.runtime import parallel_evaluate
+
+try:  # package import (pytest benchmarks/) vs direct script run
+    from .harness import traced_peak_bytes
+except ImportError:
+    from harness import traced_peak_bytes
 
 DEFAULT_SIZES = (2048, 8192, 32768)
 
@@ -96,6 +102,8 @@ def bench_one(n: int, tree: str, num_rhs: int, repeats: int, seed: int = 0, work
     parallel_seconds = best_of(
         repeats, lambda: parallel_evaluate(compressed, w, num_workers=workers, engine="planned")
     )
+    reference_peak = traced_peak_bytes(lambda: compressed.matvec(w, engine="reference"))
+    planned_peak = traced_peak_bytes(lambda: compressed.matvec(w, engine="planned"))
     flops = compressed.evaluation_flops(num_rhs)
 
     row = {
@@ -114,6 +122,10 @@ def bench_one(n: int, tree: str, num_rhs: int, repeats: int, seed: int = 0, work
         "planned_gflops": flops / planned_seconds / 1e9 if planned_seconds > 0 else 0.0,
         "epsilon2": float(compressed.relative_error(num_rhs=4, num_sample_rows=50)),
         "max_engine_diff": max_diff,
+        # evaluation-phase memory high-water marks (tracemalloc) + process RSS
+        "reference_peak_bytes": reference_peak,
+        "planned_peak_bytes": planned_peak,
+        "peak_rss_kb": int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss),
         "plan": compressed.plan_report(),
     }
     return row

@@ -1,0 +1,187 @@
+"""Streamed-engine matvec: throughput + memory high-water vs reference and planned.
+
+The streamed engine exists for **memoryless** compressions
+(``cache_near_blocks=False, cache_far_blocks=False`` — the only way to run
+large ``n`` at bounded memory): the per-node reference traversal re-evaluates
+every near/far block pair by pair each matvec, while the streamed engine
+materializes them in stacked chunks inside a workspace bounded by
+``GOFMMConfig.streaming_chunk_bytes`` and runs the same level-batched GEMMs
+as the planned engine.  This harness pins both axes of that trade:
+
+* **throughput** — best-of-N matvec seconds for ``reference`` / ``streamed``
+  on the memoryless compression, plus ``planned`` as the explicit opt-in
+  that packs every block eagerly (the memory-unbounded upper bound),
+* **memory** — tracemalloc high-water mark of one matvec per engine (the
+  evaluation-phase footprint; the streamed engine's must stay within 2×
+  ``streaming_chunk_bytes``), the eagerly packed plan's resident bytes for
+  contrast, and the process peak RSS.
+
+The engines are verified bit-identical (``streamed`` vs ``reference``,
+``np.array_equal``) before anything is timed.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_streaming_matvec.py \
+        [--sizes 8192] [--rhs 16] [--repeats 5] [--smoke] [--out PATH]
+
+``--smoke`` (CI) shrinks the problem so the harness runs in seconds while
+still exercising compression, chunked evaluation, bit-identity and the
+artifact write.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import GOFMMConfig, compress
+from repro.matrices import KernelMatrix
+from repro.matrices.kernels import GaussianKernel
+
+try:  # package import (pytest benchmarks/) vs direct script run
+    from .harness import traced_peak_bytes
+except ImportError:
+    from harness import traced_peak_bytes
+
+DEFAULT_SIZES = (8192,)
+
+#: Fine tree (small leaves, fixed rank): thousands of small blocks — the
+#: regime where per-pair reference evaluation drowns in overhead and the
+#: streamed engine's stacked materialization + batched GEMMs pay off most.
+FINE = dict(leaf_size=32, max_rank=16, adaptive_rank=False)
+
+
+def gaussian_matrix(n: int, d: int = 3, bandwidth: float = 2.0, seed: int = 0) -> KernelMatrix:
+    gen = np.random.default_rng(seed)
+    centers = gen.standard_normal((8, d)) * 3.0
+    points = np.vstack([c + gen.standard_normal((n // 8 + 1, d)) for c in centers])[:n]
+    return KernelMatrix(points, GaussianKernel(bandwidth=bandwidth), regularization=1e-6, name=f"gaussian-{n}")
+
+
+def best_of(repeats: int, fn) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_one(n: int, num_rhs: int, repeats: int, seed: int = 0) -> dict:
+    matrix = gaussian_matrix(n, seed=seed)
+    config = GOFMMConfig(
+        tolerance=1e-5,
+        neighbors=16,
+        budget=0.03,
+        num_neighbor_trees=4,
+        seed=seed,
+        cache_near_blocks=False,
+        cache_far_blocks=False,
+        **FINE,
+    )
+    t0 = time.perf_counter()
+    compressed = compress(matrix, config)
+    comp_seconds = time.perf_counter() - t0
+    assert compressed.default_engine() == "streamed"
+
+    w = np.random.default_rng(seed).standard_normal((n, num_rhs))
+    # correctness gate: the streamed engine must be bit-identical to the
+    # per-node reference traversal on the memoryless compression
+    reference_out = compressed.matvec(w, engine="reference")
+    streamed_out = compressed.matvec(w, engine="streamed")
+    if not np.array_equal(reference_out, streamed_out):
+        raise RuntimeError(
+            f"streamed/reference mismatch at n={n}: "
+            f"max diff {np.max(np.abs(reference_out - streamed_out)):.3e}"
+        )
+
+    reference_seconds = best_of(repeats, lambda: compressed.matvec(w, engine="reference"))
+    streamed_seconds = best_of(repeats, lambda: compressed.matvec(w, engine="streamed"))
+    # the explicit opt-in: pack every block eagerly (memory-unbounded)
+    plan_packed = compressed.plan()
+    planned_seconds = best_of(repeats, lambda: compressed.matvec(w, engine="planned"))
+
+    reference_peak = traced_peak_bytes(lambda: compressed.matvec(w, engine="reference"))
+    streamed_peak = traced_peak_bytes(lambda: compressed.matvec(w, engine="streamed"))
+    planned_peak = traced_peak_bytes(lambda: compressed.matvec(w, engine="planned"))
+
+    flops = compressed.evaluation_flops(num_rhs)
+    row = {
+        "n": n,
+        "tree": "fine",
+        "config": dict(FINE),
+        "num_rhs": num_rhs,
+        "streaming_chunk_bytes": int(config.streaming_chunk_bytes),
+        "compression_seconds": comp_seconds,
+        "reference_seconds": reference_seconds,
+        "streamed_seconds": streamed_seconds,
+        "planned_seconds": planned_seconds,
+        "speedup_vs_reference": reference_seconds / streamed_seconds if streamed_seconds > 0 else float("inf"),
+        "streamed_gflops": flops / streamed_seconds / 1e9 if streamed_seconds > 0 else 0.0,
+        "reference_gflops": flops / reference_seconds / 1e9 if reference_seconds > 0 else 0.0,
+        # memory axis: per-engine evaluation-phase high-water marks
+        "reference_peak_bytes": reference_peak,
+        "streamed_peak_bytes": streamed_peak,
+        "planned_peak_bytes": planned_peak,
+        "streamed_peak_vs_chunk_budget": streamed_peak / config.streaming_chunk_bytes,
+        "planned_packed_bytes": int(plan_packed.packed_entries() * 8),
+        "peak_rss_kb": int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss),
+        "bit_identical_to_reference": True,
+        "streaming": compressed.streaming_report(),
+    }
+    return row
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sizes", type=int, nargs="+", default=None)
+    parser.add_argument("--rhs", type=int, default=16)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--smoke", action="store_true", help="small, fast CI invocation")
+    parser.add_argument(
+        "--out", type=Path, default=Path(__file__).parent / "artifacts" / "streaming_matvec.json"
+    )
+    args = parser.parse_args()
+
+    if args.sizes is not None:
+        sizes = args.sizes
+    elif args.smoke:
+        sizes = [1024]
+    else:
+        sizes = list(DEFAULT_SIZES)
+    repeats = 2 if args.smoke else args.repeats
+
+    rows = []
+    print(
+        f"{'n':>8} {'ref (s)':>10} {'streamed (s)':>13} {'planned (s)':>12} "
+        f"{'speedup':>8} {'peak (MiB)':>11} {'budget2x':>9}"
+    )
+    for n in sizes:
+        row = bench_one(n, args.rhs, repeats)
+        rows.append(row)
+        print(
+            f"{row['n']:>8} {row['reference_seconds']:>10.4f} {row['streamed_seconds']:>13.4f} "
+            f"{row['planned_seconds']:>12.4f} {row['speedup_vs_reference']:>7.1f}x "
+            f"{row['streamed_peak_bytes']/2**20:>11.1f} "
+            f"{2*row['streaming_chunk_bytes']/2**20:>8.0f}M"
+        )
+
+    artifact = {
+        "benchmark": "streaming_matvec",
+        "num_rhs": args.rhs,
+        "repeats": repeats,
+        "smoke": bool(args.smoke),
+        "results": rows,
+    }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(artifact, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

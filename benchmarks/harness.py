@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import os
 import time
+import tracemalloc
 from dataclasses import dataclass
 
 import numpy as np
@@ -26,7 +27,31 @@ from repro.api import Session
 from repro.core.accuracy import relative_error
 from repro.matrices import build_matrix
 
-__all__ = ["problem_size", "sweep_scale", "GOFMMRun", "run_gofmm", "run_gofmm_session", "once"]
+__all__ = [
+    "problem_size",
+    "sweep_scale",
+    "GOFMMRun",
+    "run_gofmm",
+    "run_gofmm_session",
+    "once",
+    "traced_peak_bytes",
+]
+
+
+def traced_peak_bytes(fn) -> int:
+    """tracemalloc high-water mark of one untimed call.
+
+    One shared implementation so the memory columns of every matvec
+    artifact (``matvec_throughput.json``, ``streaming_matvec.json``) stay
+    directly comparable.
+    """
+    tracemalloc.start()
+    try:
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return int(peak)
 
 
 def problem_size(default: int = 1024) -> int:

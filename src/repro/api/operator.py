@@ -13,15 +13,18 @@ paper's ε2), and the rank / storage / plan / interaction reports.
 **Thread safety.**  ``matvec`` / ``matmat`` / ``apply`` / ``solve`` are safe
 to call from concurrent threads on one operator — the serving runtime
 (:mod:`repro.serving`) does exactly that.  The compressed representation
-(tree, packed plan, cached blocks) is immutable after compression; all
-per-call state lives in per-call contexts, with the planned engine drawing
-its workspaces from a small thread-safe pool on the plan
-(:meth:`repro.core.plan.EvaluationPlan.new_context`).  Two caveats: the
-FLOP ``counters`` carried by the underlying :class:`CompressedMatrix` are
+(tree, packed plan, streaming plan, cached blocks) is immutable after
+compression; all per-call state lives in per-call contexts, with the
+planned engine drawing its workspaces from a small thread-safe pool on the
+plan (:meth:`repro.core.plan.EvaluationPlan.new_context`) and the streamed
+engine allocating its chunk buffers per call.  Two caveats: the FLOP
+``counters`` carried by the underlying :class:`CompressedMatrix` (and the
+source matrix's ``entry_evaluations``, which streamed matvecs advance) are
 updated without a lock (concurrent calls may under-count — they are
-diagnostics, never results), and the first ``plan()`` build is not
-synchronized, so prebuild the plan (``compressed.plan()``) before fanning
-out threads — the server does this at registration.
+diagnostics, never results), and the first ``plan()`` /
+``streaming_plan()`` build is not synchronized, so prebuild the default
+engine's plan before fanning out threads — the server does this at
+registration.
 """
 
 from __future__ import annotations

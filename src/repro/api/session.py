@@ -355,10 +355,18 @@ class Session:
                 and blocks_entry is not None
                 and (previous_plan_entry.upstream_versions or {}).get("blocks") == blocks_entry.version
             ):
-                # The previous plan was packed against these exact blocks
+                # The previous plans were built against these exact blocks
                 # (same tree / lists / providers): still exact — only the
-                # config wrapper changed.
-                compressed._plan = previous_plan_entry.value.compressed._plan
+                # config wrapper changed.  Each cached plan additionally
+                # requires its own packing knob to be unchanged (the packed
+                # plan's rank bucketing, the streaming plan's chunk budget).
+                old = previous_plan_entry.fingerprint
+                if old.get("plan_rank_bucketing") == config.plan_rank_bucketing:
+                    compressed._plan = previous_plan_entry.value.compressed._plan
+                if old.get("streaming_chunk_bytes") == config.streaming_chunk_bytes:
+                    compressed._streaming_plan = (
+                        previous_plan_entry.value.compressed._streaming_plan
+                    )
             if config.prebuild_plan:
                 compressed.plan()
             return Plan(compressed=compressed)

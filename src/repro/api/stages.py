@@ -79,7 +79,9 @@ STAGE_FIELDS: Dict[str, frozenset] = {
         }
     ),
     "blocks": frozenset({"cache_near_blocks", "cache_far_blocks"}),
-    "plan": frozenset({"evaluation_engine", "prebuild_plan", "plan_rank_bucketing"}),
+    "plan": frozenset(
+        {"evaluation_engine", "prebuild_plan", "plan_rank_bucketing", "streaming_chunk_bytes"}
+    ),
 }
 
 #: Direct upstream dependencies (the partition and the ANN table are

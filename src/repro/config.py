@@ -114,9 +114,22 @@ class GOFMMConfig:
     evaluation_engine:
         default matvec engine, validated against the registry of
         :mod:`repro.core.engines`.  Built-ins: ``"planned"`` executes the
-        packed, level-batched plan of :mod:`repro.core.plan`; ``"reference"``
-        runs the per-node traversal of :mod:`repro.core.evaluate`.  Either
-        can be overridden per call via ``matvec(w, engine=...)``.
+        packed, level-batched plan of :mod:`repro.core.plan`;
+        ``"streamed"`` runs the same level-batched passes but materializes
+        near/far blocks chunk by chunk inside a bounded workspace
+        (:mod:`repro.core.streaming` — the engine for memoryless
+        configurations); ``"reference"`` runs the per-node traversal of
+        :mod:`repro.core.evaluate`.  Any of them can be overridden per
+        call via ``matvec(w, engine=...)``.
+    streaming_chunk_bytes:
+        workspace budget of the ``"streamed"`` engine, in bytes.  The
+        engine partitions the evaluation's near/far blocks into chunks and
+        pipelines their materialization against GEMM execution through a
+        small set of cycling buffers (currently four, each sized an eighth
+        of this budget, always holding at least one block); all in-flight
+        chunk buffers *together* stay within this budget, so the
+        evaluation-phase block memory is bounded regardless of how many
+        interaction pairs the compression has.
     compression_backend:
         skeletonization backend, validated against the registry of
         :mod:`repro.core.backends`.  Built-ins: ``"batched"`` (the
@@ -168,6 +181,7 @@ class GOFMMConfig:
     symmetrize_lists: bool = True
     secure_accuracy: bool = False
     evaluation_engine: str = "planned"
+    streaming_chunk_bytes: int = 32 * 2**20
     compression_backend: str = "batched"
     plan_rank_bucketing: str = "pow2"
     prebuild_plan: bool = False
@@ -196,6 +210,10 @@ class GOFMMConfig:
             raise ConfigurationError("oversampling must be >= 1")
         if self.centroid_samples < 1:
             raise ConfigurationError("centroid_samples must be >= 1")
+        if self.streaming_chunk_bytes < 1:
+            raise ConfigurationError(
+                f"streaming_chunk_bytes must be >= 1, got {self.streaming_chunk_bytes}"
+            )
         if self.executor_stall_timeout is not None and not (self.executor_stall_timeout > 0.0):
             raise ConfigurationError(
                 f"executor_stall_timeout must be positive or None, got {self.executor_stall_timeout}"

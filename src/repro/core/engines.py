@@ -131,6 +131,12 @@ def _run_planned(compressed, w: np.ndarray, counters=None) -> np.ndarray:
     return evaluate_planned(compressed, w, counters=counters)
 
 
+def _run_streamed(compressed, w: np.ndarray, counters=None) -> np.ndarray:
+    from .streaming import evaluate_streamed
+
+    return evaluate_streamed(compressed, w, counters=counters)
+
+
 register(
     "reference",
     _run_reference,
@@ -141,4 +147,12 @@ register(
     _run_planned,
     requires_cached_blocks=True,
     description="packed level-batched GEMMs over the cached evaluation plan",
+)
+register(
+    "streamed",
+    _run_streamed,
+    description=(
+        "level-batched GEMMs with chunked on-the-fly block materialization "
+        "in a bounded workspace (memoryless configurations)"
+    ),
 )

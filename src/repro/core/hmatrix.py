@@ -6,9 +6,13 @@ Near/Far interaction lists, and (optionally cached) near/far submatrices —
 and exposes the operations a user of the library needs:
 
 * ``matvec(w)`` / ``@`` — the fast approximate product (Algorithm 2.7),
-  with two interchangeable engines: the per-node ``"reference"`` traversal
-  (the correctness oracle) and the ``"planned"`` engine that executes a
+  with interchangeable engines: the per-node ``"reference"`` traversal
+  (the correctness oracle), the ``"planned"`` engine that executes a
   cached :class:`repro.core.plan.EvaluationPlan` as level-batched GEMMs,
+  and the ``"streamed"`` engine that runs the same level-batched passes
+  while materializing near/far blocks chunk by chunk inside a bounded
+  workspace (:class:`repro.core.streaming.StreamingPlan` — for memoryless
+  compressions),
 * ``to_dense()`` — explicit ``K̃`` for small problems (tests, exact error),
 * storage / rank / FLOP reports used by the benchmark harness,
 * ``relative_error`` — the sampled ε2 metric of the paper.
@@ -94,6 +98,7 @@ class CompressedMatrix:
     neighbors: Optional[NeighborTable] = None
     counters: EvaluationCounters = field(default_factory=EvaluationCounters)
     _plan: Optional[EvaluationPlan] = field(default=None, repr=False, compare=False)
+    _streaming_plan: object = field(default=None, repr=False, compare=False)
 
     # -- linear operator interface -------------------------------------------
     @property
@@ -110,15 +115,31 @@ class CompressedMatrix:
             self._plan = build_plan(self)
         return self._plan
 
+    def streaming_plan(self, rebuild: bool = False):
+        """The cached :class:`~repro.core.streaming.StreamingPlan` (built on first use).
+
+        The streamed engine's schedule: the shared pass layout plus the
+        chunked S2S / L2L materialization bounded by
+        ``config.streaming_chunk_bytes``.
+        """
+        if self._streaming_plan is None or rebuild:
+            from .streaming import build_streaming_plan
+
+            self._streaming_plan = build_streaming_plan(self)
+        return self._streaming_plan
+
     def default_engine(self) -> str:
         """Engine used when ``matvec`` is called without an explicit ``engine``.
 
         Normally ``config.evaluation_engine``; when block caching was
         disabled at compression time (the memory-bounded configuration) and
         the configured engine requires cached blocks (the packed plan does),
-        the default falls back to ``"reference"`` rather than silently
-        packing every block into a plan — pass ``engine="planned"`` (or call
-        :meth:`plan`) to opt into the packed engine anyway.
+        the default falls back to the ``"streamed"`` engine — level-batched
+        GEMMs with chunked block materialization in a bounded workspace —
+        rather than silently packing every block into a plan.  Without a
+        source matrix to stream from the fallback is ``"reference"``.  Pass
+        ``engine="planned"`` (or call :meth:`plan`) to opt into the packed
+        engine anyway.
         """
         engine = getattr(self.config, "evaluation_engine", "planned")
         if (
@@ -127,7 +148,7 @@ class CompressedMatrix:
             and self._plan is None
             and not (self.config.cache_near_blocks and self.config.cache_far_blocks)
         ):
-            return "reference"
+            return "streamed" if self.matrix is not None else "reference"
         return engine
 
     def matvec(self, w: np.ndarray, engine: Optional[str] = None) -> np.ndarray:
@@ -135,9 +156,11 @@ class CompressedMatrix:
 
         ``engine`` names a registered evaluation engine (see
         :mod:`repro.core.engines`): ``"planned"`` executes level-batched
-        GEMMs over the cached plan, ``"reference"`` runs the per-node
-        traversal of :mod:`repro.core.evaluate`.  Defaults to
-        :meth:`default_engine`.
+        GEMMs over the cached plan, ``"streamed"`` runs the same passes
+        with chunked on-the-fly block materialization in a bounded
+        workspace (:mod:`repro.core.streaming`; bit-identical to the
+        reference traversal), ``"reference"`` runs the per-node traversal
+        of :mod:`repro.core.evaluate`.  Defaults to :meth:`default_engine`.
         """
         engine = engine or self.default_engine()
         return get_engine(engine)(self, w, counters=self.counters)
@@ -295,6 +318,10 @@ class CompressedMatrix:
             "near_pairs": float(plan.near_cols.size),
             "far_pairs": float(plan.far_cols.size),
         }
+
+    def streaming_report(self) -> dict[str, float]:
+        """Size/chunking of the streaming plan (builds it if not yet cached)."""
+        return self.streaming_plan().report()
 
     def interaction_report(self) -> dict[str, float]:
         """Sizes of the interaction lists (how much of K is treated directly)."""

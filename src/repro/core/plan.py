@@ -67,7 +67,14 @@ from ..errors import EvaluationError
 from .backends import pad_ranks
 from .evaluate import EvaluationCounters, _as_matrix
 
-__all__ = ["EvaluationPlan", "PlanContext", "build_plan", "evaluate_planned"]
+__all__ = [
+    "EvaluationPlan",
+    "PassLayout",
+    "PlanContext",
+    "build_pass_layout",
+    "build_plan",
+    "evaluate_planned",
+]
 
 
 # ---------------------------------------------------------------------------
@@ -769,13 +776,52 @@ def _padded_coeffs(node, skel_offset: np.ndarray, prank: np.ndarray) -> np.ndarr
     return out
 
 
-def build_plan(compressed) -> EvaluationPlan:
-    """Flatten a :class:`~repro.core.hmatrix.CompressedMatrix` into an :class:`EvaluationPlan`."""
+class PassLayout:
+    """Chunk-agnostic packing machinery of the up/down passes.
+
+    Everything the evaluation needs *besides* the interaction blocks: the
+    workspace row layout (``skel_offset`` / ``workspace_rows``), the packed
+    N2S / S2N level segments, the CSR Near/Far index tables, and the
+    uniformity metadata enabling the slot-gather fast paths.  The planned
+    engine (:func:`build_plan`) combines a layout with eagerly packed
+    S2S / L2L block segments; the streamed engine
+    (:mod:`repro.core.streaming`) combines the same layout with chunked
+    on-the-fly block materialization — one planner, two block strategies.
+    """
+
+    __slots__ = (
+        "n", "workspace_rows", "skel_offset", "prank", "active", "needs_s2n",
+        "n2s_levels", "s2n_levels", "near_indptr", "near_cols", "far_indptr",
+        "far_cols", "leaf_perm", "uniform_leaf_size", "uniform_rank", "leaf_slot",
+    )
+
+    def __init__(self, **fields) -> None:
+        for name in self.__slots__:
+            setattr(self, name, fields[name])
+
+    def new_context(self, weights: np.ndarray) -> PlanContext:
+        """A per-matvec context laid out for this layout (no pooling)."""
+        return PlanContext(
+            weights,
+            self.workspace_rows,
+            leaf_perm=self.leaf_perm,
+            leaf_size=self.uniform_leaf_size,
+            rank=self.uniform_rank,
+        )
+
+
+def build_pass_layout(compressed, bucketing: str = "none") -> PassLayout:
+    """Build the block-free :class:`PassLayout` of a compressed matrix.
+
+    ``bucketing`` pads workspace ranks exactly like
+    ``GOFMMConfig.plan_rank_bucketing``; the streamed engine always passes
+    ``"none"`` (exact packing keeps its GEMM shapes — and therefore its
+    results — identical to the per-node reference traversal).
+    """
     tree = compressed.tree
     levels = tree.levels()
     near_indptr, near_cols, far_indptr, far_cols = _csr_lists(tree)
     active = _active_nodes(tree, far_cols)
-    bucketing = getattr(compressed.config, "plan_rank_bucketing", "none")
     prank = _padded_rank_table(tree, levels, active, bucketing)
 
     # Uniformity enables the slot-gather fast paths: whole-block gathers
@@ -841,51 +887,6 @@ def build_plan(compressed) -> EvaluationPlan:
         n2s_levels.append(level_segments)
     workspace_rows = offset
 
-    # ---- far field (S2S): concatenate each target's far blocks into one
-    # wide block-row, then batch the block-rows by shape ------------------
-    s2s_segments: List[PlanSegment] = []
-    s2s_groups: Dict[tuple[int, int], list] = {}
-    for node in tree.nodes:
-        if not node.far or node.skeleton_rank == 0:
-            continue
-        blocks: list[np.ndarray] = []
-        rows: list[np.ndarray] = []
-        for alpha_id in node.far:
-            alpha = tree.node(alpha_id)
-            if alpha.skeleton_rank == 0:
-                continue
-            block = _require_block(compressed.far_blocks, (node.node_id, alpha_id), "far")
-            if block.shape != (node.skeleton_rank, alpha.skeleton_rank):
-                raise EvaluationError(
-                    f"far block ({node.node_id},{alpha_id}) has shape {block.shape}, "
-                    f"expected {(node.skeleton_rank, alpha.skeleton_rank)}"
-                )
-            pad_shape = (int(prank[node.node_id]), int(prank[alpha.node_id]))
-            if block.shape != pad_shape:
-                padded = np.zeros(pad_shape, dtype=block.dtype)
-                padded[: block.shape[0], : block.shape[1]] = block
-                block = padded
-            blocks.append(block)
-            start = skel_offset[alpha.node_id]
-            rows.append(np.arange(start, start + pad_shape[1]))
-        if not blocks:
-            continue
-        row_block = np.hstack(blocks)
-        s2s_groups.setdefault(row_block.shape, []).append((node, row_block, np.concatenate(rows)))
-    for (s, k), entries in sorted(s2s_groups.items()):
-        blocks = np.stack([e[1] for e in entries])
-        if uniform_rank and s == uniform_rank and k % uniform_rank == 0:
-            # every source/target is one whole rank-s block of the workspace
-            src_slots = np.stack([e[2][::uniform_rank] // uniform_rank for e in entries])
-            dst_slots = np.asarray([skel_offset[e[0].node_id] // uniform_rank for e in entries])
-            s2s_segments.append(S2SSlotSegment(blocks, src_slots, dst_slots))
-        else:
-            src_rows = np.stack([e[2] for e in entries])
-            dst_rows = np.stack(
-                [np.arange(skel_offset[e[0].node_id], skel_offset[e[0].node_id] + s) for e in entries]
-            )
-            s2s_segments.append(S2SSegment(blocks, src_rows, dst_rows))
-
     # ---- downward (S2N) pass, top-down ------------------------------------
     # A node needs S2N only if its ũ can be nonzero: it has far interactions
     # itself or an ancestor pushes potentials into it.
@@ -937,8 +938,82 @@ def build_plan(compressed) -> EvaluationPlan:
                     level_segments.append(S2NInternalSegment(level, coeffs_t, src_rows, dst_rows))
         s2n_levels.append(level_segments)
 
-    # ---- direct part (L2L): concatenate each leaf's near blocks into one
-    # wide block-row, then batch the block-rows by shape ------------------
+    return PassLayout(
+        n=tree.n,
+        workspace_rows=workspace_rows,
+        skel_offset=skel_offset,
+        prank=prank,
+        active=active,
+        needs_s2n=needs_s2n,
+        n2s_levels=n2s_levels,
+        s2n_levels=s2n_levels,
+        near_indptr=near_indptr,
+        near_cols=near_cols,
+        far_indptr=far_indptr,
+        far_cols=far_cols,
+        leaf_perm=tree.permutation if uniform_leaf_size else None,
+        uniform_leaf_size=uniform_leaf_size,
+        uniform_rank=uniform_rank,
+        leaf_slot=leaf_slot,
+    )
+
+
+def _pack_s2s_segments(compressed, layout: PassLayout) -> List[PlanSegment]:
+    """Eagerly pack the far field: concatenate each target's far blocks into
+    one wide block-row, then batch the block-rows by shape."""
+    tree = compressed.tree
+    skel_offset, prank = layout.skel_offset, layout.prank
+    uniform_rank = layout.uniform_rank
+    s2s_segments: List[PlanSegment] = []
+    s2s_groups: Dict[tuple[int, int], list] = {}
+    for node in tree.nodes:
+        if not node.far or node.skeleton_rank == 0:
+            continue
+        blocks: list[np.ndarray] = []
+        rows: list[np.ndarray] = []
+        for alpha_id in node.far:
+            alpha = tree.node(alpha_id)
+            if alpha.skeleton_rank == 0:
+                continue
+            block = _require_block(compressed.far_blocks, (node.node_id, alpha_id), "far")
+            if block.shape != (node.skeleton_rank, alpha.skeleton_rank):
+                raise EvaluationError(
+                    f"far block ({node.node_id},{alpha_id}) has shape {block.shape}, "
+                    f"expected {(node.skeleton_rank, alpha.skeleton_rank)}"
+                )
+            pad_shape = (int(prank[node.node_id]), int(prank[alpha.node_id]))
+            if block.shape != pad_shape:
+                padded = np.zeros(pad_shape, dtype=block.dtype)
+                padded[: block.shape[0], : block.shape[1]] = block
+                block = padded
+            blocks.append(block)
+            start = skel_offset[alpha.node_id]
+            rows.append(np.arange(start, start + pad_shape[1]))
+        if not blocks:
+            continue
+        row_block = np.hstack(blocks)
+        s2s_groups.setdefault(row_block.shape, []).append((node, row_block, np.concatenate(rows)))
+    for (s, k), entries in sorted(s2s_groups.items()):
+        blocks = np.stack([e[1] for e in entries])
+        if uniform_rank and s == uniform_rank and k % uniform_rank == 0:
+            # every source/target is one whole rank-s block of the workspace
+            src_slots = np.stack([e[2][::uniform_rank] // uniform_rank for e in entries])
+            dst_slots = np.asarray([skel_offset[e[0].node_id] // uniform_rank for e in entries])
+            s2s_segments.append(S2SSlotSegment(blocks, src_slots, dst_slots))
+        else:
+            src_rows = np.stack([e[2] for e in entries])
+            dst_rows = np.stack(
+                [np.arange(skel_offset[e[0].node_id], skel_offset[e[0].node_id] + s) for e in entries]
+            )
+            s2s_segments.append(S2SSegment(blocks, src_rows, dst_rows))
+    return s2s_segments
+
+
+def _pack_l2l_segments(compressed, layout: PassLayout) -> List[PlanSegment]:
+    """Eagerly pack the direct part: concatenate each leaf's near blocks into
+    one wide block-row, then batch the block-rows by shape."""
+    tree = compressed.tree
+    uniform_leaf_size, leaf_slot = layout.uniform_leaf_size, layout.leaf_slot
     l2l_segments: List[PlanSegment] = []
     l2l_groups = {}
     for leaf in tree.leaves:
@@ -969,22 +1044,28 @@ def build_plan(compressed) -> EvaluationPlan:
         else:
             src = np.stack([e[2] for e in entries])
             l2l_segments.append(L2LSegment(blocks, src, dst))
+    return l2l_segments
 
+
+def build_plan(compressed) -> EvaluationPlan:
+    """Flatten a :class:`~repro.core.hmatrix.CompressedMatrix` into an :class:`EvaluationPlan`."""
+    bucketing = getattr(compressed.config, "plan_rank_bucketing", "none")
+    layout = build_pass_layout(compressed, bucketing)
     return EvaluationPlan(
-        n=tree.n,
-        workspace_rows=workspace_rows,
-        skel_offset=skel_offset,
-        n2s_levels=n2s_levels,
-        s2s_segments=s2s_segments,
-        s2n_levels=s2n_levels,
-        l2l_segments=l2l_segments,
-        near_indptr=near_indptr,
-        near_cols=near_cols,
-        far_indptr=far_indptr,
-        far_cols=far_cols,
-        leaf_perm=tree.permutation if uniform_leaf_size else None,
-        uniform_leaf_size=uniform_leaf_size,
-        uniform_rank=uniform_rank,
+        n=layout.n,
+        workspace_rows=layout.workspace_rows,
+        skel_offset=layout.skel_offset,
+        n2s_levels=layout.n2s_levels,
+        s2s_segments=_pack_s2s_segments(compressed, layout),
+        s2n_levels=layout.s2n_levels,
+        l2l_segments=_pack_l2l_segments(compressed, layout),
+        near_indptr=layout.near_indptr,
+        near_cols=layout.near_cols,
+        far_indptr=layout.far_indptr,
+        far_cols=layout.far_cols,
+        leaf_perm=layout.leaf_perm,
+        uniform_leaf_size=layout.uniform_leaf_size,
+        uniform_rank=layout.uniform_rank,
     )
 
 

@@ -8,12 +8,15 @@ matvec:
 
 1. **level sweep** — process levels bottom-up; all nodes of a level are
    skeletonized together,
-2. **shared sampling streams** — row samples are drawn per node from its
-   deterministic stream (:func:`repro.core.skeletonization.node_stream`)
-   through the same :func:`~repro.core.skeletonization.sample_rows` the
-   reference backend uses (neighbor-first, then the O(need) rejection
-   sampler ``fill_uniform``), making the samples identical to the
-   reference backend's by construction,
+2. **shared sampling streams over one ownership mask** — row samples are
+   drawn per node from its deterministic stream
+   (:func:`repro.core.skeletonization.node_stream`) with the same
+   decision sequence as :func:`~repro.core.skeletonization.sample_rows`
+   (neighbor-first, then the O(need) rejection sampler ``fill_uniform``),
+   but the whole level's draws run against one shared boolean ownership
+   mask — each node marks its rows and un-marks exactly what it touched,
+   O(|indices| + sample) mask work per node instead of a fresh O(n)
+   allocation — identical samples (pinned by the equivalence tests),
 3. **shape bucketing** — the sampled blocks are grouped by their padded
    shape (rows and columns rounded up to powers of two) and stacked into
    one ``(g, P, K)`` array per bucket; zero padding never changes a
@@ -53,13 +56,67 @@ from .neighbors import NeighborTable
 from .skeletonization import (
     SkeletonizationStats,
     collect_stats,
+    fill_uniform,
     node_stream,
     node_stream_base,
-    sample_rows,
 )
 from .tree import BallTree, TreeNode
 
 __all__ = ["skeletonize_tree_batched", "sample_rows_level"]
+
+
+def _sample_rows_shared(
+    node: TreeNode,
+    n: int,
+    sample_size: int,
+    neighbors: Optional[NeighborTable],
+    rng: np.random.Generator,
+    banned: np.ndarray,
+) -> np.ndarray:
+    """One node's row sample against the level's shared ownership mask.
+
+    Mirrors :func:`repro.core.skeletonization.sample_rows` decision for
+    decision (the equivalence tests pin the samples as equal): ``banned``
+    plays the role of its per-node ``inside`` array, but is shared across
+    the whole level — this function marks the node's rows on entry and
+    un-marks exactly what it touched before returning, so each node costs
+    O(|indices| + sample) mask work instead of an O(n) allocation.
+    """
+    complement_size = n - node.indices.size
+    if complement_size <= 0:
+        return np.empty(0, dtype=np.intp)
+    banned[node.indices] = True
+    touched: list[np.ndarray] = [node.indices]
+    try:
+        if complement_size <= sample_size:
+            return np.nonzero(~banned)[0].astype(np.intp)
+
+        chosen: list[np.ndarray] = []
+        count = 0
+        if neighbors is not None and node.neighbor_list is not None:
+            cand = node.neighbor_list[~banned[node.neighbor_list]]
+            if cand.size > sample_size:
+                cand = rng.choice(cand, size=sample_size, replace=False)
+            if cand.size:
+                cand = cand.astype(np.intp)
+                chosen.append(cand)
+                banned[cand] = True  # from here on "banned" means "not eligible"
+                touched.append(cand)
+                count += cand.size
+
+        if count < sample_size:
+            need = min(sample_size - count, complement_size - count)
+            if need > 0:
+                take = fill_uniform(rng, n, need, banned)
+                chosen.append(take)
+                touched.append(take)
+
+        if not chosen:
+            return np.empty(0, dtype=np.intp)
+        return np.unique(np.concatenate(chosen))
+    finally:
+        for indices in touched:
+            banned[indices] = False
 
 
 def sample_rows_level(
@@ -71,13 +128,22 @@ def sample_rows_level(
 ) -> list[np.ndarray]:
     """Importance-sampled row sets for every node of one tree level.
 
-    Delegates to :func:`repro.core.skeletonization.sample_rows` with each
-    node's :func:`node_stream` generator — one source of truth for the
-    sampling draws, which is exactly what the reference ≡ batched
-    skeleton-equivalence contract rests on.
+    The level's nodes partition the index set, so all of the level's
+    rejection-sampled draws run against **one** shared ownership mask: each
+    node marks its rows, draws (neighbor-first, then
+    :func:`~repro.core.skeletonization.fill_uniform` from its own
+    deterministic :func:`node_stream`), and un-marks exactly what it
+    touched — O(|indices| + sample) per node instead of the O(n) boolean
+    mask :func:`sample_rows` allocates per node.  Every accept/reject
+    decision tests the same membership predicate in the same order, so the
+    samples are identical to :func:`sample_rows`'s by construction (the
+    backend-equivalence tests pin this).
     """
+    banned = np.zeros(n, dtype=bool)
     return [
-        sample_rows(node, n, sample_size, neighbors, node_stream(base, node.node_id))
+        _sample_rows_shared(
+            node, n, sample_size, neighbors, node_stream(base, node.node_id), banned
+        )
         for node in members
     ]
 

@@ -1,0 +1,617 @@
+"""Streamed evaluation engine: chunked block materialization in a bounded workspace.
+
+The ``"planned"`` engine (:mod:`repro.core.plan`) is fast because every
+near/far block is packed up front — which is exactly what a memoryless
+compression (``cache_near_blocks=False`` / ``cache_far_blocks=False``, the
+only way to run large ``n`` at bounded memory) cannot afford.  Until now
+those configurations fell back to the per-node ``"reference"`` traversal and
+lost the level-batched-GEMM speedup.
+
+This module is the third registered engine, ``"streamed"``
+(``requires_cached_blocks=False``): it shares the planned engine's
+:class:`~repro.core.plan.PassLayout` (workspace offsets, packed N2S / S2N
+level segments) and replaces eager block storage with **chunked on-the-fly
+materialization**:
+
+* **rounds** — the S2S stage is split into rounds: round ``j`` holds every
+  target's ``j``-th far interaction.  Within a round each target appears at
+  most once, so same-shape pairs batch into one 3-D GEMM with a plain
+  vectorized scatter-add, while each target's accumulator still receives
+  its contributions *in far-list order* — the same per-pair products in
+  the same order as the reference traversal, which is what makes the
+  streamed matvec **bit-identical** to ``"reference"`` (concatenating a
+  target's blocks into one wide GEMM, as the planned engine does, changes
+  the accumulation order).  L2L is organized the same way over Near lists.
+* **chunks** — the round segments are packed, in execution order, into
+  chunks bounded by ``GOFMMConfig.streaming_chunk_bytes``: each chunk's
+  blocks are materialized into a reusable buffer (cached blocks are copied,
+  missing ones evaluated in stacked batches through
+  :meth:`repro.matrices.base.SPDMatrix.entries_batched` — bitwise equal to
+  the per-pair evaluation the reference engine performs) and the chunk's
+  GEMMs run from that buffer.  All cycling buffers together stay within
+  the configured budget, so evaluation-phase block memory is bounded no
+  matter how many interaction pairs the compression has.
+* **buffered pipelining** — upcoming chunks materialize on the shared
+  persistent :class:`~repro.runtime.executor.WorkerPool` while the current
+  chunk's GEMMs execute (materialization dominates a memoryless matvec and
+  NumPy's ufuncs/BLAS release the GIL, so several materializer threads run
+  ahead of the executor), block evaluation fully overlapping compute.  The
+  execution chain itself is strictly sequential (chunk order, with the S2N
+  pass between the last S2S chunk and the first L2L chunk), keeping the
+  result deterministic and reference-identical.
+
+The engine works for *any* caching configuration — cached blocks are simply
+copied instead of re-evaluated — so ``near-only`` / ``far-only`` caching
+streams exactly the missing side.  It needs the source matrix attached for
+whatever is not cached, and because chunks materialize on several worker
+threads concurrently, that matrix's entry evaluation must be thread-safe
+for concurrent reads (the built-in matrix classes are; see
+:meth:`repro.matrices.base.SPDMatrix.entries_batched`).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import EvaluationError
+from .evaluate import EvaluationCounters, _as_matrix
+from .plan import PassLayout, PlanContext, build_pass_layout
+
+__all__ = [
+    "StreamSegment",
+    "StreamChunk",
+    "StreamingPlan",
+    "build_streaming_plan",
+    "evaluate_streamed",
+]
+
+#: Per-call cap (in packed block bytes) on one ``entries_batched``
+#: materialization call.  Bounds the evaluator's stacked temporaries
+#: (pairwise distances + kernel values are a small multiple of the block
+#: bytes) so the chunk budget — not the batch evaluator — governs the
+#: engine's memory high-water mark.
+_MATERIALIZE_CALL_BYTES = 2 << 20
+
+#: Number of chunk buffers cycling through the pipeline.  The execution
+#: chain is strictly sequential (bit-identity), but up to
+#: ``_PIPELINE_BUFFERS - 1`` future chunks materialize concurrently while
+#: one executes — materialization is the dominant cost of a memoryless
+#: matvec and NumPy's ufuncs/BLAS release the GIL, so the extra
+#: materializer threads give real overlap.  ``streaming_chunk_bytes`` is
+#: split across all the buffers, keeping the total workspace bound.
+_PIPELINE_BUFFERS = 4
+
+
+# ---------------------------------------------------------------------------
+# segments and chunks
+# ---------------------------------------------------------------------------
+
+class StreamSegment:
+    """One same-shape batch of interaction blocks from one round.
+
+    ``rows[g]`` / ``cols[g]`` are the global entry indices of the ``g``-th
+    block (skeleton sets for S2S, leaf index sets for L2L) and ``keys[g]``
+    its provider key; ``src`` / ``dst`` are the gather / scatter index
+    tables of the batched GEMM.  Scatter targets are disjoint within the
+    segment (each target appears at most once per round), so the
+    fancy-index add is a plain vectorized scatter.
+    """
+
+    __slots__ = (
+        "kind", "shape", "keys", "rows", "cols", "src", "dst",
+        "cached", "missing", "flops_per_rhs",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        shape: Tuple[int, int],
+        keys: List[tuple[int, int]],
+        rows: List[np.ndarray],
+        cols: List[np.ndarray],
+        src: Optional[np.ndarray] = None,
+        dst: Optional[np.ndarray] = None,
+    ) -> None:
+        self.kind = kind                  # "S2S" (util scatter) or "L2L" (output scatter)
+        self.shape = shape                # (p, k) of every block in the batch
+        self.keys = keys
+        # Pre-stacked (g, p) / (g, k) index tables: entries_batched takes
+        # the 2-D arrays straight into its stacked fast path, paying no
+        # per-matvec restacking.
+        self.rows = np.stack(rows)
+        self.cols = np.stack(cols)
+        # Gather rows (wtil for S2S, weights for L2L) and scatter rows
+        # (util for S2S, output for L2L).  For L2L these are the block's
+        # global entry indices themselves, so they alias the stacked
+        # rows/cols instead of duplicating O(pairs) index memory.
+        self.src = self.cols if src is None else src
+        self.dst = self.rows if dst is None else dst
+        self.cached: List[int] = []       # filled by bind_cache
+        self.missing: List[int] = list(range(len(keys)))
+        self.flops_per_rhs = 2.0 * len(keys) * shape[0] * shape[1]
+
+    @property
+    def batch(self) -> int:
+        return len(self.keys)
+
+    @property
+    def elems(self) -> int:
+        return self.batch * self.shape[0] * self.shape[1]
+
+    def bind_cache(self, provider) -> None:
+        """Split the segment's keys into cached / to-evaluate once, at build.
+
+        The block cache is immutable after compression, so the split never
+        changes between matvecs — checking it per materialization would be
+        thousands of dict probes per call for nothing.
+        """
+        self.cached = [g for g, key in enumerate(self.keys) if key in provider]
+        if self.cached:
+            in_cache = set(self.cached)
+            self.missing = [g for g in range(len(self.keys)) if g not in in_cache]
+        else:
+            self.missing = list(range(len(self.keys)))
+
+    def materialize(self, provider, matrix, out: np.ndarray) -> None:
+        """Fill ``out`` (a ``(g, p, k)`` buffer view) with this segment's blocks.
+
+        Cached blocks are copied from the provider; the rest are evaluated
+        in stacked sub-batches (bounded so the evaluator's temporaries stay
+        small), written straight into the buffer when the whole segment is
+        uncached — the memoryless hot path.
+        """
+        for g in self.cached:
+            out[g] = provider.get(self.keys[g])
+        if not self.missing:
+            return
+        if matrix is None:
+            kind = "far" if self.kind == "S2S" else "near"
+            raise EvaluationError(
+                f"missing {kind} block {self.keys[self.missing[0]]} and no source matrix "
+                "attached to stream it from"
+            )
+        per_block = max(1, self.shape[0] * self.shape[1] * 8)
+        step = max(1, _MATERIALIZE_CALL_BYTES // per_block)
+        if not self.cached:
+            for start in range(0, self.batch, step):
+                stop = min(start + step, self.batch)
+                matrix.entries_batched(
+                    self.rows[start:stop], self.cols[start:stop], out=out[start:stop]
+                )
+            return
+        for start in range(0, len(self.missing), step):
+            chosen = self.missing[start : start + step]
+            blocks = matrix.entries_batched(
+                [self.rows[g] for g in chosen], [self.cols[g] for g in chosen]
+            )
+            for block, g in zip(blocks, chosen):
+                out[g] = block
+
+    def run(self, ctx: PlanContext, blocks: np.ndarray) -> None:
+        """Execute the batched GEMM + scatter from materialized ``blocks``."""
+        if self.kind == "S2S":
+            ctx.util[self.dst] += np.matmul(blocks, ctx.wtil[self.src])
+        else:
+            ctx.output[self.dst] += np.matmul(blocks, ctx.weights[self.src])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StreamSegment({self.kind}, batch={self.batch}, shape={self.shape})"
+
+
+class StreamChunk:
+    """A contiguous run of segments materialized into one buffer together."""
+
+    __slots__ = ("segments", "offsets", "total_elems", "flops_per_rhs")
+
+    def __init__(self, segments: List[StreamSegment]) -> None:
+        self.segments = segments
+        self.offsets: List[int] = []
+        offset = 0
+        for segment in segments:
+            self.offsets.append(offset)
+            offset += segment.elems
+        self.total_elems = offset
+        self.flops_per_rhs = sum(s.flops_per_rhs for s in segments)
+
+    def _views(self, buffer: np.ndarray):
+        for segment, offset in zip(self.segments, self.offsets):
+            g, (p, k) = segment.batch, segment.shape
+            yield segment, buffer[offset : offset + segment.elems].reshape(g, p, k)
+
+    def materialize(self, near_blocks, far_blocks, matrix, buffer: np.ndarray) -> None:
+        for segment, view in self._views(buffer):
+            provider = far_blocks if segment.kind == "S2S" else near_blocks
+            segment.materialize(provider, matrix, view)
+
+    def run(self, ctx: PlanContext, buffer: np.ndarray) -> None:
+        for segment, view in self._views(buffer):
+            segment.run(ctx, view)
+
+
+# ---------------------------------------------------------------------------
+# the shared materialization/execution pool
+# ---------------------------------------------------------------------------
+
+_POOL_LOCK = threading.Lock()
+_POOL = None  # lazily created WorkerPool shared by every streamed evaluation
+
+
+def _shared_pool():
+    """The persistent worker pool pipelining every streamed matvec.
+
+    Workers materialize upcoming chunks while one runs the current chunk's
+    GEMMs; the pool is shared across plans and across concurrent
+    evaluations (``WorkerPool.run`` is reentrant), and its daemon threads
+    live for the process.
+    """
+    global _POOL
+    from ..runtime.executor import WorkerPool
+
+    with _POOL_LOCK:
+        if _POOL is None:
+            workers = max(2, min(_PIPELINE_BUFFERS, (os.cpu_count() or 2)))
+            _POOL = WorkerPool(workers, name="streaming")
+        return _POOL
+
+
+# ---------------------------------------------------------------------------
+# the streaming plan
+# ---------------------------------------------------------------------------
+
+class StreamingPlan:
+    """Execution plan of the ``"streamed"`` engine for one compressed matrix.
+
+    Holds the shared :class:`~repro.core.plan.PassLayout` (N2S / S2N level
+    segments, workspace offsets) plus the chunked S2S / L2L materialization
+    schedule.  The plan itself is immutable after construction; every
+    :meth:`execute` call owns its context and its two chunk buffers, so
+    concurrent matvecs on one plan are safe and each is bit-identical to
+    running alone (the execution chain is sequential per call).
+    """
+
+    def __init__(
+        self,
+        layout: PassLayout,
+        s2s_chunks: List[StreamChunk],
+        l2l_chunks: List[StreamChunk],
+        near_blocks,
+        far_blocks,
+        matrix,
+        chunk_bytes: int,
+        stall_timeout: Optional[float],
+    ) -> None:
+        self.layout = layout
+        self.s2s_chunks = s2s_chunks
+        self.l2l_chunks = l2l_chunks
+        self.near_blocks = near_blocks
+        self.far_blocks = far_blocks
+        self.matrix = matrix
+        self.chunk_bytes = chunk_bytes
+        self.stall_timeout = stall_timeout
+        chunks = s2s_chunks + l2l_chunks
+        self.buffer_elems = max((c.total_elems for c in chunks), default=0)
+        self.flops_per_rhs: Dict[str, float] = {
+            "n2s": sum(s.flops_per_rhs for level in layout.n2s_levels for s in level),
+            "s2s": sum(c.flops_per_rhs for c in s2s_chunks),
+            "s2n": sum(s.flops_per_rhs for level in layout.s2n_levels for s in level),
+            "l2l": sum(c.flops_per_rhs for c in l2l_chunks),
+        }
+
+    # -- inspection ---------------------------------------------------------
+    @property
+    def num_chunks(self) -> int:
+        return len(self.s2s_chunks) + len(self.l2l_chunks)
+
+    @property
+    def workspace_bytes(self) -> int:
+        """Bytes held by all cycling chunk buffers together (the bounded workspace)."""
+        return min(_PIPELINE_BUFFERS, max(self.num_chunks, 1)) * self.buffer_elems * 8
+
+    def index_bytes(self) -> int:
+        """Persistent gather/scatter index-table bytes of the whole plan.
+
+        Unlike the block *values* (bounded by the chunk workspace), the
+        index tables scale with the number of interaction pairs —
+        ``O((p + k))`` integers per pair, roughly an eighth of the eager
+        block bytes at rank 16 / leaf 32.  Reported so memory planning for
+        large memoryless runs accounts for it; aliased arrays (L2L
+        src/dst) are counted once.
+        """
+        seen: set = set()
+        total = 0
+        for chunk in self.s2s_chunks + self.l2l_chunks:
+            for segment in chunk.segments:
+                for array in (segment.rows, segment.cols, segment.src, segment.dst):
+                    if id(array) not in seen:
+                        seen.add(id(array))
+                        total += array.nbytes
+        return total
+
+    def describe(self) -> str:
+        segments = sum(len(c.segments) for c in self.s2s_chunks + self.l2l_chunks)
+        return (
+            f"streaming plan: {self.num_chunks} chunks ({len(self.s2s_chunks)} S2S, "
+            f"{len(self.l2l_chunks)} L2L), {segments} segments, "
+            f"workspace {self.workspace_bytes} bytes (budget {self.chunk_bytes}), "
+            f"index tables {self.index_bytes()} bytes"
+        )
+
+    def report(self) -> Dict[str, float]:
+        return {
+            "chunks": float(self.num_chunks),
+            "s2s_chunks": float(len(self.s2s_chunks)),
+            "l2l_chunks": float(len(self.l2l_chunks)),
+            "segments": float(sum(len(c.segments) for c in self.s2s_chunks + self.l2l_chunks)),
+            "workspace_bytes": float(self.workspace_bytes),
+            "chunk_budget_bytes": float(self.chunk_bytes),
+            "index_bytes": float(self.index_bytes()),
+            "workspace_rows": float(self.layout.workspace_rows),
+        }
+
+    # -- execution ----------------------------------------------------------
+    def _run_pass(self, levels, ctx: PlanContext) -> None:
+        for level in levels:
+            for segment in level:
+                segment.run(ctx)
+
+    #: Sentinel: "use the stall timeout captured from the config at build".
+    _PLAN_TIMEOUT = object()
+
+    def execute(
+        self,
+        weights: np.ndarray,
+        counters: Optional[EvaluationCounters] = None,
+        pool=None,
+        stall_timeout=_PLAN_TIMEOUT,
+    ) -> np.ndarray:
+        """One streamed matvec on an ``(N, r)`` weight matrix.
+
+        ``stall_timeout`` defaults to the config value captured at plan
+        build; pass ``None`` explicitly to disable the watchdog for this
+        call (``parallel_evaluate`` forwards its argument here).
+        """
+        if stall_timeout is self._PLAN_TIMEOUT:
+            stall_timeout = self.stall_timeout
+        ctx = self.layout.new_context(weights)
+        chunks = self.s2s_chunks + self.l2l_chunks
+        if not chunks:
+            # Degenerate (no interactions): just the up/down passes.
+            self._run_pass(self.layout.n2s_levels, ctx)
+            self._run_pass(self.layout.s2n_levels, ctx)
+        else:
+            num_buffers = min(_PIPELINE_BUFFERS, len(chunks))
+            buffers = [np.empty(self.buffer_elems) for _ in range(num_buffers)]
+            graph, payloads = self._build_graph(ctx, buffers)
+            (pool or _shared_pool()).run(
+                graph, payloads=payloads, stall_timeout=stall_timeout
+            )
+        if counters is not None:
+            self.add_flops(counters, weights.shape[1])
+        return ctx.output
+
+    def _build_graph(self, ctx: PlanContext, buffers):
+        """The buffered chunk pipeline as a task graph.
+
+        ``exec`` tasks form a strict chain (deterministic, reference-order
+        accumulation); ``mat:i`` runs concurrently with earlier
+        materializations and executions, gated only by its buffer being
+        free again (``exec:i-len(buffers)`` done — the buffers cycle).  The
+        S2N pass sits between the last S2S chunk and the first L2L chunk,
+        matching the reference traversal's stage order on the shared output
+        rows.
+        """
+        from ..runtime.task import Task, TaskGraph
+
+        graph = TaskGraph()
+        payloads = {}
+        chunks = self.s2s_chunks + self.l2l_chunks
+        num_s2s = len(self.s2s_chunks)
+
+        def add(task_id: str, kind: str, flops: float, payload) -> None:
+            graph.add_task(Task(task_id=task_id, kind=kind, node_id=0, flops=flops))
+            payloads[task_id] = payload
+
+        num_rhs = ctx.num_rhs
+        add("N2S", "N2S", self.flops_per_rhs["n2s"] * num_rhs,
+            lambda: self._run_pass(self.layout.n2s_levels, ctx))
+        add("S2N", "S2N", self.flops_per_rhs["s2n"] * num_rhs,
+            lambda: self._run_pass(self.layout.s2n_levels, ctx))
+        num_buffers = len(buffers)
+        for i, chunk in enumerate(chunks):
+            buffer = buffers[i % num_buffers]
+            add(f"mat:{i}", "MAT", float(chunk.total_elems),
+                lambda c=chunk, b=buffer: c.materialize(
+                    self.near_blocks, self.far_blocks, self.matrix, b))
+            add(f"exec:{i}", chunk.segments[0].kind, chunk.flops_per_rhs * num_rhs,
+                lambda c=chunk, b=buffer: c.run(ctx, b))
+
+        graph.add_dependency("N2S", "S2N")
+        for i in range(len(chunks)):
+            graph.add_dependency(f"mat:{i}", f"exec:{i}")
+            if i >= num_buffers:
+                graph.add_dependency(f"exec:{i - num_buffers}", f"mat:{i}")
+            if i >= 1:
+                graph.add_dependency(f"exec:{i - 1}", f"exec:{i}")
+        if num_s2s > 0:
+            graph.add_dependency("N2S", "exec:0")
+            graph.add_dependency(f"exec:{num_s2s - 1}", "S2N")
+        if num_s2s < len(chunks):
+            graph.add_dependency("S2N", f"exec:{num_s2s}")
+        graph.validate()
+        return graph, payloads
+
+    def add_flops(self, counters: EvaluationCounters, num_rhs: int) -> None:
+        counters.n2s += self.flops_per_rhs["n2s"] * num_rhs
+        counters.s2s += self.flops_per_rhs["s2s"] * num_rhs
+        counters.s2n += self.flops_per_rhs["s2n"] * num_rhs
+        counters.l2l += self.flops_per_rhs["l2l"] * num_rhs
+
+
+# ---------------------------------------------------------------------------
+# plan construction
+# ---------------------------------------------------------------------------
+
+def _round_segments(
+    kind: str,
+    targets_with_pairs: List[tuple[object, List[object]]],
+    make_segment,
+    budget_elems: int,
+) -> List[StreamSegment]:
+    """Round-major, shape-grouped segments over per-target interaction lists.
+
+    Round ``j`` takes each target's ``j``-th pair, so every target appears
+    at most once per round — scatter targets stay disjoint within every
+    segment while each target's accumulation order remains its list order
+    (the reference engine's order).  Segments larger than the chunk budget
+    are split along the batch dimension, which preserves both properties.
+    """
+    segments: List[StreamSegment] = []
+    max_len = max((len(pairs) for _, pairs in targets_with_pairs), default=0)
+    for j in range(max_len):
+        groups: Dict[tuple[int, int], list] = {}
+        for target, pairs in targets_with_pairs:
+            if j < len(pairs):
+                beta_alpha = (target, pairs[j])
+                groups.setdefault(make_segment.shape_of(*beta_alpha), []).append(beta_alpha)
+        for shape, members in sorted(groups.items()):
+            per_block = shape[0] * shape[1]
+            step = max(1, budget_elems // max(per_block, 1))
+            for start in range(0, len(members), step):
+                segments.append(make_segment(kind, shape, members[start : start + step]))
+    return segments
+
+
+class _S2SSegmentFactory:
+    """Builds S2S stream segments (skeleton blocks, workspace gather/scatter)."""
+
+    def __init__(self, skel_offset: np.ndarray) -> None:
+        self.skel_offset = skel_offset
+
+    @staticmethod
+    def shape_of(beta, alpha) -> tuple[int, int]:
+        return (beta.skeleton_rank, alpha.skeleton_rank)
+
+    def __call__(self, kind: str, shape: tuple[int, int], members: list) -> StreamSegment:
+        s, k = shape
+        offset = self.skel_offset
+        src = np.stack([np.arange(offset[a.node_id], offset[a.node_id] + k) for _, a in members])
+        dst = np.stack([np.arange(offset[b.node_id], offset[b.node_id] + s) for b, _ in members])
+        return StreamSegment(
+            kind,
+            shape,
+            keys=[(b.node_id, a.node_id) for b, a in members],
+            rows=[b.skeleton for b, _ in members],
+            cols=[a.skeleton for _, a in members],
+            src=src,
+            dst=dst,
+        )
+
+
+class _L2LSegmentFactory:
+    """Builds L2L stream segments (leaf blocks, global gather/scatter)."""
+
+    @staticmethod
+    def shape_of(leaf, alpha) -> tuple[int, int]:
+        return (leaf.size, alpha.size)
+
+    def __call__(self, kind: str, shape: tuple[int, int], members: list) -> StreamSegment:
+        return StreamSegment(
+            kind,
+            shape,
+            keys=[(b.node_id, a.node_id) for b, a in members],
+            rows=[b.indices for b, _ in members],
+            cols=[a.indices for _, a in members],
+        )
+
+
+def _pack_chunks(segments: List[StreamSegment], budget_elems: int) -> List[StreamChunk]:
+    """Greedy packing of consecutive segments into budget-bounded chunks."""
+    chunks: List[StreamChunk] = []
+    current: List[StreamSegment] = []
+    current_elems = 0
+    for segment in segments:
+        if current and current_elems + segment.elems > budget_elems:
+            chunks.append(StreamChunk(current))
+            current, current_elems = [], 0
+        current.append(segment)
+        current_elems += segment.elems
+    if current:
+        chunks.append(StreamChunk(current))
+    return chunks
+
+
+def build_streaming_plan(compressed) -> StreamingPlan:
+    """Build the ``"streamed"`` engine's plan for a compressed matrix.
+
+    The pass layout is built with exact (unbucketed) rank packing — zero
+    padding would change GEMM shapes and break the engine's bit-identity
+    with the reference traversal.
+    """
+    config = compressed.config
+    tree = compressed.tree
+    layout = build_pass_layout(compressed, "none")
+    # The chunk budget is split across twice the pipeline's cycling buffers
+    # so all in-flight chunks together stay within half of
+    # streaming_chunk_bytes (one block minimum per chunk) — halving the
+    # chunk size costs nothing once the pipeline is saturated, and the
+    # finer granularity both smooths the materialize/execute overlap and
+    # leaves headroom for the batch evaluator's transient temporaries
+    # inside the configured budget.
+    chunk_bytes = int(getattr(config, "streaming_chunk_bytes", 32 * 2**20))
+    budget_elems = max(1, chunk_bytes // (2 * _PIPELINE_BUFFERS) // 8)
+
+    far_targets = []
+    for node in tree.nodes:
+        if not node.far or node.skeleton_rank == 0:
+            continue
+        pairs = [tree.node(a) for a in node.far if tree.node(a).skeleton_rank > 0]
+        if pairs:
+            far_targets.append((node, pairs))
+    near_targets = []
+    for leaf in tree.leaves:
+        if not leaf.near or leaf.size == 0:
+            continue
+        pairs = [tree.node(a) for a in leaf.near if tree.node(a).size > 0]
+        if pairs:
+            near_targets.append((leaf, pairs))
+
+    s2s_segments = _round_segments(
+        "S2S", far_targets, _S2SSegmentFactory(layout.skel_offset), budget_elems
+    )
+    l2l_segments = _round_segments("L2L", near_targets, _L2LSegmentFactory(), budget_elems)
+    for segment in s2s_segments:
+        segment.bind_cache(compressed.far_blocks)
+    for segment in l2l_segments:
+        segment.bind_cache(compressed.near_blocks)
+
+    return StreamingPlan(
+        layout=layout,
+        s2s_chunks=_pack_chunks(s2s_segments, budget_elems),
+        l2l_chunks=_pack_chunks(l2l_segments, budget_elems),
+        near_blocks=compressed.near_blocks,
+        far_blocks=compressed.far_blocks,
+        matrix=compressed.matrix,
+        chunk_bytes=chunk_bytes,
+        stall_timeout=getattr(config, "executor_stall_timeout", None),
+    )
+
+
+# ---------------------------------------------------------------------------
+# driver
+# ---------------------------------------------------------------------------
+
+def evaluate_streamed(compressed, w: np.ndarray, counters: Optional[EvaluationCounters] = None) -> np.ndarray:
+    """Streamed-engine matvec ``u ≈ K̃ w``; drop-in for the other engines.
+
+    Builds (or reuses) the cached :class:`StreamingPlan` of ``compressed``
+    and executes it with double-buffered chunk materialization.  Accepts
+    ``(N,)`` or ``(N, r)`` weights.
+    """
+    weights, was_vector = _as_matrix(w, compressed.tree.n)
+    plan = compressed.streaming_plan()
+    output = plan.execute(weights, counters=counters)
+    return output[:, 0] if was_vector else output

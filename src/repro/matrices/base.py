@@ -98,18 +98,37 @@ class SPDMatrix(ABC):
         self,
         row_sets: Sequence[np.ndarray],
         col_sets: Sequence[np.ndarray],
+        out: Optional[np.ndarray] = None,
     ) -> list[np.ndarray]:
         """Dense blocks ``K[rows_i][:, cols_i]`` for several index sets at once.
 
         The batched compression backend evaluates one tree level's sampled
-        blocks through this entry point.  The default simply loops over
-        :meth:`entries`; matrix classes with vectorizable entry formulas
+        blocks through this entry point, and the streamed evaluation engine
+        materializes its chunks here — **from several worker threads
+        concurrently** (its chunk pipeline): implementations, including
+        :meth:`entries` overrides this default delegates to, must be
+        thread-safe for concurrent reads.  The built-in matrix classes are
+        (pure functions of immutable state); a custom subclass that
+        memoizes or wraps a non-reentrant library must either lock
+        internally or avoid the streamed engine.  The default simply loops
+        over :meth:`entries`; matrix classes with vectorizable entry formulas
         (:class:`KernelMatrix` for distance-based kernels) override it to
         evaluate the whole batch with a handful of stacked array
         operations.  Overrides must produce the same values and account
         the same ``entry_evaluations`` as the per-block loop.
+
+        ``out``, when given, is a preallocated ``(len(row_sets), p, k)``
+        array receiving the blocks (all index sets must then share the
+        shape ``(p, k)``); the returned list holds views into it.  The
+        values are identical with or without ``out`` — it only lets
+        callers that own a reusable workspace (the streamed engine's chunk
+        buffers) skip one allocation + copy per block.
         """
-        return [self.entries(rows, cols) for rows, cols in zip(row_sets, col_sets)]
+        if out is None:
+            return [self.entries(rows, cols) for rows, cols in zip(row_sets, col_sets)]
+        for i, (rows, cols) in enumerate(zip(row_sets, col_sets)):
+            out[i] = self.entries(rows, cols)
+        return [out[i] for i in range(len(row_sets))]
 
     def diagonal(self, indices: Optional[np.ndarray] = None) -> np.ndarray:
         """Diagonal entries ``K_ii`` for the given indices (all by default)."""
@@ -279,6 +298,7 @@ class KernelMatrix(SPDMatrix):
         self,
         row_sets: Sequence[np.ndarray],
         col_sets: Sequence[np.ndarray],
+        out: Optional[np.ndarray] = None,
     ) -> list[np.ndarray]:
         """Stacked evaluation of many blocks for distance-based kernels.
 
@@ -289,10 +309,30 @@ class KernelMatrix(SPDMatrix):
         values (and the ``entry_evaluations`` count) are identical to the
         per-block loop, which remains the fallback for dot-product
         kernels.  Mixed-shape batches are grouped by shape first.
+
+        With ``out`` (a same-shape batch from the streamed engine) the
+        kernel values are written directly into the caller's buffer —
+        ``from_sq_dists(..., out=...)`` — skipping the stacked result
+        allocation and the per-block copies.
         """
         from_sq_dists = getattr(self._kernel, "from_sq_dists", None)
         if from_sq_dists is None or len(row_sets) < 2:
-            return super().entries_batched(row_sets, col_sets)
+            return super().entries_batched(row_sets, col_sets, out=out)
+
+        if (
+            isinstance(row_sets, np.ndarray) and row_sets.ndim == 2
+            and isinstance(col_sets, np.ndarray) and col_sets.ndim == 2
+            and 0 < row_sets.shape[1] * col_sets.shape[1] <= _KERNEL_BATCH_MAX_BLOCK_ELEMENTS
+        ):
+            # Pre-stacked same-shape batch (the streamed engine's hot path):
+            # one distance GEMM + one kernel application, no regrouping.
+            self.entry_evaluations += row_sets.size * col_sets.shape[1]
+            blocks, direct = self._stacked_kernel_blocks(from_sq_dists, row_sets, col_sets, out)
+            if out is not None and not direct:
+                for g in range(len(row_sets)):
+                    out[g] = blocks[g]
+                return [out[g] for g in range(len(row_sets))]
+            return [blocks[g] for g in range(len(row_sets))]
 
         row_sets = [np.asarray(r, dtype=np.intp) for r in row_sets]
         col_sets = [np.asarray(c, dtype=np.intp) for c in col_sets]
@@ -300,30 +340,77 @@ class KernelMatrix(SPDMatrix):
         for i, (rows, cols) in enumerate(zip(row_sets, col_sets)):
             groups.setdefault((rows.size, cols.size), []).append(i)
 
-        out: list[Optional[np.ndarray]] = [None] * len(row_sets)
+        results: list[Optional[np.ndarray]] = [None] * len(row_sets)
         for (p, k), members in groups.items():
             if p * k > _KERNEL_BATCH_MAX_BLOCK_ELEMENTS or len(members) < 2:
                 # Large blocks: the stacked temporaries (distances, kernel
                 # values) fall out of cache and lose to per-block calls.
                 for i in members:
-                    out[i] = self.entries(row_sets[i], col_sets[i])
+                    results[i] = self.entries(row_sets[i], col_sets[i])
+                    if out is not None:
+                        out[i] = results[i]
+                        results[i] = out[i]
                 continue
             self.entry_evaluations += len(members) * p * k
             if p == 0 or k == 0:
                 for i in members:
-                    out[i] = np.zeros((p, k))
+                    results[i] = np.zeros((p, k))
                 continue
             rows = np.stack([row_sets[i] for i in members])
             cols = np.stack([col_sets[i] for i in members])
-            d2 = pairwise_sq_dists(self._points[rows], self._points[cols])
+            # Only a single shape group covering the whole batch may write
+            # straight into the caller's buffer (group order == out order).
+            whole = out is not None and len(members) == len(row_sets)
+            blocks, direct = self._stacked_kernel_blocks(
+                from_sq_dists, rows, cols, out if whole else None
+            )
+            if direct:
+                for g, i in enumerate(members):
+                    results[i] = out[i]
+            else:
+                for g, i in enumerate(members):
+                    if out is not None:
+                        out[i] = blocks[g]
+                        results[i] = out[i]
+                    else:
+                        results[i] = blocks[g]
+        return results  # type: ignore[return-value]
+
+    def _stacked_kernel_blocks(
+        self,
+        from_sq_dists,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        out: Optional[np.ndarray],
+    ) -> tuple[np.ndarray, bool]:
+        """Kernel values of one stacked ``(g, p) × (g, k)`` index batch.
+
+        Writes into ``out`` when given and the kernel supports it (returns
+        ``direct=True``); the values — including the diagonal
+        regularization, applied in place — are bitwise identical either
+        way.  Both ``entries_batched`` paths evaluate through this one
+        helper so they can never drift apart.
+        """
+        d2 = pairwise_sq_dists(self._points[rows], self._points[cols])
+        direct = out is not None
+        if direct:
+            try:
+                blocks = np.asarray(from_sq_dists(d2, out=out), dtype=np.float64)
+            except TypeError:  # custom kernel without an out parameter
+                direct = False
+            else:
+                # Trust the buffer only if the kernel really wrote it: a
+                # kernel that accepts ``out`` but returns a fresh array (or
+                # a non-float64 one that asarray had to copy) must fall
+                # back to the copy path, not hand out uninitialized memory.
+                direct = blocks is out
+        if not direct:
             blocks = np.asarray(from_sq_dists(d2), dtype=np.float64)
-            if self._reg != 0.0:
-                same = rows[:, :, None] == cols[:, None, :]
-                if np.any(same):
-                    blocks = blocks + self._reg * same
-            for g, i in enumerate(members):
-                out[i] = blocks[g]
-        return out  # type: ignore[return-value]
+        if self._reg != 0.0:
+            same = rows[:, :, None] == cols[:, None, :]
+            if np.any(same):
+                np.add(blocks, self._reg * same, out=blocks)
+        return blocks, direct
 
     def _diagonal(self, indices: np.ndarray) -> np.ndarray:
         diag_fn = getattr(self._kernel, "diagonal", None)

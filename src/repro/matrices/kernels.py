@@ -62,9 +62,14 @@ class GaussianKernel:
     def __call__(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         return self.from_sq_dists(pairwise_sq_dists(x, y))
 
-    def from_sq_dists(self, d2: np.ndarray) -> np.ndarray:
-        """Kernel values from squared distances (any shape; enables batching)."""
-        return np.exp(-d2 / (2.0 * self.bandwidth**2))
+    def from_sq_dists(self, d2: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Kernel values from squared distances (any shape; enables batching).
+
+        ``out`` receives the values in place (the streamed engine writes
+        straight into its chunk buffer); the values are bitwise identical
+        either way — only the output memory differs.
+        """
+        return np.exp(-d2 / (2.0 * self.bandwidth**2), out=out)
 
     def diagonal(self, x: np.ndarray) -> np.ndarray:
         return np.ones(np.atleast_2d(x).shape[0])
@@ -83,9 +88,9 @@ class LaplaceKernel:
     def __call__(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         return self.from_sq_dists(pairwise_sq_dists(x, y))
 
-    def from_sq_dists(self, d2: np.ndarray) -> np.ndarray:
+    def from_sq_dists(self, d2: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         """Kernel values from squared distances (any shape; enables batching)."""
-        return np.exp(-np.sqrt(d2) / self.bandwidth)
+        return np.exp(-np.sqrt(d2) / self.bandwidth, out=out)
 
     def diagonal(self, x: np.ndarray) -> np.ndarray:
         return np.ones(np.atleast_2d(x).shape[0])
@@ -108,9 +113,9 @@ class InverseMultiquadricKernel:
     def __call__(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         return self.from_sq_dists(pairwise_sq_dists(x, y))
 
-    def from_sq_dists(self, d2: np.ndarray) -> np.ndarray:
+    def from_sq_dists(self, d2: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         """Kernel values from squared distances (any shape; enables batching)."""
-        return (d2 + self.shift**2) ** (-self.power / 2.0)
+        return np.power(d2 + self.shift**2, -self.power / 2.0, out=out)
 
     def diagonal(self, x: np.ndarray) -> np.ndarray:
         n = np.atleast_2d(x).shape[0]
@@ -178,10 +183,10 @@ class MaternKernel:
     def __call__(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         return self.from_sq_dists(pairwise_sq_dists(x, y))
 
-    def from_sq_dists(self, d2: np.ndarray) -> np.ndarray:
+    def from_sq_dists(self, d2: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         """Kernel values from squared distances (any shape; enables batching)."""
         scaled = np.sqrt(3.0) * np.sqrt(d2) / self.bandwidth
-        return (1.0 + scaled) * np.exp(-scaled)
+        return np.multiply(1.0 + scaled, np.exp(-scaled), out=out)
 
     def diagonal(self, x: np.ndarray) -> np.ndarray:
         return np.ones(np.atleast_2d(x).shape[0])

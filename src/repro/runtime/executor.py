@@ -512,11 +512,15 @@ def parallel_evaluate(
     cached evaluation plan; ``engine="reference"`` schedules one task per
     tree node, re-using the exact task functions of the sequential driver.
     Both agree with the sequential engines to floating-point summation
-    order.  Passing a :class:`WorkerPool` as ``pool`` reuses its persistent
-    workers (and ignores ``num_workers`` for thread creation — the pool's
-    size governs concurrency).  ``stall_timeout`` defaults to the
-    compression's ``GOFMMConfig.executor_stall_timeout``; pass ``None``
-    explicitly to disable the watchdog for this call.
+    order.  ``engine="streamed"`` runs the streaming plan's chunk pipeline
+    (bit-identical to the sequential streamed engine — its execution chain
+    is sequential by design); its concurrency is bounded by the pipeline's
+    buffer count, so ``num_workers`` does not apply to it.  Passing a
+    :class:`WorkerPool` as ``pool`` reuses its persistent workers (and
+    ignores ``num_workers`` for thread creation — the pool's size governs
+    concurrency).  ``stall_timeout`` defaults to the compression's
+    ``GOFMMConfig.executor_stall_timeout``; pass ``None`` explicitly to
+    disable the watchdog for this call.
     """
     if num_workers < 1:
         raise SchedulingError("need at least one worker")
@@ -528,6 +532,17 @@ def parallel_evaluate(
         output = _parallel_evaluate_planned(compressed, weights, num_workers, pool, stall_timeout)
     elif engine == "reference":
         output = _parallel_evaluate_reference(compressed, weights, num_workers, pool, stall_timeout)
+    elif engine == "streamed":
+        # The streaming plan is already a task graph (chunk pipeline); run
+        # it on the caller's pool so serving shares one set of workers.
+        # Without a pool it uses the engine's shared pipeline pool —
+        # ``num_workers`` does not apply: the chunk pipeline's concurrency
+        # is bounded by its buffer count, not by a worker-count argument.
+        output = compressed.streaming_plan().execute(
+            weights, counters=None, pool=pool, stall_timeout=stall_timeout
+        )
     else:
-        raise SchedulingError(f"unknown evaluation engine {engine!r}; use 'planned' or 'reference'")
+        raise SchedulingError(
+            f"unknown evaluation engine {engine!r}; use 'planned', 'streamed' or 'reference'"
+        )
     return output[:, 0] if was_vector else output

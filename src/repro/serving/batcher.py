@@ -18,6 +18,10 @@ Batching policy (:class:`BatchPolicy`):
 * ``max_queue`` — bounded queue; submissions beyond it are rejected with
   :class:`~repro.errors.ServerOverloadedError` carrying a ``retry_after_s``
   hint (backpressure instead of unbounded memory),
+* ``latency_target_ms`` — adaptive batching: the effective wait shrinks
+  and grows with an EWMA of the observed p90 batch latency so occupancy
+  stays high without blowing the latency budget (see
+  :class:`BatchPolicy`); the current wait is exported in the metrics,
 * ``pad_to_full_width`` — see below.
 
 **Bit-identity.**  BLAS kernels select different accumulation strategies
@@ -63,13 +67,25 @@ SOLVE = "solve"
 
 @dataclass(frozen=True)
 class BatchPolicy:
-    """Knobs of the micro-batching queue (see the module docstring)."""
+    """Knobs of the micro-batching queue (see the module docstring).
+
+    ``latency_target_ms`` arms **adaptive batching**: the batcher tracks an
+    EWMA of the observed p90 request latency per batch and shrinks its
+    effective wait (halving) whenever the estimate exceeds the target, or
+    grows it back (by 25%, never past ``max_wait_ms``) while the estimate
+    sits comfortably below — keeping batch occupancy high at light load
+    without letting co-batching wait blow the latency budget under heavy
+    or slow-evaluating traffic.  ``None`` (the default) keeps the fixed
+    ``max_wait_ms`` behavior.  The current effective wait is exposed as
+    ``adaptive_wait_ms`` in the operator's metrics snapshot.
+    """
 
     max_batch: int = 16
     max_wait_ms: float = 2.0
     max_queue: int = 256
     pad_to_full_width: bool = True
     retry_after_ms: float = 25.0
+    latency_target_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -80,6 +96,10 @@ class BatchPolicy:
             raise ServingError(f"max_queue must be >= 1, got {self.max_queue}")
         if self.retry_after_ms < 0.0:
             raise ServingError(f"retry_after_ms must be >= 0, got {self.retry_after_ms}")
+        if self.latency_target_ms is not None and not (self.latency_target_ms > 0.0):
+            raise ServingError(
+                f"latency_target_ms must be positive or None, got {self.latency_target_ms}"
+            )
 
 
 class _Request:
@@ -120,6 +140,10 @@ class MicroBatcher:
         self.metrics = metrics
         self.name = name
         self._cond = threading.Condition()
+        #: Effective co-batching wait; fixed at policy.max_wait_ms unless
+        #: the policy sets a latency target (then adapted per batch).
+        self._wait_ms = policy.max_wait_ms
+        self._latency_ewma_ms: Optional[float] = None
         self._queue: deque[_Request] = deque()
         #: queued requests per lane — keeps the batch-fullness check O(1)
         #: instead of rescanning the queue on every submit notification.
@@ -207,6 +231,48 @@ class MicroBatcher:
             self._cond.notify_all()
         return request.future
 
+    # -- adaptive wait -------------------------------------------------------
+    @property
+    def current_wait_ms(self) -> float:
+        """The effective co-batching wait (== ``policy.max_wait_ms`` unless adaptive)."""
+        with self._cond:
+            return self._wait_ms
+
+    #: EWMA smoothing factor for the observed p90 batch latency.
+    _EWMA_ALPHA = 0.2
+    #: Floor of the adaptive wait: adaptation may effectively disable
+    #: co-batching waiting but must be able to recover (0 would make the
+    #: multiplicative grow-back a no-op).
+    _MIN_WAIT_MS = 0.05
+
+    def _adapt_wait(self, batch: List[_Request], now: float) -> None:
+        """Shrink/grow the effective wait from the observed p90 batch latency.
+
+        Called by the worker after every evaluated batch when the policy
+        sets ``latency_target_ms``.  The p90 of the batch's end-to-end
+        request latencies feeds an EWMA; above the target the wait halves
+        (waiting for co-traffic is the one latency component the batcher
+        controls), below 70% of it the wait grows 25% back toward
+        ``max_wait_ms`` to recover occupancy.
+        """
+        target = self.policy.latency_target_ms
+        if target is None:
+            return
+        latencies_ms = [(now - request.enqueued_at) * 1e3 for request in batch]
+        observed = float(np.percentile(latencies_ms, 90))
+        with self._cond:
+            if self._latency_ewma_ms is None:
+                self._latency_ewma_ms = observed
+            else:
+                self._latency_ewma_ms += self._EWMA_ALPHA * (observed - self._latency_ewma_ms)
+            if self._latency_ewma_ms > target:
+                self._wait_ms = max(self._MIN_WAIT_MS, self._wait_ms * 0.5)
+            elif self._latency_ewma_ms < 0.7 * target:
+                self._wait_ms = min(
+                    self.policy.max_wait_ms, max(self._wait_ms * 1.25, self._MIN_WAIT_MS)
+                )
+            self.metrics.record_adaptive_wait(self._wait_ms, self._latency_ewma_ms)
+
     # -- worker -------------------------------------------------------------
     def _lane_count(self, lane: tuple) -> int:
         return self._lane_counts.get(lane, 0)
@@ -227,7 +293,7 @@ class MicroBatcher:
                 if not self._queue:
                     return None  # closed and drained
                 head = self._queue[0]
-                deadline = head.enqueued_at + policy.max_wait_ms / 1e3
+                deadline = head.enqueued_at + self._wait_ms / 1e3
                 while not self._closed:
                     if self._lane_count(head.lane) >= policy.max_batch:
                         break
@@ -280,6 +346,7 @@ class MicroBatcher:
                 continue
             now = time.monotonic()
             self.metrics.record_batch(len(batch), now - started)
+            self._adapt_wait(batch, now)
             for request, result in zip(batch, results):
                 request.future.set_result(result)
                 self.metrics.record_response(now - request.enqueued_at)

@@ -43,6 +43,10 @@ class ServingMetrics:
         self.reloads = 0             # successful operator swaps (hot reload)
         self.reload_failures = 0
         self.max_queue_depth = 0
+        #: Adaptive-batching state (None until a latency-target policy records):
+        #: the batcher's current effective wait and its latency-EWMA estimate.
+        self.adaptive_wait_ms = None
+        self.latency_ewma_ms = None
 
     # -- recording ----------------------------------------------------------
     def record_submit(self, queue_depth: int) -> None:
@@ -77,6 +81,12 @@ class ServingMetrics:
             else:
                 self.reload_failures += 1
 
+    def record_adaptive_wait(self, wait_ms: float, latency_ewma_ms: float) -> None:
+        """Latest adaptive-batching state (see :class:`repro.serving.batcher.BatchPolicy`)."""
+        with self._lock:
+            self.adaptive_wait_ms = float(wait_ms)
+            self.latency_ewma_ms = float(latency_ewma_ms)
+
     # -- reporting ----------------------------------------------------------
     def snapshot(self) -> Dict[str, object]:
         """One JSON-friendly dict: counters plus latency/occupancy summaries.
@@ -102,6 +112,9 @@ class ServingMetrics:
                 "reload_failures": self.reload_failures,
                 "max_queue_depth": self.max_queue_depth,
             }
+            if self.adaptive_wait_ms is not None:
+                out["adaptive_wait_ms"] = self.adaptive_wait_ms
+                out["latency_ewma_ms"] = self.latency_ewma_ms
         if latencies.size:
             out["latency_ms"] = {
                 "count": int(latencies.size),

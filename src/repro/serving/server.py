@@ -55,6 +55,20 @@ def _file_stamp(path) -> tuple[int, int]:
     return (stat.st_mtime_ns, stat.st_size)
 
 
+def _prebuild_plan(operator: CompressedOperator) -> None:
+    """Build the default engine's execution plan so the first request skips it.
+
+    ``"planned"`` prebuilds the packed plan; ``"streamed"`` — the default of
+    memoryless (uncached-block) operators, which are servable like any
+    other — prebuilds the chunked streaming plan.
+    """
+    engine = operator.default_engine()
+    if engine == "planned":
+        operator.compressed.plan()
+    elif engine == "streamed":
+        operator.compressed.streaming_plan()
+
+
 class OperatorEntry:
     """One served operator: the current operator, its batcher, and its source."""
 
@@ -202,8 +216,7 @@ class MatvecServer:
                 "coordinates": coordinates,
                 "stamp": stamp,
             }
-        if operator.default_engine() == "planned":
-            operator.compressed.plan()  # prebuild: first request pays no plan build
+        _prebuild_plan(operator)  # first request pays no plan build
         with self._lock:
             if name in self._entries:
                 raise ServingError(f"operator {name!r} is already registered (use swap/reload)")
@@ -290,8 +303,7 @@ class MatvecServer:
             operator = self._build(
                 source["matrix"], source["config"], source["artifacts"], source["coordinates"]
             )
-            if operator.default_engine() == "planned":
-                operator.compressed.plan()
+            _prebuild_plan(operator)
             entry.swap(operator)
             source["stamp"] = stamp
         except BaseException:

@@ -67,6 +67,7 @@ class TestInvalidationMatrix:
             ("evaluation_engine", {"plan"}),
             ("prebuild_plan", {"plan"}),
             ("plan_rank_bucketing", {"plan"}),
+            ("streaming_chunk_bytes", {"plan"}),
         ],
     )
     def test_single_field_invalidation(self, field, expected):

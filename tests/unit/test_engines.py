@@ -90,8 +90,12 @@ class TestDispatch:
             cache_near_blocks=False, cache_far_blocks=False, seed=0,
         )
         cm = compress(matrix, config)
-        # "planned" requires cached blocks → the default degrades to reference
-        # until a plan is explicitly built.
-        assert cm.default_engine() == "reference"
+        # "planned" requires cached blocks → the default degrades to the
+        # streamed engine until a plan is explicitly built.
+        assert cm.default_engine() == "streamed"
         cm.plan()
         assert cm.default_engine() == "planned"
+        # without a source matrix there is nothing to stream from
+        cm2 = compress(matrix, config)
+        cm2.matrix = None
+        assert cm2.default_engine() == "reference"

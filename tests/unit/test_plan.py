@@ -91,14 +91,14 @@ class TestEquivalence:
         w = np.random.default_rng(7).standard_normal(150)
         assert np.allclose(evaluate_planned(cm, w), evaluate(cm, w), atol=1e-10)
 
-    def test_uncached_blocks_default_to_reference(self):
+    def test_uncached_blocks_default_to_streamed(self):
         """Memory-bounded configs must not be silently packed by the default engine."""
         matrix = make_gaussian_kernel_matrix(n=150, d=3, bandwidth=1.2, seed=6)
         cm = compress(matrix, _config(budget=0.2, leaf_size=25, max_rank=20,
                                       cache_near_blocks=False, cache_far_blocks=False))
-        assert cm.default_engine() == "reference"
+        assert cm.default_engine() == "streamed"
         cm.matvec(np.zeros(150))
-        assert cm._plan is None  # default matvec did not build a plan
+        assert cm._plan is None  # default matvec did not build a packed plan
         # explicit opt-in still packs, and flips the default back to planned
         cm.matvec(np.zeros(150), engine="planned")
         assert cm._plan is not None

@@ -143,6 +143,47 @@ class TestBatchingSemantics:
         assert u.shape == (matrix.n,)
         assert result.solution.shape == (matrix.n,)
 
+    def test_adaptive_wait_shrinks_when_target_exceeded(self, matrix, operator):
+        # A 0.01 ms latency target is unreachable (evaluation alone takes
+        # longer), so every observed batch pushes the EWMA over it and the
+        # effective wait must collapse toward the floor.
+        with make_server(operator, max_wait_ms=20.0, latency_target_ms=0.01) as server:
+            entry = server.entry("op")
+            assert entry.batcher.current_wait_ms == 20.0
+            for _ in range(8):
+                server.matvec("op", np.zeros(matrix.n), timeout=30)
+            final = entry.batcher.current_wait_ms
+            stats = server.stats()["op"]
+        assert final < 20.0
+        assert stats["adaptive_wait_ms"] == pytest.approx(final)
+        assert stats["latency_ewma_ms"] > 0.01
+
+    def test_adaptive_wait_recovers_under_generous_target(self, matrix, operator):
+        # With a huge target the EWMA sits far below 0.7·target, so the wait
+        # grows back toward max_wait_ms after having been shrunk.
+        with make_server(operator, max_wait_ms=4.0, latency_target_ms=10_000.0) as server:
+            batcher = server.entry("op").batcher
+            with batcher._cond:
+                batcher._wait_ms = 0.05  # as if previously collapsed
+            for _ in range(8):
+                server.matvec("op", np.zeros(matrix.n), timeout=30)
+            final = batcher.current_wait_ms
+        assert 0.05 < final <= 4.0
+
+    def test_fixed_policy_keeps_wait_and_reports_no_adaptive_metrics(self, matrix, operator):
+        with make_server(operator, max_wait_ms=5.0) as server:
+            server.matvec("op", np.zeros(matrix.n), timeout=30)
+            assert server.entry("op").batcher.current_wait_ms == 5.0
+            stats = server.stats()["op"]
+        assert "adaptive_wait_ms" not in stats
+
+    def test_latency_target_validated(self):
+        with pytest.raises(ServingError, match="latency_target_ms"):
+            BatchPolicy(latency_target_ms=0.0)
+        with pytest.raises(ServingError, match="latency_target_ms"):
+            BatchPolicy(latency_target_ms=-1.0)
+        assert BatchPolicy(latency_target_ms=2.5).latency_target_ms == 2.5
+
     def test_rejects_wrong_shape_and_unknown_operator(self, matrix, operator):
         with make_server(operator) as server:
             with pytest.raises(ServingError, match="shape"):
