@@ -60,8 +60,19 @@ STAGE_ORDER: tuple[str, ...] = ("partition", "neighbors", "interactions", "skele
 STAGE_FIELDS: Dict[str, frozenset] = {
     "partition": frozenset({"leaf_size", "distance", "centroid_samples", "seed"}),
     "neighbors": frozenset(
-        {"distance", "neighbors", "leaf_size", "num_neighbor_trees", "neighbor_accuracy_target", "seed"}
+        {
+            "distance",
+            "neighbors",
+            "leaf_size",
+            "num_neighbor_trees",
+            "neighbor_accuracy_target",
+            "neighbor_backend",
+            "seed",
+        }
     ),
+    # neighbor_workers / compression_workers are deliberately untracked:
+    # they are pure execution knobs (the sharded backends are worker-count
+    # deterministic), so changing them never invalidates an artifact.
     "interactions": frozenset(
         {"budget", "symmetrize_lists", "max_rank", "sample_size", "oversampling", "leaf_size", "seed"}
     ),

@@ -130,15 +130,38 @@ class GOFMMConfig:
         chunk buffers *together* stay within this budget, so the
         evaluation-phase block memory is bounded regardless of how many
         interaction pairs the compression has.
+    neighbor_backend:
+        ANN-search backend, validated against the registry of
+        :mod:`repro.core.neighbor_backends`.  Built-ins: ``"blocked"``
+        (the default) merges whole batches of leaves into the neighbor
+        table with vectorized dedup/top-κ passes; ``"reference"`` is the
+        per-row merge loop kept as the correctness oracle; ``"sharded"``
+        fans the blocked passes out over a process pool of
+        ``neighbor_workers``.  All built-ins consume the same rng stream
+        and share the merge tie-breaking rules, so they produce
+        bit-identical neighbor tables.
+    neighbor_workers:
+        process count of the ``"sharded"`` neighbor backend.  Purely an
+        execution knob: the per-iteration seed schedule is drawn up front
+        and iterations are merged in order, so any worker count yields
+        the same table — which is why this field enters no stage
+        fingerprint and never invalidates session artifacts.
     compression_backend:
         skeletonization backend, validated against the registry of
         :mod:`repro.core.backends`.  Built-ins: ``"batched"`` (the
         default) runs the level-batched, shape-bucketed skeletonizer of
         :mod:`repro.core.skeletonization_batched`; ``"reference"`` runs
-        the per-node postorder loop of Algorithm 2.6.  Both draw each
-        node's row sample from the same deterministic stream, so they
-        select identical skeletons at equal sampling (up to
-        floating-point pivot ties on exactly rank-deficient blocks).
+        the per-node postorder loop of Algorithm 2.6; ``"sharded"`` runs
+        the batched level sweep per subtree on a process pool of
+        ``compression_workers``.  All draw each node's row sample from
+        the same deterministic stream, so they select identical skeletons
+        at equal sampling (up to floating-point pivot ties on exactly
+        rank-deficient blocks).
+    compression_workers:
+        process count of the ``"sharded"`` compression backend.  Like
+        ``neighbor_workers``, an execution knob only (per-node sampling
+        streams make the result worker-count independent), so it enters
+        no stage fingerprint.
     plan_rank_bucketing:
         how the evaluation-plan packer pads skeleton ranks so that
         adaptive-rank trees batch into fewer, larger GEMM groups:
@@ -182,7 +205,10 @@ class GOFMMConfig:
     secure_accuracy: bool = False
     evaluation_engine: str = "planned"
     streaming_chunk_bytes: int = 32 * 2**20
+    neighbor_backend: str = "blocked"
+    neighbor_workers: int = 1
     compression_backend: str = "batched"
+    compression_workers: int = 1
     plan_rank_bucketing: str = "pow2"
     prebuild_plan: bool = False
     executor_stall_timeout: Optional[float] = 300.0
@@ -234,6 +260,22 @@ class GOFMMConfig:
             known = ", ".join(available_backends())
             raise ConfigurationError(
                 f"compression_backend must be one of: {known}; got {self.compression_backend!r}"
+            )
+        from .core.neighbor_backends import available_neighbor_backends
+        from .core.neighbor_backends import is_registered as neighbor_backend_registered
+
+        if not neighbor_backend_registered(self.neighbor_backend):
+            known = ", ".join(available_neighbor_backends())
+            raise ConfigurationError(
+                f"neighbor_backend must be one of: {known}; got {self.neighbor_backend!r}"
+            )
+        if self.neighbor_workers < 1:
+            raise ConfigurationError(
+                f"neighbor_workers must be >= 1, got {self.neighbor_workers}"
+            )
+        if self.compression_workers < 1:
+            raise ConfigurationError(
+                f"compression_workers must be >= 1, got {self.compression_workers}"
             )
         if self.plan_rank_bucketing not in BUCKETING_MODES:
             raise ConfigurationError(

@@ -3,9 +3,11 @@
 Skeletonization (tasks SKEL + COEF of Table 2) has interchangeable
 execution back ends, mirroring the evaluation-engine registry of
 :mod:`repro.core.engines`: the per-node postorder loop of
-:mod:`repro.core.skeletonization` ("reference") and the level-batched,
+:mod:`repro.core.skeletonization` ("reference"), the level-batched,
 shape-bucketed skeletonizer of :mod:`repro.core.skeletonization_batched`
-("batched").  A backend's contract is
+("batched"), and the subtree-parallel process fan-out of
+:mod:`repro.core.skeletonization_sharded` ("sharded", gated by
+``GOFMMConfig.compression_workers``).  A backend's contract is
 
     ``run(tree, matrix, config, neighbors, rng) -> SkeletonizationStats``
 
@@ -24,7 +26,7 @@ validation both consult the registry, so a new backend plugs in with one
     backends.register("mine", run_mine)
     GOFMMConfig(compression_backend="mine")   # validates against the registry
 
-Both built-in backends draw every node's row sample from the same
+All built-in backends draw every node's row sample from the same
 deterministic per-node stream (derived from the stage generator and the
 node id), so at equal sampling they select bit-identical skeletons for
 numerically nondegenerate sampled blocks — the equivalence the backend
@@ -207,6 +209,12 @@ def _run_batched(tree, matrix, config, neighbors, rng=None):
     return skeletonize_tree_batched(tree, matrix, config, neighbors, rng=rng)
 
 
+def _run_sharded(tree, matrix, config, neighbors, rng=None):
+    from .skeletonization_sharded import skeletonize_tree_sharded
+
+    return skeletonize_tree_sharded(tree, matrix, config, neighbors, rng=rng)
+
+
 register(
     "reference",
     _run_reference,
@@ -216,4 +224,9 @@ register(
     "batched",
     _run_batched,
     description="level-batched skeletonization: shape-bucketed stacked pivoted QRs",
+)
+register(
+    "sharded",
+    _run_sharded,
+    description="batched level sweeps of whole subtrees over a fork pool (compression_workers)",
 )

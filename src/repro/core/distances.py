@@ -56,6 +56,24 @@ class Distance(ABC):
     def pairwise(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
         """Distance matrix ``d[i, j]`` for ``i ∈ rows``, ``j ∈ cols``."""
 
+    def pairwise_blocks(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Stacked distance blocks ``d[b] = pairwise(rows[b], cols[b])``.
+
+        ``rows`` is ``(B, p)`` and ``cols`` is ``(B, k)``; the result is
+        ``(B, p, k)``.  The blocked neighbor backend evaluates one batch of
+        same-size leaves through this entry point.  The default loops over
+        :meth:`pairwise`; the concrete distances override it with a single
+        stacked evaluation whose per-slice values are bitwise identical to
+        the loop (same expression, same GEMM per slice) — the backend
+        parity tests depend on that.
+        """
+        rows = np.asarray(rows, dtype=np.intp)
+        cols = np.asarray(cols, dtype=np.intp)
+        out = np.empty((rows.shape[0], rows.shape[1], cols.shape[1]), dtype=np.float64)
+        for b in range(rows.shape[0]):
+            out[b] = self.pairwise(rows[b], cols[b])
+        return out
+
     @abstractmethod
     def to_centroid(self, indices: np.ndarray, sample: np.ndarray) -> np.ndarray:
         """Distance of each index in ``indices`` to the centroid of ``sample``."""
@@ -84,6 +102,15 @@ class GeometricDistance(Distance):
         np.clip(d2, 0.0, None, out=d2)
         return d2
 
+    def pairwise_blocks(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        x = self.coordinates[np.asarray(rows, dtype=np.intp)]  # (B, p, d)
+        y = self.coordinates[np.asarray(cols, dtype=np.intp)]  # (B, k, d)
+        xx = np.einsum("bij,bij->bi", x, x)[:, :, None]
+        yy = np.einsum("bij,bij->bi", y, y)[:, None, :]
+        d2 = xx + yy - 2.0 * np.matmul(x, y.transpose(0, 2, 1))
+        np.clip(d2, 0.0, None, out=d2)
+        return d2
+
     def to_centroid(self, indices: np.ndarray, sample: np.ndarray) -> np.ndarray:
         centroid = self.coordinates[np.asarray(sample, dtype=np.intp)].mean(axis=0)
         x = self.coordinates[np.asarray(indices, dtype=np.intp)]
@@ -105,6 +132,17 @@ class _GramDistance(Distance):
             )
         self.diag = diag
 
+    def _entry_blocks(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Stacked matrix blocks ``K[rows[b]][:, cols[b]]`` as one ``(B, p, k)`` array.
+
+        Delegates to :meth:`~repro.matrices.base.SPDMatrix.entries_batched`,
+        whose contract guarantees the same values and the same
+        ``entry_evaluations`` accounting as per-block :meth:`entries` calls.
+        """
+        out = np.empty((rows.shape[0], rows.shape[1], cols.shape[1]), dtype=np.float64)
+        self.matrix.entries_batched(rows, cols, out=out)
+        return out
+
 
 class KernelDistance(_GramDistance):
     """Gram ℓ2 distance ``d²_ij = K_ii + K_jj − 2 K_ij`` (Eq. (3))."""
@@ -114,6 +152,14 @@ class KernelDistance(_GramDistance):
         cols = np.asarray(cols, dtype=np.intp)
         k = self.matrix.entries(rows, cols)
         d2 = self.diag[rows][:, None] + self.diag[cols][None, :] - 2.0 * k
+        np.clip(d2, 0.0, None, out=d2)
+        return d2
+
+    def pairwise_blocks(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        rows = np.asarray(rows, dtype=np.intp)
+        cols = np.asarray(cols, dtype=np.intp)
+        k = self._entry_blocks(rows, cols)
+        d2 = self.diag[rows][:, :, None] + self.diag[cols][:, None, :] - 2.0 * k
         np.clip(d2, 0.0, None, out=d2)
         return d2
 
@@ -142,6 +188,15 @@ class AngleDistance(_GramDistance):
         cols = np.asarray(cols, dtype=np.intp)
         k = self.matrix.entries(rows, cols)
         denom = self.diag[rows][:, None] * self.diag[cols][None, :]
+        d = 1.0 - (k * k) / denom
+        np.clip(d, 0.0, None, out=d)
+        return d
+
+    def pairwise_blocks(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        rows = np.asarray(rows, dtype=np.intp)
+        cols = np.asarray(cols, dtype=np.intp)
+        k = self._entry_blocks(rows, cols)
+        denom = self.diag[rows][:, :, None] * self.diag[cols][:, None, :]
         d = 1.0 - (k * k) / denom
         np.clip(d, 0.0, None, out=d)
         return d

@@ -1,0 +1,78 @@
+"""Shared-memory process-pool scaffolding for sharded pipeline stages.
+
+The ``"sharded"`` neighbor backend (:mod:`repro.core.neighbor_backends`)
+and the ``"sharded"`` compression backend
+(:mod:`repro.core.skeletonization_sharded`) both follow the same recipe:
+
+1. the parent stores the read-only problem state (distance oracle, matrix,
+   tree, config) in a module-level global,
+2. a ``fork``-context :class:`multiprocessing.Pool` is created — the
+   children inherit that state by copy-on-write, so nothing large is
+   pickled per task,
+3. results flow back through :class:`SharedSlab` arrays
+   (:mod:`multiprocessing.shared_memory`), which the parent allocated
+   before the fork; workers write disjoint slots, the parent reads them
+   after ``pool.map`` returns.
+
+Fork inheritance is load-bearing (plain numpy arrays are copy-on-write
+*into* a child but writes never propagate back, hence the slabs), so on
+platforms without the ``fork`` start method the sharded backends fall back
+to their single-process equivalents — :func:`fork_available` is the gate.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["SharedSlab", "fork_available", "fork_pool"]
+
+
+def fork_available() -> bool:
+    """Whether the ``fork`` start method exists (POSIX; never on Windows)."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def fork_pool(workers: int):
+    """A ``fork``-context worker pool (caller must ensure :func:`fork_available`)."""
+    return multiprocessing.get_context("fork").Pool(processes=max(1, int(workers)))
+
+
+class SharedSlab:
+    """A numpy array backed by :class:`multiprocessing.shared_memory.SharedMemory`.
+
+    Created by the parent *before* forking the pool; the forked workers
+    inherit the object and write through :attr:`array` into memory the
+    parent sees.  The parent owns the lifetime: call :meth:`close` (with
+    ``unlink=True``) once the results have been read.
+    """
+
+    def __init__(self, shape: tuple, dtype) -> None:
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = np.dtype(dtype)
+        nbytes = max(1, int(np.prod(self.shape)) * self.dtype.itemsize)
+        self._shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        self._array: np.ndarray | None = np.ndarray(self.shape, dtype=self.dtype, buffer=self._shm.buf)
+
+    @property
+    def array(self) -> np.ndarray:
+        if self._array is None:
+            raise ValueError("shared slab has been closed")
+        return self._array
+
+    def close(self, unlink: bool = True) -> None:
+        """Release the mapping; ``unlink`` destroys the backing segment."""
+        self._array = None
+        try:
+            self._shm.close()
+        except BufferError:
+            # A live view still pins the buffer; unlink below still reclaims
+            # the segment once every process has dropped its mapping.
+            pass
+        if unlink:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass

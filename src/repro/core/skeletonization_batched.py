@@ -62,7 +62,7 @@ from .skeletonization import (
 )
 from .tree import BallTree, TreeNode
 
-__all__ = ["skeletonize_tree_batched", "sample_rows_level"]
+__all__ = ["skeletonize_tree_batched", "skeletonize_level", "sample_rows_level"]
 
 
 def _sample_rows_shared(
@@ -154,6 +154,114 @@ def _assign_empty(node: TreeNode, num_columns: int) -> None:
     node.skeleton_rank = 0
 
 
+def skeletonize_level(
+    members: list[TreeNode],
+    n: int,
+    matrix: SPDMatrix,
+    config: GOFMMConfig,
+    neighbors: Optional[NeighborTable],
+    base: int,
+) -> None:
+    """Skeletonize one tree level's nodes in place (tasks SKEL + COEF).
+
+    The level-batched unit of work: sample every node's rows against one
+    shared ownership mask, bucket the sampled blocks by padded shape, run
+    each bucket through a stacked decomposition, and assign
+    ``skeleton`` / ``coeffs`` / ``skeleton_rank`` on the nodes.  Each
+    node's result depends only on ``(base, node_id)``, its own indices /
+    neighbor list, and its children's skeletons — never on which other
+    nodes share the call — so :func:`skeletonize_tree_batched` applies it
+    to whole levels while the ``"sharded"`` backend
+    (:mod:`repro.core.skeletonization_sharded`) applies it to one
+    subtree's slice of a level in a worker process, with identical
+    results.  ``members`` must be processed bottom-up across calls
+    (children before parents).
+    """
+    sample_size = config.effective_sample_size()
+    rows_per_node = sample_rows_level(members, n, sample_size, neighbors, base)
+
+    # Bucket the level's sampled blocks by padded shape.
+    buckets: dict[tuple[int, int], list[tuple[TreeNode, np.ndarray, np.ndarray]]] = {}
+    for node, rows in zip(members, rows_per_node):
+        if node.is_leaf:
+            columns = node.indices
+        else:
+            left, right = node.children()
+            if left.skeleton is None or right.skeleton is None:
+                raise RankDeficiencyError(
+                    f"children of node {node.node_id} have not been skeletonized "
+                    "(level sweep violated)"
+                )
+            columns = np.concatenate([left.skeleton, right.skeleton])
+
+        if columns.size == 0:
+            node.skeleton = np.empty(0, dtype=np.intp)
+            node.coeffs = np.zeros((0, 0))
+            node.skeleton_rank = 0
+            if config.secure_accuracy:
+                raise RankDeficiencyError(
+                    f"node {node.node_id} has no columns to skeletonize"
+                )
+            continue
+        if rows.size == 0:
+            # Root-like node: nothing outside it, no off-diagonal block.
+            _assign_empty(node, columns.size)
+            continue
+
+        key = (bucket_size(rows.size, "pow2"), bucket_size(columns.size, "pow2"))
+        buckets.setdefault(key, []).append((node, rows, columns))
+
+    for (pad_rows, pad_cols), group in sorted(buckets.items()):
+        # One stacked evaluation for the whole bucket's entries (tasks
+        # Kba of the SKEL stage): same values and evaluation counts as
+        # per-node matrix.entries calls, far fewer kernel invocations.
+        blocks = matrix.entries_batched(
+            [rows for _, rows, _ in group], [columns for _, _, columns in group]
+        )
+        if stacked_sweep_applies(len(group), pad_rows, pad_cols):
+            stack = np.zeros((len(group), pad_rows, pad_cols))
+            row_counts = np.empty(len(group), dtype=np.intp)
+            col_counts = np.empty(len(group), dtype=np.intp)
+            for g, (node, rows, columns) in enumerate(group):
+                stack[g, : rows.size, : columns.size] = blocks[g]
+                row_counts[g] = rows.size
+                col_counts[g] = columns.size
+            decompositions = batched_interpolative_decomposition(
+                stack,
+                max_rank=config.max_rank,
+                tolerance=config.tolerance,
+                adaptive=config.adaptive_rank,
+                row_counts=row_counts,
+                col_counts=col_counts,
+            )
+        else:
+            # Large blocks stay cache-resident inside one LAPACK call,
+            # so the bucket is decomposed block by block (no padding).
+            decompositions = [
+                interpolative_decomposition(
+                    block,
+                    max_rank=config.max_rank,
+                    tolerance=config.tolerance,
+                    adaptive=config.adaptive_rank,
+                )
+                for block in blocks
+            ]
+        for g, ((node, rows, columns), decomposition) in enumerate(zip(group, decompositions)):
+            if decomposition.rank == 0:
+                if config.secure_accuracy:
+                    block = blocks[g]
+                    block_norm = float(np.abs(block).max()) if block.size else 0.0
+                    raise RankDeficiencyError(
+                        f"node {node.node_id}: adaptive ID selected rank 0 "
+                        f"(block norm {block_norm:g})"
+                    )
+                _assign_empty(node, columns.size)
+                continue
+            node.skeleton = columns[decomposition.skeleton]
+            node.coeffs = decomposition.coeffs.astype(config.dtype)
+            node.skeleton_rank = decomposition.rank
+
+
 def skeletonize_tree_batched(
     tree: BallTree,
     matrix: SPDMatrix,
@@ -164,93 +272,7 @@ def skeletonize_tree_batched(
     """Algorithm 2.6 as level-batched stacked decompositions (root skipped)."""
     rng = rng or np.random.default_rng(config.seed)
     base = node_stream_base(rng)
-    sample_size = config.effective_sample_size()
-    n = tree.n
     levels = tree.levels()
-
     for level in range(tree.depth, 0, -1):
-        members = levels[level]
-        rows_per_node = sample_rows_level(members, n, sample_size, neighbors, base)
-
-        # Bucket the level's sampled blocks by padded shape.
-        buckets: dict[tuple[int, int], list[tuple[TreeNode, np.ndarray, np.ndarray]]] = {}
-        for node, rows in zip(members, rows_per_node):
-            if node.is_leaf:
-                columns = node.indices
-            else:
-                left, right = node.children()
-                if left.skeleton is None or right.skeleton is None:
-                    raise RankDeficiencyError(
-                        f"children of node {node.node_id} have not been skeletonized "
-                        "(level sweep violated)"
-                    )
-                columns = np.concatenate([left.skeleton, right.skeleton])
-
-            if columns.size == 0:
-                node.skeleton = np.empty(0, dtype=np.intp)
-                node.coeffs = np.zeros((0, 0))
-                node.skeleton_rank = 0
-                if config.secure_accuracy:
-                    raise RankDeficiencyError(
-                        f"node {node.node_id} has no columns to skeletonize"
-                    )
-                continue
-            if rows.size == 0:
-                # Root-like node: nothing outside it, no off-diagonal block.
-                _assign_empty(node, columns.size)
-                continue
-
-            key = (bucket_size(rows.size, "pow2"), bucket_size(columns.size, "pow2"))
-            buckets.setdefault(key, []).append((node, rows, columns))
-
-        for (pad_rows, pad_cols), group in sorted(buckets.items()):
-            # One stacked evaluation for the whole bucket's entries (tasks
-            # Kba of the SKEL stage): same values and evaluation counts as
-            # per-node matrix.entries calls, far fewer kernel invocations.
-            blocks = matrix.entries_batched(
-                [rows for _, rows, _ in group], [columns for _, _, columns in group]
-            )
-            if stacked_sweep_applies(len(group), pad_rows, pad_cols):
-                stack = np.zeros((len(group), pad_rows, pad_cols))
-                row_counts = np.empty(len(group), dtype=np.intp)
-                col_counts = np.empty(len(group), dtype=np.intp)
-                for g, (node, rows, columns) in enumerate(group):
-                    stack[g, : rows.size, : columns.size] = blocks[g]
-                    row_counts[g] = rows.size
-                    col_counts[g] = columns.size
-                decompositions = batched_interpolative_decomposition(
-                    stack,
-                    max_rank=config.max_rank,
-                    tolerance=config.tolerance,
-                    adaptive=config.adaptive_rank,
-                    row_counts=row_counts,
-                    col_counts=col_counts,
-                )
-            else:
-                # Large blocks stay cache-resident inside one LAPACK call,
-                # so the bucket is decomposed block by block (no padding).
-                decompositions = [
-                    interpolative_decomposition(
-                        block,
-                        max_rank=config.max_rank,
-                        tolerance=config.tolerance,
-                        adaptive=config.adaptive_rank,
-                    )
-                    for block in blocks
-                ]
-            for g, ((node, rows, columns), decomposition) in enumerate(zip(group, decompositions)):
-                if decomposition.rank == 0:
-                    if config.secure_accuracy:
-                        block = blocks[g]
-                        block_norm = float(np.abs(block).max()) if block.size else 0.0
-                        raise RankDeficiencyError(
-                            f"node {node.node_id}: adaptive ID selected rank 0 "
-                            f"(block norm {block_norm:g})"
-                        )
-                    _assign_empty(node, columns.size)
-                    continue
-                node.skeleton = columns[decomposition.skeleton]
-                node.coeffs = decomposition.coeffs.astype(config.dtype)
-                node.skeleton_rank = decomposition.rank
-
+        skeletonize_level(levels[level], tree.n, matrix, config, neighbors, base)
     return collect_stats(tree)

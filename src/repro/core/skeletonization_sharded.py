@@ -1,0 +1,198 @@
+"""Process-sharded skeletonization — the ``"sharded"`` compression backend.
+
+The level sweep of :mod:`repro.core.skeletonization_batched` has one
+cross-node dependency: parents read their children's skeletons.  Whole
+*subtrees* therefore factor perfectly: pick a shard level ``L``, hand each
+of the ``2^L`` subtrees rooted there to a worker process, let every worker
+run the identical bottom-up level sweep over its subtree, and finish
+levels ``L−1 … 1`` in the parent once all subtree roots are skeletonized.
+
+Per-node results are independent of how a level is split across calls —
+:func:`~repro.core.skeletonization_batched.skeletonize_level` draws each
+node's row sample from its own deterministic stream
+(:func:`~repro.core.skeletonization.node_stream`), so a subtree's slice of
+a level samples and decomposes exactly as the full level would.  That is
+what makes ``compression_workers`` an execution knob rather than a
+semantic one: any worker count (including 1, the batched fallback) yields
+the same skeletons on numerically nondegenerate blocks, and the knob stays
+out of every stage fingerprint.
+
+The process plumbing mirrors the ``"sharded"`` neighbor backend
+(:mod:`repro.core.sharding`): read-only state (tree, matrix, config,
+neighbor table, stream base) is inherited by ``fork`` copy-on-write;
+results come back through shared-memory slabs — per node a ``(rank,
+ncols)`` meta record, the skeleton ids, and the interpolation
+coefficients, written to capacity-padded slots in a deterministic
+(bottom-up, id-ordered) node order.  Workers also report their matrix
+``entry_evaluations`` delta so the parent's accounting matches the
+single-process backends exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from ..config import GOFMMConfig
+from ..matrices.base import SPDMatrix
+from .neighbors import NeighborTable
+from .sharding import SharedSlab, fork_available, fork_pool
+from .skeletonization import SkeletonizationStats, collect_stats, node_stream_base
+from .skeletonization_batched import skeletonize_level, skeletonize_tree_batched
+from .tree import BallTree
+
+__all__ = ["skeletonize_tree_sharded"]
+
+#: Hard ceiling on the coefficient slab; configurations whose worst-case
+#: capacity would exceed it (huge ``max_rank`` × many workers) fall back
+#: to the batched backend rather than thrash memory.
+_MAX_COEFF_SLAB_BYTES = 512 * 2**20
+
+
+def _subtree_level_slices(root_id: int, shard_level: int, depth: int) -> Iterator[tuple[int, int, int]]:
+    """``(level, lo, hi)`` node-id ranges of one subtree, bottom-up.
+
+    Node ids are breadth-first positions in a complete binary tree, so the
+    descendants of ``root_id`` at depth offset ``d`` occupy the contiguous
+    id range ``[(root_id+1)·2^d − 1, (root_id+2)·2^d − 2]``.  Workers and
+    the parent iterate this identical order when packing / unpacking slab
+    slots.
+    """
+    for level in range(depth, shard_level - 1, -1):
+        d = level - shard_level
+        yield level, (root_id + 1) * (1 << d) - 1, (root_id + 2) * (1 << d) - 2
+
+
+#: Read-only state the forked workers inherit (set in the parent right
+#: before the pool forks, cleared right after it joins).
+_SHARD: Optional[dict] = None
+
+
+def _compression_shard_task(slot: int) -> int:
+    """Skeletonize one subtree bottom-up and pack the results into slab ``slot``."""
+    state = _SHARD
+    tree: BallTree = state["tree"]
+    matrix: SPDMatrix = state["matrix"]
+    config: GOFMMConfig = state["config"]
+    shard_level: int = state["shard_level"]
+    meta = state["meta"].array[slot]
+    skel = state["skel"].array[slot]
+    coeff = state["coeff"].array[slot]
+
+    root_id = (1 << shard_level) - 1 + slot
+    before = matrix.entry_evaluations
+    pos = 0
+    for _level, lo, hi in _subtree_level_slices(root_id, shard_level, tree.depth):
+        members = tree.nodes[lo : hi + 1]
+        skeletonize_level(members, tree.n, matrix, config, state["neighbors"], state["base"])
+        for node in members:
+            rank = int(node.skeleton_rank or 0)
+            ncols = int(node.coeffs.shape[1])
+            meta[pos, 0] = rank
+            meta[pos, 1] = ncols
+            if rank:
+                skel[pos, :rank] = node.skeleton
+                coeff[pos, :rank, :ncols] = node.coeffs
+            pos += 1
+    state["evals"].array[slot] = matrix.entry_evaluations - before
+    return slot
+
+
+def skeletonize_tree_sharded(
+    tree: BallTree,
+    matrix: SPDMatrix,
+    config: GOFMMConfig,
+    neighbors: Optional[NeighborTable],
+    rng: Optional[np.random.Generator] = None,
+) -> SkeletonizationStats:
+    """Algorithm 2.6, subtree-sharded over ``config.compression_workers`` processes.
+
+    Falls back to :func:`skeletonize_tree_batched` whenever sharding cannot
+    help (one worker, no ``fork`` start method, a tree too shallow to split)
+    or would need an oversized result slab — the results are identical
+    either way.
+    """
+    workers = max(1, config.compression_workers)
+    if workers == 1 or not fork_available() or tree.depth < 1:
+        return skeletonize_tree_batched(tree, matrix, config, neighbors, rng=rng)
+
+    rng = rng or np.random.default_rng(config.seed)
+    base = node_stream_base(rng)
+    shard_level = min(tree.depth, max(1, (workers - 1).bit_length()))
+    num_subtrees = 1 << shard_level
+    levels = tree.levels()
+
+    # Capacity bounds, tightened level by level: a node's column count is
+    # its leaf size at the bottom and twice the children's rank cap above,
+    # and its rank is capped by max_rank and its column count.
+    ncols_cap = max(node.indices.size for node in levels[tree.depth])
+    cap_rank = cap_cols = 0
+    for level in range(tree.depth, shard_level - 1, -1):
+        rank_cap = min(config.max_rank, ncols_cap)
+        cap_cols = max(cap_cols, ncols_cap)
+        cap_rank = max(cap_rank, rank_cap)
+        ncols_cap = 2 * rank_cap
+    nodes_per_subtree = (1 << (tree.depth - shard_level + 1)) - 1
+
+    coeff_bytes = num_subtrees * nodes_per_subtree * cap_rank * cap_cols * 8
+    if coeff_bytes > _MAX_COEFF_SLAB_BYTES:
+        return skeletonize_tree_batched(tree, matrix, config, neighbors, rng=rng)
+
+    meta_slab = SharedSlab((num_subtrees, nodes_per_subtree, 2), np.int64)
+    skel_slab = SharedSlab((num_subtrees, nodes_per_subtree, max(1, cap_rank)), np.int64)
+    coeff_slab = SharedSlab(
+        (num_subtrees, nodes_per_subtree, max(1, cap_rank), max(1, cap_cols)), np.float64
+    )
+    evals_slab = SharedSlab((num_subtrees,), np.int64)
+
+    global _SHARD
+    _SHARD = {
+        "tree": tree,
+        "matrix": matrix,
+        "config": config,
+        "neighbors": neighbors,
+        "base": base,
+        "shard_level": shard_level,
+        "meta": meta_slab,
+        "skel": skel_slab,
+        "coeff": coeff_slab,
+        "evals": evals_slab,
+    }
+    try:
+        with fork_pool(min(workers, num_subtrees)) as pool:
+            pool.map(_compression_shard_task, range(num_subtrees), chunksize=1)
+
+        # Unpack in the workers' packing order, then finish the top levels.
+        meta = meta_slab.array
+        skel = skel_slab.array
+        coeff = coeff_slab.array
+        for slot in range(num_subtrees):
+            root_id = num_subtrees - 1 + slot
+            pos = 0
+            for _level, lo, hi in _subtree_level_slices(root_id, shard_level, tree.depth):
+                for node_id in range(lo, hi + 1):
+                    node = tree.nodes[node_id]
+                    rank = int(meta[slot, pos, 0])
+                    ncols = int(meta[slot, pos, 1])
+                    node.skeleton_rank = rank
+                    if rank:
+                        node.skeleton = skel[slot, pos, :rank].astype(np.intp)
+                        node.coeffs = coeff[slot, pos, :rank, :ncols].astype(config.dtype)
+                    else:
+                        # Match the batched backend's empty assignments
+                        # (default float64 zeros with the column count).
+                        node.skeleton = np.empty(0, dtype=np.intp)
+                        node.coeffs = np.zeros((0, ncols))
+                    pos += 1
+        matrix.entry_evaluations += int(evals_slab.array.sum())
+    finally:
+        _SHARD = None
+        meta_slab.close(unlink=True)
+        skel_slab.close(unlink=True)
+        coeff_slab.close(unlink=True)
+        evals_slab.close(unlink=True)
+
+    for level in range(shard_level - 1, 0, -1):
+        skeletonize_level(levels[level], tree.n, matrix, config, neighbors, base)
+    return collect_stats(tree)

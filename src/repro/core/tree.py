@@ -129,6 +129,51 @@ def metric_split(
     return left, right
 
 
+def _split_level_randomized(
+    level_indices: list[np.ndarray],
+    distance: Distance,
+    rng: np.random.Generator,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Random-pivot splits for one whole tree level, batched.
+
+    Semantically (and bitwise) identical to calling
+    :func:`metric_split(randomized=True)` node by node: the pivot draws
+    happen per node in frontier order (same generator stream), and the
+    pivot distances go through :meth:`~repro.core.distances.Distance.pairwise_blocks`
+    with one single-column block per node — per slice the very GEMM /
+    kernel evaluation ``to_point`` performs.  What the batching removes is
+    the per-node Python and small-array overhead, which dominates the
+    projection-tree builds of the ANN search (hundreds of nodes, each
+    holding only a few indices).
+    """
+    pivots_p = np.empty(len(level_indices), dtype=np.intp)
+    pivots_q = np.empty(len(level_indices), dtype=np.intp)
+    for i, indices in enumerate(level_indices):
+        if indices.size < 2:
+            raise CompressionError("cannot split a node with fewer than 2 indices")
+        p_pos, q_pos = rng.choice(indices.size, size=2, replace=False)
+        pivots_p[i] = indices[p_pos]
+        pivots_q[i] = indices[q_pos]
+
+    out: list[Optional[tuple[np.ndarray, np.ndarray]]] = [None] * len(level_indices)
+    by_size: dict[int, list[int]] = {}
+    for i, indices in enumerate(level_indices):
+        by_size.setdefault(indices.size, []).append(i)
+    for size, members in by_size.items():
+        stacked = np.stack([level_indices[i] for i in members])
+        # One single-column block per pivot: fusing both pivots into one
+        # two-column GEMM is *not* bitwise-stable on every BLAS, and the
+        # splits must reproduce ``to_point`` exactly.
+        d_p = distance.pairwise_blocks(stacked, pivots_p[members][:, None])[:, :, 0]
+        d_q = distance.pairwise_blocks(stacked, pivots_q[members][:, None])[:, :, 0]
+        order = np.argsort(d_p - d_q, axis=1, kind="stable")
+        ordered = np.take_along_axis(stacked, order, axis=1)
+        half = size // 2
+        for g, i in enumerate(members):
+            out[i] = (ordered[g, :half], ordered[g, half:])
+    return out  # type: ignore[return-value]
+
+
 def random_split(indices: np.ndarray, rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
     """Split preserving the current order (used for lexicographic/random trees)."""
     indices = np.asarray(indices, dtype=np.intp)
@@ -309,9 +354,17 @@ def build_tree(
     nodes.append(root)
     frontier = [root]
     for level in range(depth):
+        metric = distance is not None and config.distance.defines_distance
+        level_splits: Optional[list[tuple[np.ndarray, np.ndarray]]] = None
+        if metric and randomized_pivots:
+            # Projection trees (ANN search): batch the whole level's pivot
+            # distances — bitwise-identical splits, no per-node overhead.
+            level_splits = _split_level_randomized([node.indices for node in frontier], distance, rng)
         next_frontier: list[TreeNode] = []
-        for node in frontier:
-            if distance is not None and config.distance.defines_distance:
+        for pos, node in enumerate(frontier):
+            if level_splits is not None:
+                left_idx, right_idx = level_splits[pos]
+            elif metric:
                 left_idx, right_idx = metric_split(
                     node.indices, distance, rng, config.centroid_samples, randomized=randomized_pivots
                 )

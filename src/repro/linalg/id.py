@@ -179,13 +179,12 @@ def interpolative_decomposition(
     )
 
 
-#: Dispatch thresholds of :func:`batched_interpolative_decomposition`: the
-#: stacked sweep engages for buckets of at least this many blocks whose
-#: per-block size is at most this many elements (~16 KiB).  Small blocks
-#: are where per-block LAPACK calls are overhead-bound; larger blocks stay
-#: cache-resident inside one GEQP3 call but would be re-streamed from
-#: memory on every step of a stacked sweep, so they go block by block.
-_STACK_MIN_BLOCKS = 8
+#: Dispatch threshold of :func:`batched_interpolative_decomposition`: the
+#: stacked sweep engages for blocks of at most this many elements
+#: (~16 KiB).  Small blocks are where per-block LAPACK calls are
+#: overhead-bound; larger blocks stay cache-resident inside one GEQP3
+#: call but would be re-streamed from memory on every step of a stacked
+#: sweep, so they go block by block.
 _STACK_MAX_BLOCK_ELEMENTS = 2048
 
 
@@ -193,8 +192,17 @@ def stacked_sweep_applies(num_blocks: int, rows: int, cols: int) -> bool:
     """Whether :func:`batched_interpolative_decomposition` would use the
     stacked sweep for a bucket of ``num_blocks`` blocks of shape
     ``(rows, cols)``.  Callers can skip building the padded stack when the
-    bucket would be dispatched block by block anyway."""
-    return num_blocks >= _STACK_MIN_BLOCKS and rows * cols <= _STACK_MAX_BLOCK_ELEMENTS
+    bucket would be dispatched block by block anyway.
+
+    The decision depends only on the block *shape*, never on the bucket
+    size: the stacked sweep and GEQP3 resolve floating-point pivot ties
+    differently, so a count-based dispatch would let the grouping (how a
+    tree level is sliced across processes) leak into the results.  A
+    shape-only rule is what keeps every slicing of the same nodes —
+    whole level, subtree slice, single node — bitwise identical, the
+    invariant the process-sharded compression backend is built on.
+    """
+    return rows * cols <= _STACK_MAX_BLOCK_ELEMENTS
 
 
 def _batched_cpqr(

@@ -57,6 +57,11 @@ class TestInvalidationMatrix:
             ("neighbors", {"neighbors", "interactions", "skeletons", "blocks", "plan"}),
             ("num_neighbor_trees", {"neighbors", "interactions", "skeletons", "blocks", "plan"}),
             ("neighbor_accuracy_target", {"neighbors", "interactions", "skeletons", "blocks", "plan"}),
+            ("neighbor_backend", {"neighbors", "interactions", "skeletons", "blocks", "plan"}),
+            # Worker counts are execution knobs: all backends are
+            # worker-count deterministic, so nothing is invalidated.
+            ("neighbor_workers", set()),
+            ("compression_workers", set()),
             ("centroid_samples", {"partition", "interactions", "skeletons", "blocks", "plan"}),
             ("leaf_size", set(STAGE_ORDER)),
             ("distance", set(STAGE_ORDER)),

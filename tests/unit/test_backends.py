@@ -19,8 +19,10 @@ from repro.core.compress import stage_rng
 from repro.core.distances import make_distance
 from repro.core.interactions import build_node_neighbor_lists
 from repro.core.neighbors import all_nearest_neighbors
+from repro.core.sharding import fork_available
 from repro.core.skeletonization import skeletonize_tree
 from repro.core.skeletonization_batched import skeletonize_tree_batched
+from repro.core.skeletonization_sharded import skeletonize_tree_sharded
 from repro.core.tree import build_tree
 from repro.errors import CompressionError, RankDeficiencyError
 from repro.linalg.id import batched_interpolative_decomposition, interpolative_decomposition
@@ -290,4 +292,62 @@ class TestStageDispatch:
             op.compressed.matvec(w, engine="planned"),
             op.compressed.matvec(w, engine="reference"),
             atol=1e-10,
+        )
+
+
+class TestShardedEquivalence:
+    """The ``"sharded"`` backend must reproduce ``"batched"`` bit for bit.
+
+    Subtrees factor perfectly (each node's sample stream depends only on
+    the stage base and its node id), so the worker count is an execution
+    knob: any ``compression_workers`` yields the same skeletons, coeffs,
+    ranks and entry-evaluation counts as the single-process level sweep.
+    """
+
+    @pytest.mark.skipif(not fork_available(), reason="requires the fork start method")
+    @pytest.mark.parametrize("workers", [2, 3, 4])
+    def test_identical_nodes_and_evaluations(self, workers):
+        m1, c1, t1, n1 = prepared(n=384, leaf_size=32)
+        m2, c2, t2, n2 = prepared(n=384, leaf_size=32)
+        c2 = c2.replace(compression_backend="sharded", compression_workers=workers)
+        base1, base2 = m1.entry_evaluations, m2.entry_evaluations
+        s1 = skeletonize_tree_batched(t1, m1, c1, n1, rng=np.random.default_rng(9))
+        s2 = skeletonize_tree_sharded(t2, m2, c2, n2, rng=np.random.default_rng(9))
+        for a, b in zip(t1.nodes, t2.nodes):
+            assert a.skeleton_rank == b.skeleton_rank
+            if a.skeleton is None:
+                assert b.skeleton is None
+            else:
+                assert np.array_equal(a.skeleton, b.skeleton)
+                assert np.array_equal(a.coeffs, b.coeffs)
+        assert s1.ranks == s2.ranks
+        assert m1.entry_evaluations - base1 == m2.entry_evaluations - base2
+
+    def test_one_worker_falls_back_to_batched(self, monkeypatch):
+        m, c, t, n = prepared(n=192, leaf_size=32)
+        c = c.replace(compression_backend="sharded", compression_workers=1)
+        forked = []
+        monkeypatch.setattr(
+            "repro.core.skeletonization_sharded.fork_pool",
+            lambda workers: forked.append(workers),
+        )
+        stats = skeletonize_tree_sharded(t, m, c, n, rng=np.random.default_rng(9))
+        assert forked == []  # no pool: the batched path ran in-process
+        assert stats.num_nodes == len(t.nodes) - 1  # root is never skeletonized
+
+    @pytest.mark.skipif(not fork_available(), reason="requires the fork start method")
+    def test_operators_agree_through_session(self):
+        matrix = make_gaussian_kernel_matrix(n=256, d=3, bandwidth=1.5, seed=2)
+        config = GOFMMConfig(
+            leaf_size=32, max_rank=16, tolerance=1e-6, neighbors=8, budget=0.1,
+            num_neighbor_trees=3, seed=0,
+        )
+        op_bat = Session(matrix, config.replace(compression_backend="batched")).compress()
+        op_shd = Session(
+            matrix,
+            config.replace(compression_backend="sharded", compression_workers=2),
+        ).compress()
+        w = np.random.default_rng(0).standard_normal((matrix.n, 4))
+        np.testing.assert_array_equal(
+            op_bat.compressed.matvec(w), op_shd.compressed.matvec(w)
         )

@@ -1,0 +1,335 @@
+"""Unit tests for the neighbor-backend registry and backend parity.
+
+The contract under test is stronger than "similar recall": all built-in
+backends (``"reference"``, ``"blocked"``, ``"sharded"``) consume the same
+rng stream and the same merge tie-breaking, so on the same problem they
+must produce **bit-identical** neighbor tables — and the ``"sharded"``
+backend must produce them for *every* worker count (process count is an
+execution knob, never a semantic one).
+"""
+
+import numpy as np
+import pytest
+
+from repro import ConfigurationError, GOFMMConfig
+from repro.api import Session
+from repro.config import DistanceMetric
+from repro.core import neighbor_backends
+from repro.core.distances import GeometricDistance, make_distance
+from repro.core.neighbors import (
+    NeighborTable,
+    _merge_candidates,
+    all_nearest_neighbors,
+    exhaustive_neighbors,
+    init_table,
+    merge_candidate_block,
+    row_set_overlap,
+    screened_merge,
+    unchanged_fraction,
+)
+from repro.core.sharding import fork_available
+from repro.errors import CompressionError
+
+from ..conftest import make_gaussian_kernel_matrix
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="requires the fork start method"
+)
+
+
+def geometric_config(**overrides):
+    params = dict(
+        distance=DistanceMetric.GEOMETRIC, leaf_size=32, neighbors=8,
+        num_neighbor_trees=4, neighbor_accuracy_target=0.999, seed=0,
+    )
+    params.update(overrides)
+    return GOFMMConfig(**params)
+
+
+@pytest.fixture()
+def points():
+    return np.random.default_rng(7).standard_normal((600, 4))
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+class TestRegistry:
+    def test_builtins_available(self):
+        assert {"reference", "blocked", "sharded"} <= set(
+            neighbor_backends.available_neighbor_backends()
+        )
+        for name in ("reference", "blocked", "sharded"):
+            assert neighbor_backends.is_registered(name)
+
+    def test_get_unknown_raises_with_known_list(self):
+        with pytest.raises(CompressionError, match="registered backends"):
+            neighbor_backends.get_neighbor_backend("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(CompressionError, match="already registered"):
+            neighbor_backends.register("blocked", lambda *a, **k: None)
+
+    def test_register_unregister_roundtrip(self):
+        spec = neighbor_backends.register(
+            "custom-test", lambda distance, config, rng: None, description="x"
+        )
+        try:
+            assert neighbor_backends.is_registered("custom-test")
+            assert spec.name == "custom-test"
+            # The config validates against the live registry.
+            assert geometric_config(neighbor_backend="custom-test").neighbor_backend == "custom-test"
+        finally:
+            neighbor_backends.unregister("custom-test")
+        assert not neighbor_backends.is_registered("custom-test")
+
+    def test_config_rejects_unknown_backend(self):
+        with pytest.raises(ConfigurationError, match="neighbor_backend"):
+            geometric_config(neighbor_backend="definitely-not-registered")
+
+    def test_config_rejects_bad_worker_counts(self):
+        with pytest.raises(ConfigurationError, match="neighbor_workers"):
+            geometric_config(neighbor_workers=0)
+        with pytest.raises(ConfigurationError, match="compression_workers"):
+            GOFMMConfig(compression_workers=-1)
+
+    def test_default_backend_is_blocked(self):
+        assert GOFMMConfig().neighbor_backend == "blocked"
+
+
+# ---------------------------------------------------------------------------
+# merge kernels: blocked/screened paths against the per-row oracle
+# ---------------------------------------------------------------------------
+
+def random_merge_problem(rng, n=512, m=96, kappa=7, k=5, duplicates=False):
+    """A random table + candidate block with realistic invariants.
+
+    Tables start from ``init_table`` (self at 0, +inf fillers) and the
+    candidates carry exact distances; with ``duplicates`` the candidate
+    rows also repeat entries (the self-padded short leaves of the sharded
+    backend do exactly this).
+    """
+    idx_table, dist_table = init_table(n, kappa, rng)
+    rows = np.sort(rng.choice(n, size=m, replace=False)).astype(np.intp)
+    cand_idx = rng.integers(0, n, size=(m, k)).astype(np.intp)
+    cand_dist = rng.random((m, k))
+    if duplicates:
+        # Repeats that lose to a stored entry — the documented precondition.
+        # The sharded slab pads short leaves with the row's own index at
+        # +inf; self at distance 0 re-proposes the stored self entry.
+        cand_idx[:, -1] = rows
+        cand_dist[:, -1] = np.inf
+        cand_idx[::3, 1] = rows[::3]
+        cand_dist[::3, 1] = 0.0
+    return idx_table, dist_table, rows, cand_idx, cand_dist
+
+
+@pytest.mark.parametrize("duplicates", [False, True])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_merge_candidate_block_matches_oracle(seed, duplicates):
+    rng = np.random.default_rng(seed)
+    idx_table, dist_table, rows, cand_idx, cand_dist = random_merge_problem(
+        rng, duplicates=duplicates
+    )
+    oracle_idx, oracle_dist = idx_table.copy(), dist_table.copy()
+    for r, row in enumerate(rows):
+        oracle_idx[row], oracle_dist[row] = _merge_candidates(
+            oracle_idx[row], oracle_dist[row], cand_idx[r], cand_dist[r]
+        )
+    merge_candidate_block(idx_table, dist_table, rows, cand_idx, cand_dist)
+    np.testing.assert_array_equal(idx_table, oracle_idx)
+    np.testing.assert_array_equal(dist_table, oracle_dist)
+
+
+@pytest.mark.parametrize("screen", [False, True])
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_screened_merge_matches_oracle(seed, screen):
+    rng = np.random.default_rng(seed)
+    idx_table, dist_table, rows, cand_idx, cand_dist = random_merge_problem(
+        rng, duplicates=(seed % 2 == 1)
+    )
+    # Warm the table first so screening has real distances to screen against.
+    warm_idx = rng.integers(0, idx_table.shape[0], size=cand_idx.shape).astype(np.intp)
+    merge_candidate_block(idx_table, dist_table, rows, warm_idx, rng.random(cand_dist.shape))
+    pre_idx = idx_table.copy()
+    oracle_idx, oracle_dist = idx_table.copy(), dist_table.copy()
+    for r, row in enumerate(rows):
+        oracle_idx[row], oracle_dist[row] = _merge_candidates(
+            oracle_idx[row], oracle_dist[row], cand_idx[r], cand_dist[r]
+        )
+    touched, overlap = screened_merge(
+        idx_table, dist_table, rows, cand_idx, cand_dist, screen=screen
+    )
+    np.testing.assert_array_equal(idx_table, oracle_idx)
+    np.testing.assert_array_equal(dist_table, oracle_dist)
+    # The reported overlap must equal the post-hoc set overlap over the
+    # touched rows (what the incremental convergence measure consumes);
+    # untouched rows are unchanged by construction.
+    assert touched.size <= rows.size
+    untouched = np.setdiff1d(rows, touched)
+    np.testing.assert_array_equal(pre_idx[untouched], idx_table[untouched])
+    assert overlap == int(row_set_overlap(pre_idx[touched], idx_table[touched]).sum())
+
+
+def test_row_set_overlap_pinned():
+    a = np.array([[0, 1, 2], [3, 4, 5], [6, 7, 8]])
+    b = np.array([[2, 1, 9], [3, 4, 5], [0, 1, 2]])
+    np.testing.assert_array_equal(row_set_overlap(a, b), [2, 3, 0])
+    # Duplicates count once (set semantics).
+    a = np.array([[1, 1, 2]])
+    b = np.array([[1, 2, 2]])
+    np.testing.assert_array_equal(row_set_overlap(a, b), [2])
+
+
+def test_unchanged_fraction_is_set_based():
+    """Regression pin for the convergence check.
+
+    A row whose neighbor *set* is unchanged must count as fully converged
+    regardless of column order, and a single swapped neighbor must cost
+    exactly one overlap unit — the positional comparison this replaced
+    could mis-score both cases.
+    """
+    prev = np.array([[0, 1, 2, 3], [4, 5, 6, 7]])
+    perm = np.array([[3, 2, 1, 0], [7, 6, 5, 4]])
+    assert unchanged_fraction(prev, perm) == 1.0
+    one_swap = np.array([[0, 1, 2, 9], [4, 5, 6, 7]])
+    assert unchanged_fraction(prev, one_swap) == pytest.approx(7 / 8)
+    disjoint = prev + 100
+    assert unchanged_fraction(prev, disjoint) == 0.0
+
+
+def test_recall_against_matches_loop(points):
+    config = geometric_config()
+    distance = GeometricDistance(points)
+    table = all_nearest_neighbors(distance, config)
+    exact = exhaustive_neighbors(distance, config.neighbors)
+    hits = 0
+    for i in range(points.shape[0]):
+        hits += np.intersect1d(table.indices[i], exact.indices[i]).size
+    assert table.recall_against(exact) == pytest.approx(hits / exact.indices.size)
+
+
+# ---------------------------------------------------------------------------
+# backend parity: bit-identical tables
+# ---------------------------------------------------------------------------
+
+def assert_tables_identical(a: NeighborTable, b: NeighborTable):
+    np.testing.assert_array_equal(a.indices, b.indices)
+    np.testing.assert_array_equal(a.distances, b.distances)
+    assert a.iterations == b.iterations
+    assert a.converged == b.converged
+
+
+class TestBackendParity:
+    def test_geometric_pinned(self, points):
+        config = geometric_config()
+        distance = GeometricDistance(points)
+        ref = all_nearest_neighbors(distance, config, backend="reference")
+        blk = all_nearest_neighbors(distance, config, backend="blocked")
+        assert_tables_identical(ref, blk)
+
+    def test_gram_distance_pinned(self):
+        matrix = make_gaussian_kernel_matrix(n=480, d=3, bandwidth=1.5, seed=3)
+        config = geometric_config(distance=DistanceMetric.ANGLE, neighbors=6)
+        distance = make_distance(matrix, config.distance)
+        ref = all_nearest_neighbors(distance, config, backend="reference")
+        blk = all_nearest_neighbors(distance, config, backend="blocked")
+        assert_tables_identical(ref, blk)
+
+    @needs_fork
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_sharded_matches_blocked(self, points, workers):
+        config = geometric_config(neighbor_workers=workers)
+        distance = GeometricDistance(points)
+        blk = all_nearest_neighbors(distance, config, backend="blocked")
+        shd = all_nearest_neighbors(distance, config, backend="sharded")
+        assert_tables_identical(blk, shd)
+
+    @needs_fork
+    def test_worker_count_never_changes_results(self, points):
+        """The determinism contract: 1 worker ≡ N workers, bit for bit."""
+        distance = GeometricDistance(points)
+        tables = [
+            all_nearest_neighbors(
+                distance, geometric_config(neighbor_workers=w), backend="sharded"
+            )
+            for w in (1, 2, 4)
+        ]
+        for other in tables[1:]:
+            assert_tables_identical(tables[0], other)
+
+    def test_config_backend_field_dispatches(self, points):
+        config = geometric_config(neighbor_backend="reference")
+        distance = GeometricDistance(points)
+        via_field = all_nearest_neighbors(distance, config)
+        via_arg = all_nearest_neighbors(distance, config, backend="reference")
+        assert_tables_identical(via_field, via_arg)
+
+    def test_single_leaf_bypasses_to_exact(self, points):
+        config = geometric_config(leaf_size=points.shape[0])
+        distance = GeometricDistance(points)
+        exact = exhaustive_neighbors(distance, config.neighbors)
+        for backend in ("reference", "blocked", "sharded"):
+            table = all_nearest_neighbors(distance, config, backend=backend)
+            np.testing.assert_array_equal(table.indices, exact.indices)
+            np.testing.assert_array_equal(table.distances, exact.distances)
+            assert table.converged
+
+
+# ---------------------------------------------------------------------------
+# session integration: invalidation + persistence
+# ---------------------------------------------------------------------------
+
+class TestSessionIntegration:
+    @pytest.fixture()
+    def session(self):
+        matrix = make_gaussian_kernel_matrix(n=240, d=3, bandwidth=1.5, seed=0)
+        config = GOFMMConfig(
+            leaf_size=32, max_rank=24, tolerance=1e-7, neighbors=8,
+            num_neighbor_trees=3, budget=0.2, seed=0,
+        )
+        session = Session(matrix, config)
+        session.compress()
+        return session
+
+    def test_backend_change_invalidates_neighbors(self, session):
+        stale = session.stale_stages(neighbor_backend="reference")
+        assert "neighbors" in stale
+        assert "partition" not in stale
+
+    def test_worker_knobs_invalidate_nothing(self, session):
+        """Worker counts are execution knobs: same results, no rebuild."""
+        assert session.stale_stages(neighbor_workers=8) == frozenset()
+        assert session.stale_stages(compression_workers=8) == frozenset()
+
+    @needs_fork
+    def test_sharded_table_roundtrips_through_artifacts(self, tmp_path):
+        matrix = make_gaussian_kernel_matrix(n=240, d=3, bandwidth=1.5, seed=0)
+        config = GOFMMConfig(
+            leaf_size=32, max_rank=24, tolerance=1e-7, neighbors=8,
+            num_neighbor_trees=3, budget=0.2, seed=0,
+            neighbor_backend="sharded", neighbor_workers=2,
+        )
+        saver = Session(matrix, config)
+        _, built_neighbors, _ = saver.prepare()
+        path = tmp_path / "artifacts.npz"
+        saver.save_artifacts(path)
+
+        loader = Session(matrix, config)
+        loaded_stages = loader.load_artifacts(path)
+        assert "neighbors" in loaded_stages
+        _, loaded_neighbors, _ = loader.prepare()
+        assert_tables_identical(built_neighbors.table, loaded_neighbors.table)
+        # The sharded-built table equals a single-process blocked build bit
+        # for bit (same session seed, workers are an execution knob).
+        blocked_session = Session(
+            matrix, config.replace(neighbor_backend="blocked", neighbor_workers=1)
+        )
+        _, blocked_neighbors, _ = blocked_session.prepare()
+        np.testing.assert_array_equal(
+            loaded_neighbors.table.indices, blocked_neighbors.table.indices
+        )
+        np.testing.assert_array_equal(
+            loaded_neighbors.table.distances, blocked_neighbors.table.distances
+        )
