@@ -1,0 +1,332 @@
+"""Serving frontier: shards × latency lanes × offered load.
+
+The sharded cluster (:mod:`repro.serving.cluster`) makes two promises the
+single server cannot keep at once:
+
+* **latency**: the ``interactive`` lane flushes immediately instead of
+  waiting out ``max_wait_ms`` for co-batched traffic, so at matched
+  offered load its p50 sits far below the ``throughput`` lane's,
+* **SLO-compliant load**: with ≥2 shards the router pins each lane to its
+  own replica, so a throughput flood fills *its* shard's bounded queue
+  while the interactive shard keeps accepting — one shard's shared
+  ``max_queue`` would reject (or deadline-shed) interactive traffic
+  instead.  "Peak sustained QPS" is therefore *SLO-aware*: the highest
+  offered load at which the interactive lane still succeeds ≥ 99% of the
+  time.  That definition is the honest one on any core count — it
+  measures queueing isolation, not raw parallel speedup.
+
+Method: the single-server closed-loop capacity ``C`` is calibrated first;
+each (shard count, offered load) cell then runs an **open-loop** trial — a
+pacing thread offers requests at the target rate (80% throughput lane, 20%
+interactive lane with a deadline) regardless of completions — at loads
+``0.2·C``, ``0.75·C`` and ``1.5·C``.  Per lane the trial records
+submitted / ok / rejected / shed counts and completion-latency
+percentiles; everything lands in ``artifacts/serving_frontier.json``.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_serving_frontier.py \
+        [--n 2048] [--shards 1 2] [--duration 2.0] [--smoke] [--out PATH]
+
+``--smoke`` runs the tiny CI configuration and asserts the two frontier
+claims: interactive p50 < 0.5× throughput p50 at the matched (lowest)
+load, and peak sustained QPS higher with 2 shards than with 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
+
+from repro import GOFMMConfig
+from repro.api import Session
+from repro.errors import DeadlineExceededError, ServerOverloadedError
+from repro.matrices import build_matrix
+from repro.serving import (
+    INTERACTIVE,
+    THROUGHPUT,
+    BatchPolicy,
+    MatvecServer,
+    ShardRouter,
+)
+
+#: Fraction of offered traffic on the interactive lane.
+INTERACTIVE_SHARE = 0.2
+#: Interactive requests carry this deadline; queued longer → shed.
+DEADLINE_MS = 200.0
+#: SLO: the interactive lane must succeed at least this often.
+SLO_SUCCESS_RATIO = 0.99
+
+
+def bench_config() -> GOFMMConfig:
+    return GOFMMConfig(
+        leaf_size=128, max_rank=64, tolerance=1e-5, neighbors=16,
+        budget=0.03, distance="angle", seed=0,
+    )
+
+
+def percentiles_ms(latencies: list) -> dict:
+    if not latencies:
+        return {"count": 0, "p50": 0.0, "p90": 0.0, "p99": 0.0, "mean": 0.0}
+    arr = np.asarray(latencies, dtype=np.float64)
+    return {
+        "count": int(arr.size),
+        "p50": float(np.percentile(arr, 50) * 1e3),
+        "p90": float(np.percentile(arr, 90) * 1e3),
+        "p99": float(np.percentile(arr, 99) * 1e3),
+        "mean": float(arr.mean() * 1e3),
+    }
+
+
+def calibrate_capacity(operator, policy: BatchPolicy, requests: int = 192,
+                       concurrency: int = 32) -> float:
+    """Closed-loop peak service rate of ONE server (req/s): the load scale."""
+    server = MatvecServer(policy=policy)
+    server.register("bench", operator)
+    rng = np.random.default_rng(0)
+    vectors = rng.standard_normal((requests, operator.shape[0]))
+    with server:
+        server.matvec("bench", vectors[0])  # warm-up: plan + pools hot
+        started = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=concurrency) as pool:
+            list(pool.map(lambda v: server.matvec("bench", v, timeout=600), vectors))
+        elapsed = time.perf_counter() - started
+    return requests / elapsed
+
+
+class _LaneTally:
+    """Thread-safe per-lane outcome counters + completion latencies."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.submitted = 0
+        self.ok = 0
+        self.rejected = 0
+        self.shed = 0
+        self.errors = 0
+        self.latencies: list = []
+
+    def report(self) -> dict:
+        with self.lock:
+            finished = self.ok + self.rejected + self.shed + self.errors
+            return {
+                "submitted": self.submitted,
+                "ok": self.ok,
+                "rejected": self.rejected,
+                "shed": self.shed,
+                "errors": self.errors,
+                "success_ratio": self.ok / finished if finished else 1.0,
+                "latency_ms": percentiles_ms(self.latencies),
+            }
+
+
+def run_trial(router: ShardRouter, name: str, vectors: np.ndarray,
+              offered_qps: float, duration_s: float) -> dict:
+    """One open-loop cell: offer ``offered_qps`` for ``duration_s`` seconds.
+
+    The pacer keeps offering on schedule whether or not earlier requests
+    finished (open loop) — every fifth request rides the interactive lane
+    with a deadline, the rest the throughput lane.
+    """
+    tallies = {THROUGHPUT: _LaneTally(), INTERACTIVE: _LaneTally()}
+    interval = 1.0 / offered_qps
+    interactive_every = max(1, round(1.0 / INTERACTIVE_SHARE))
+    pending = []
+
+    def finish(tally: _LaneTally, t_submit: float):
+        def _record(future):
+            latency = time.perf_counter() - t_submit
+            with tally.lock:
+                exc = future.exception()
+                if exc is None:
+                    tally.ok += 1
+                    tally.latencies.append(latency)
+                elif isinstance(exc, DeadlineExceededError):
+                    tally.shed += 1
+                else:
+                    tally.errors += 1
+        return _record
+
+    start = time.perf_counter()
+    deadline = start + duration_s
+    i = 0
+    now = start
+    while now < deadline:
+        due = start + i * interval
+        if due > now:
+            time.sleep(min(due - now, 0.002))
+            now = time.perf_counter()
+            continue
+        interactive = (i % interactive_every) == 0
+        lane = INTERACTIVE if interactive else THROUGHPUT
+        tally = tallies[lane]
+        with tally.lock:
+            tally.submitted += 1
+        t_submit = time.perf_counter()
+        try:
+            future = router.submit(
+                name, vectors[i % len(vectors)], lane=lane,
+                deadline_ms=DEADLINE_MS if interactive else None,
+            )
+        except ServerOverloadedError:
+            with tally.lock:
+                tally.rejected += 1
+        else:
+            future.add_done_callback(finish(tally, t_submit))
+            pending.append(future)
+        i += 1
+        now = time.perf_counter()
+    elapsed = time.perf_counter() - start
+    for future in pending:  # drain the bounded backlog
+        try:
+            future.result(timeout=60)
+        except Exception:
+            pass
+    lanes = {lane: tally.report() for lane, tally in tallies.items()}
+    interactive_report = lanes[INTERACTIVE]
+    return {
+        "offered_qps": offered_qps,
+        "achieved_offer_qps": i / elapsed,
+        "duration_s": elapsed,
+        "lanes": lanes,
+        "slo_met": interactive_report["success_ratio"] >= SLO_SUCCESS_RATIO,
+    }
+
+
+def run_shard_count(operator, shards: int, policy: BatchPolicy,
+                    loads: list, duration_s: float) -> dict:
+    router = ShardRouter(num_shards=shards, policy=policy)
+    router.register("bench", operator, replicas=shards)
+    rng = np.random.default_rng(1)
+    vectors = rng.standard_normal((256, operator.shape[0]))
+    trials = []
+    with router:
+        router.matvec("bench", vectors[0])  # warm-up
+        router.matvec("bench", vectors[0], lane=INTERACTIVE)
+        for offered in loads:
+            trial = run_trial(router, "bench", vectors, offered, duration_s)
+            trials.append(trial)
+            inter, thr = trial["lanes"][INTERACTIVE], trial["lanes"][THROUGHPUT]
+            print(f"  shards={shards} offered={offered:7.0f}/s  "
+                  f"interactive p50={inter['latency_ms']['p50']:6.2f} ms "
+                  f"ok={inter['success_ratio']:6.1%}  "
+                  f"throughput p50={thr['latency_ms']['p50']:6.2f} ms "
+                  f"rej={thr['rejected']}  slo_met={trial['slo_met']}")
+    sustained = [t["offered_qps"] for t in trials if t["slo_met"]]
+    return {
+        "shards": shards,
+        "trials": trials,
+        "peak_sustained_qps": max(sustained) if sustained else 0.0,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=2048)
+    parser.add_argument("--matrix", default="K02")
+    parser.add_argument("--shards", type=int, nargs="+", default=[1, 2])
+    parser.add_argument("--max-batch", type=int, default=8)
+    parser.add_argument("--max-wait-ms", type=float, default=25.0,
+                        help="throughput-lane co-batching wait (the latency the "
+                             "interactive lane skips)")
+    parser.add_argument("--max-queue", type=int, default=32,
+                        help="per-shard bounded queue (small: overload must reject, "
+                             "not buffer unboundedly)")
+    parser.add_argument("--duration", type=float, default=2.0, help="seconds per trial")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny CI configuration + frontier assertions")
+    parser.add_argument("--out", type=Path,
+                        default=Path(__file__).parent / "artifacts" / "serving_frontier.json")
+    args = parser.parse_args()
+
+    n = 512 if args.smoke else args.n
+    duration = 0.8 if args.smoke else args.duration
+    policy = BatchPolicy(max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+                         max_queue=args.max_queue)
+
+    print(f"serving frontier benchmark: {args.matrix}, n={n}, shards={args.shards}, "
+          f"max_batch={policy.max_batch}, max_wait_ms={policy.max_wait_ms}, "
+          f"max_queue={policy.max_queue}")
+    matrix = build_matrix(args.matrix, n, seed=0)
+    t0 = time.perf_counter()
+    operator = Session(matrix, bench_config()).compress()
+    operator.compressed.plan()
+    print(f"compressed in {time.perf_counter() - t0:.1f}s "
+          f"(eps2={operator.relative_error():.2e})")
+
+    capacity = calibrate_capacity(operator, policy)
+    loads = [max(40.0, 0.2 * capacity), 0.75 * capacity, 1.5 * capacity]
+    print(f"calibrated single-server capacity: {capacity:.0f} req/s → "
+          f"offered loads {[f'{ld:.0f}' for ld in loads]}")
+
+    results = [run_shard_count(operator, shards, policy, loads, duration)
+               for shards in args.shards]
+
+    peaks = {r["shards"]: r["peak_sustained_qps"] for r in results}
+    matched = {}
+    for result in results:
+        low = result["trials"][0]
+        matched[result["shards"]] = {
+            "offered_qps": low["offered_qps"],
+            "interactive_p50_ms": low["lanes"][INTERACTIVE]["latency_ms"]["p50"],
+            "throughput_p50_ms": low["lanes"][THROUGHPUT]["latency_ms"]["p50"],
+        }
+        print(f"shards={result['shards']}: peak sustained {peaks[result['shards']]:.0f} req/s "
+              f"(SLO: interactive ≥ {SLO_SUCCESS_RATIO:.0%} ok); matched-load p50 "
+              f"interactive {matched[result['shards']]['interactive_p50_ms']:.2f} ms vs "
+              f"throughput {matched[result['shards']]['throughput_p50_ms']:.2f} ms")
+
+    artifact = {
+        "benchmark": "serving_frontier",
+        "matrix": args.matrix,
+        "n": n,
+        "duration_s": duration,
+        "interactive_share": INTERACTIVE_SHARE,
+        "deadline_ms": DEADLINE_MS,
+        "slo_success_ratio": SLO_SUCCESS_RATIO,
+        "policy": {
+            "max_batch": policy.max_batch,
+            "max_wait_ms": policy.max_wait_ms,
+            "max_queue": policy.max_queue,
+        },
+        "single_server_capacity_qps": capacity,
+        "offered_loads_qps": loads,
+        "shard_counts": results,
+        "peak_sustained_qps": peaks,
+        "matched_load_p50": matched,
+        "smoke": bool(args.smoke),
+    }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(artifact, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if args.smoke:
+        failures = []
+        for shards, point in matched.items():
+            if not point["interactive_p50_ms"] < 0.5 * point["throughput_p50_ms"]:
+                failures.append(
+                    f"shards={shards}: interactive p50 {point['interactive_p50_ms']:.2f} ms "
+                    f"not < 0.5× throughput p50 {point['throughput_p50_ms']:.2f} ms"
+                )
+        multi = [s for s in peaks if s >= 2]
+        if 1 in peaks and multi:
+            best_multi = max(peaks[s] for s in multi)
+            if not best_multi > peaks[1]:
+                failures.append(
+                    f"peak sustained QPS with ≥2 shards ({best_multi:.0f}) "
+                    f"not above 1 shard ({peaks[1]:.0f})"
+                )
+        if failures:
+            raise SystemExit("FAILED:\n  " + "\n  ".join(failures))
+        print("smoke assertions passed: interactive p50 < 0.5× throughput p50 at matched "
+              "load; sharding raises SLO-sustained peak QPS")
+
+
+if __name__ == "__main__":
+    main()

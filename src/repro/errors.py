@@ -17,7 +17,10 @@ __all__ = [
     "SchedulingError",
     "MatrixDefinitionError",
     "ServingError",
+    "ServingConfigError",
     "ServerOverloadedError",
+    "DeadlineExceededError",
+    "ShardUnavailableError",
 ]
 
 
@@ -74,6 +77,16 @@ class ServingError(GOFMMError, RuntimeError):
     """
 
 
+class ServingConfigError(ServingError, ConfigurationError):
+    """An invalid serving configuration value (batch policy, lane, shard count).
+
+    Raised at construction time — before any server thread starts — so a
+    bad knob fails where it was written instead of deep inside the batcher.
+    Subclasses both :class:`ServingError` and :class:`ConfigurationError`,
+    so either family of handler catches it.
+    """
+
+
 class ServerOverloadedError(ServingError):
     """Backpressure rejection: the request queue is at capacity.
 
@@ -84,3 +97,22 @@ class ServerOverloadedError(ServingError):
     def __init__(self, message: str, retry_after_s: float = 0.0) -> None:
         super().__init__(message)
         self.retry_after_s = float(retry_after_s)
+
+
+class DeadlineExceededError(ServingError):
+    """A request's deadline expired while it was still queued; it was shed.
+
+    Shedding happens *before* the request occupies a GEMM slot — the
+    evaluation never ran, so retrying (with a fresh deadline) is always
+    safe.  ``lane`` is the latency lane the request was queued on and
+    ``waited_ms`` how long it sat in the queue before being shed.
+    """
+
+    def __init__(self, message: str, lane: str = "", waited_ms: float = 0.0) -> None:
+        super().__init__(message)
+        self.lane = lane
+        self.waited_ms = float(waited_ms)
+
+
+class ShardUnavailableError(ServingError):
+    """No healthy shard can serve the operator (all replicas are down)."""

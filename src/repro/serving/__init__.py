@@ -12,10 +12,20 @@ package turns the one into the other:
 * :class:`BatchPolicy` — the batching knobs (``max_batch``,
   ``max_wait_ms``, bounded queue with
   :class:`~repro.errors.ServerOverloadedError` backpressure, canonical
-  GEMM width for bitwise batch-invariance),
+  GEMM width for bitwise batch-invariance) plus named **latency lanes**
+  (:class:`LanePolicy`): a ``"throughput"`` lane that coalesces and an
+  ``"interactive"`` lane that flushes immediately, with per-request
+  ``deadline_ms`` shed-on-deadline
+  (:class:`~repro.errors.DeadlineExceededError`),
 * :class:`ServingClient` / :class:`AsyncServingClient` — blocking and
-  ``asyncio`` front ends with retry-after-aware backoff,
-* :class:`ServingMetrics` — request / latency / batch-occupancy metrics.
+  ``asyncio`` front ends with capped-exponential retry-after backoff,
+* :class:`ServingMetrics` — request / latency / batch-occupancy metrics,
+  per lane, with a stable :meth:`~ServingMetrics.to_dict` schema and
+  :func:`aggregate_metrics` cluster rollups,
+* :mod:`repro.serving.cluster` — the sharded, SLO-aware serving cluster:
+  :class:`~repro.serving.cluster.ShardRouter` (consistent-hash operator
+  placement, lane-isolated replicas, shard health checks with restart or
+  route-around) over per-shard :class:`MatvecServer` instances.
 
 Quickstart::
 
@@ -27,14 +37,26 @@ Quickstart::
         u = server.matvec("kernel", w)          # one request
         futs = [server.submit("kernel", w) for w in stream]   # batched
 
-A demo traffic generator ships as ``python -m repro.serving``;
+A demo traffic generator ships as ``python -m repro.serving`` (with
+``--metrics-json`` for the stable metrics schema);
 ``benchmarks/bench_serving_throughput.py`` measures the batched-vs-
-sequential request throughput and tail latency.
+sequential request throughput and tail latency, and
+``benchmarks/bench_serving_frontier.py`` sweeps the shards × lanes ×
+offered-load latency/throughput frontier.
 """
 
-from .batcher import MATVEC, SOLVE, BatchPolicy, MicroBatcher
+from .batcher import (
+    INTERACTIVE,
+    MATVEC,
+    SOLVE,
+    THROUGHPUT,
+    BatchPolicy,
+    LanePolicy,
+    MicroBatcher,
+)
 from .client import AsyncServingClient, ServingClient
-from .metrics import ServingMetrics
+from .cluster import ClusterShard, HashRing, HealthPolicy, ShardRouter
+from .metrics import METRICS_SCHEMA_VERSION, ServingMetrics, aggregate_metrics
 from .server import MatvecServer, OperatorEntry
 
 __all__ = [
@@ -42,9 +64,18 @@ __all__ = [
     "OperatorEntry",
     "MicroBatcher",
     "BatchPolicy",
+    "LanePolicy",
+    "ShardRouter",
+    "HashRing",
+    "ClusterShard",
+    "HealthPolicy",
     "ServingClient",
     "AsyncServingClient",
     "ServingMetrics",
+    "aggregate_metrics",
+    "METRICS_SCHEMA_VERSION",
     "MATVEC",
     "SOLVE",
+    "THROUGHPUT",
+    "INTERACTIVE",
 ]

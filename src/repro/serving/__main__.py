@@ -41,6 +41,11 @@ def main(argv=None) -> int:
     parser.add_argument("--max-queue", type=int, default=1024)
     parser.add_argument("--solve-fraction", type=float, default=0.0,
                         help="fraction of requests that are CG solves (default 0)")
+    parser.add_argument("--interactive-fraction", type=float, default=0.0,
+                        help="fraction of matvec requests on the interactive lane (default 0)")
+    parser.add_argument("--metrics-json", action="store_true",
+                        help="print the stable metrics schema (ServingMetrics.to_dict) "
+                             "instead of the legacy snapshot")
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
 
@@ -57,12 +62,14 @@ def main(argv=None) -> int:
     rng = np.random.default_rng(args.seed)
     vectors = rng.standard_normal((args.requests, args.n))
     is_solve = rng.random(args.requests) < args.solve_fraction
+    is_interactive = rng.random(args.requests) < args.interactive_fraction
     client = ServingClient(server)
 
     def fire(i: int):
         if is_solve[i]:
             return client.solve("demo", vectors[i], shift=1.0, tolerance=1e-8)
-        return client.matvec("demo", vectors[i])
+        lane = "interactive" if is_interactive[i] else None
+        return client.matvec("demo", vectors[i], lane=lane)
 
     print(
         f"firing {args.requests} requests "
@@ -88,11 +95,15 @@ def main(argv=None) -> int:
                 if not np.allclose(responses[i], direct, atol=1e-10, rtol=1e-10):
                     failures += 1
         stats = server.stats()["demo"]
+        metrics_json = {"demo": server.entry("demo").metrics.to_dict()}
 
     print(f"served {args.requests} requests in {elapsed:.3f}s "
           f"({args.requests / elapsed:.1f} req/s), "
           f"mean batch occupancy {stats['batch_occupancy']:.2f}")
-    print(json.dumps(stats, indent=2))
+    if args.metrics_json:
+        print(json.dumps(metrics_json, indent=2, sort_keys=True))
+    else:
+        print(json.dumps(stats, indent=2))
     if failures or stats["errors"]:
         print(f"FAILED: {failures} wrong responses, {stats['errors']} request errors")
         return 1

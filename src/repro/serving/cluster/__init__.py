@@ -1,0 +1,22 @@
+"""Sharded, SLO-aware serving cluster: shard router, health policy, shards.
+
+See :class:`ShardRouter` for the front door.  The cluster composes the
+single-process micro-batching server (``repro.serving.server``) with
+consistent-hash placement, per-lane replica isolation, deadline shedding
+(inherited from the batcher's latency lanes) and shard-death recovery.
+"""
+
+from .health import RESTART, ROUTE_AROUND, HealthPolicy
+from .router import HashRing, ShardRouter
+from .shard import DOWN, UP, ClusterShard
+
+__all__ = [
+    "ShardRouter",
+    "HashRing",
+    "ClusterShard",
+    "HealthPolicy",
+    "RESTART",
+    "ROUTE_AROUND",
+    "UP",
+    "DOWN",
+]

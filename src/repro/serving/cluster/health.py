@@ -1,0 +1,61 @@
+"""Shard health policy: restart-on-death or route-around.
+
+The cluster's failure model is deliberately simple — a shard is either
+*serving* (its :class:`~repro.serving.server.MatvecServer` is started and
+every entry's batcher thread is alive) or it is *dead*.  The probe is
+:attr:`ClusterShard.healthy`; it runs on demand (``router.check_health()``)
+and lazily on the submit path whenever a shard rejects a request in a way
+that looks like death rather than load.
+
+Two recovery modes (:class:`HealthPolicy.mode`):
+
+* ``"restart"`` — rebuild the dead shard's server in place and re-register
+  the operators placed on it.  Placement is untouched, so the ring stays
+  balanced; ``max_restarts`` caps restart storms — a shard that keeps
+  dying is demoted to route-around,
+* ``"route-around"`` — mark the shard ``DOWN`` and re-place its operators
+  onto the surviving shards (consistent hashing sends each operator to
+  its next ring successor, so only the dead shard's operators move).
+
+Either way, requests already queued on the dead shard are lost (their
+futures fail) — the guarantee is that *new* traffic keeps flowing and the
+cluster metrics record the event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import ServingConfigError
+
+__all__ = ["HealthPolicy", "RESTART", "ROUTE_AROUND"]
+
+RESTART = "restart"
+ROUTE_AROUND = "route-around"
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """How the router reacts to a dead shard (see the module docstring).
+
+    ``max_restarts`` is per shard, cumulative over the router's lifetime:
+    once a shard has been rebuilt that many times, the next failure
+    demotes it to route-around even under ``mode="restart"``.
+    """
+
+    mode: str = RESTART
+    max_restarts: int = 3
+
+    def __post_init__(self) -> None:
+        if self.mode not in (RESTART, ROUTE_AROUND):
+            raise ServingConfigError(
+                f"HealthPolicy.mode must be {RESTART!r} or {ROUTE_AROUND!r}, got {self.mode!r}"
+            )
+        if not isinstance(self.max_restarts, int) or self.max_restarts < 0:
+            raise ServingConfigError(
+                f"HealthPolicy.max_restarts must be a non-negative integer, got {self.max_restarts!r}"
+            )
+
+    def should_restart(self, shard) -> bool:
+        """Whether a dead ``shard`` gets rebuilt in place (vs routed around)."""
+        return self.mode == RESTART and shard.restarts < self.max_restarts

@@ -1,0 +1,452 @@
+"""`ShardRouter`: consistent operator→shard placement, lane isolation, failover.
+
+The router is the cluster's front door.  It owns a set of
+:class:`~repro.serving.cluster.shard.ClusterShard`\\ s and
+
+* **places** every registered operator onto ``replicas`` shards with a
+  consistent hash ring (:class:`HashRing`): placement is a pure function
+  of the shard ids and the operator name — deterministic across runs and
+  processes, and losing a shard only moves *that shard's* operators (each
+  to its next ring successor),
+* **routes** requests: with one owning shard, straight through; with
+  replicated operators, each latency lane is pinned to its own replica
+  (**lane isolation**) — interactive traffic never shares a queue (or a
+  ``max_queue`` budget) with a throughput backlog, which is what keeps
+  the interactive SLO intact while the throughput lane saturates.
+  Replicas share the same :class:`CompressedOperator` object, and every
+  shard batches at the same canonical GEMM width, so a routed response is
+  bit-identical to unbatched single-server serving no matter which
+  replica, lane or co-traffic it saw,
+* **survives shard death**: the submit path detects a dead shard (its
+  server rejects with a shutdown error while unhealthy), applies the
+  :class:`~repro.serving.cluster.health.HealthPolicy` (restart in place,
+  or mark ``DOWN`` and re-place its operators), and retries the request
+  once on the recovered/alternate shard; ``check_health()`` does the same
+  sweep proactively,
+* **aggregates metrics**: ``stats()`` rolls every shard's per-operator
+  :class:`~repro.serving.metrics.ServingMetrics` up into per-operator and
+  cluster-wide summaries (one stable schema, see
+  :func:`~repro.serving.metrics.aggregate_metrics`).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...api.operator import CompressedOperator
+from ...api.session import Session
+from ...errors import (
+    ServerOverloadedError,
+    ServingConfigError,
+    ServingError,
+    ShardUnavailableError,
+)
+from ..batcher import MATVEC, SOLVE, THROUGHPUT, BatchPolicy
+from ..metrics import aggregate_metrics
+from .health import HealthPolicy
+from .shard import DOWN, UP, ClusterShard
+
+__all__ = ["ShardRouter", "HashRing"]
+
+
+def _stable_hash(key: str) -> int:
+    """64-bit stable hash (Python's ``hash`` is salted per process)."""
+    return int.from_bytes(hashlib.blake2b(key.encode(), digest_size=8).digest(), "big")
+
+
+class HashRing:
+    """Consistent hashing of operator names onto shard ids.
+
+    Each shard contributes ``vnodes`` points on a 64-bit ring; an operator
+    lands on the shards owning the first ``replicas`` *distinct* points at
+    or after its own hash.  Pure function of ``(shard_ids, vnodes)`` — two
+    routers built over the same ids place identically.
+    """
+
+    def __init__(self, shard_ids: Sequence[str], vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise ServingConfigError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = int(vnodes)
+        points: List[Tuple[int, str]] = []
+        for shard_id in shard_ids:
+            for v in range(self.vnodes):
+                points.append((_stable_hash(f"{shard_id}#{v}"), shard_id))
+        points.sort()
+        self._points = points
+        self._keys = [p[0] for p in points]
+
+    def place(self, name: str, replicas: int, alive: Sequence[str]) -> Tuple[str, ...]:
+        """The ``replicas`` alive shards owning ``name``, in ring order.
+
+        Returns fewer than ``replicas`` when not enough alive shards exist
+        (degraded but serving); empty when none are alive.
+        """
+        alive_set = set(alive)
+        if not alive_set or not self._points:
+            return ()
+        chosen: List[str] = []
+        start = bisect.bisect_left(self._keys, _stable_hash(name))
+        for i in range(len(self._points)):
+            shard_id = self._points[(start + i) % len(self._points)][1]
+            if shard_id in alive_set and shard_id not in chosen:
+                chosen.append(shard_id)
+                if len(chosen) == replicas:
+                    break
+        return tuple(chosen)
+
+
+@dataclass
+class _OperatorSpec:
+    """Everything needed to (re-)register one operator on a shard."""
+
+    name: str
+    operator: CompressedOperator
+    policy: Optional[BatchPolicy]
+    replicas: int
+
+
+class ShardRouter:
+    """SLO-aware serving cluster over ``num_shards`` micro-batching shards.
+
+    Usage::
+
+        from repro.serving.cluster import HealthPolicy, ShardRouter
+
+        router = ShardRouter(num_shards=4, policy=BatchPolicy(max_batch=16))
+        router.register("kernel", operator, replicas=2)
+        with router:
+            u = router.matvec("kernel", w)                         # routed
+            fut = router.submit("kernel", w, lane="interactive",
+                                deadline_ms=25.0)                  # SLO lane
+            report = router.check_health()                         # probe + recover
+            stats = router.stats()                                 # cluster rollup
+
+    ``lane_isolation`` (default on) pins each latency lane of a replicated
+    operator to its own shard; turn it off to balance purely by queue
+    depth instead.  The router and a single :class:`MatvecServer` accept
+    the same request surface, so :class:`~repro.serving.client.ServingClient`
+    / :class:`AsyncServingClient` work unchanged on either.
+    """
+
+    def __init__(
+        self,
+        num_shards: int = 2,
+        *,
+        policy: Optional[BatchPolicy] = None,
+        health: Optional[HealthPolicy] = None,
+        num_workers: int = 0,
+        vnodes: int = 64,
+        lane_isolation: bool = True,
+    ) -> None:
+        if not isinstance(num_shards, int) or num_shards < 1:
+            raise ServingConfigError(f"num_shards must be a positive integer, got {num_shards!r}")
+        self.policy = policy or BatchPolicy()
+        self.health = health or HealthPolicy()
+        self.lane_isolation = bool(lane_isolation)
+        self._lock = threading.RLock()
+        self._shards: Dict[str, ClusterShard] = {}
+        for i in range(num_shards):
+            shard_id = f"shard-{i}"
+            self._shards[shard_id] = ClusterShard(shard_id, policy=self.policy,
+                                                  num_workers=num_workers)
+        self._ring = HashRing(sorted(self._shards), vnodes=vnodes)
+        self._specs: Dict[str, _OperatorSpec] = {}
+        self._placement: Dict[str, Tuple[str, ...]] = {}
+        self._started = False
+
+    # -- registry --------------------------------------------------------------
+    def _alive_ids(self) -> List[str]:
+        return [sid for sid, shard in self._shards.items() if shard.state == UP]
+
+    def register(
+        self,
+        name: str,
+        operator: Optional[CompressedOperator] = None,
+        *,
+        matrix=None,
+        config=None,
+        artifacts=None,
+        coordinates=None,
+        replicas: int = 1,
+        policy: Optional[BatchPolicy] = None,
+    ) -> Tuple[str, ...]:
+        """Register an operator on its ``replicas`` ring-placed shards.
+
+        Either pass a ready ``operator``, or ``matrix`` (+ optional
+        ``config`` / ``coordinates`` / ``artifacts``) to build one *once*
+        here — replicas then share that single operator object (its
+        workspace pool makes concurrent evaluation safe and the responses
+        bit-identical).  Returns the placement (shard ids, ring order).
+        """
+        if not isinstance(replicas, int) or replicas < 1:
+            raise ServingConfigError(f"replicas must be a positive integer, got {replicas!r}")
+        if operator is None:
+            if matrix is None:
+                raise ServingError(
+                    f"register({name!r}) needs an operator, or a matrix to compress one from"
+                )
+            session = Session(matrix, config, coordinates=coordinates)
+            if artifacts is not None:
+                session.load_artifacts(artifacts)
+            operator = session.compress()
+        with self._lock:
+            if name in self._specs:
+                raise ServingError(f"operator {name!r} is already registered on the cluster")
+            placement = self._ring.place(name, replicas, self._alive_ids())
+            if not placement:
+                raise ShardUnavailableError(
+                    f"cannot place operator {name!r}: no shard is up"
+                )
+            spec = _OperatorSpec(name, operator, policy, replicas)
+            for shard_id in placement:
+                self._shards[shard_id].server.register(name, operator, policy=policy)
+            self._specs[name] = spec
+            self._placement[name] = placement
+        return placement
+
+    def unregister(self, name: str, drain: bool = True) -> None:
+        with self._lock:
+            spec = self._specs.pop(name, None)
+            placement = self._placement.pop(name, ())
+        if spec is None:
+            raise ServingError(f"unknown operator {name!r}")
+        for shard_id in placement:
+            try:
+                self._shards[shard_id].server.unregister(name, drain=drain)
+            except ServingError:
+                pass  # the shard died with the entry; nothing to drain
+
+    def operators(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._specs))
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._specs
+
+    def placement(self) -> Dict[str, Tuple[str, ...]]:
+        """Current operator → shard-ids map (ring order)."""
+        with self._lock:
+            return dict(self._placement)
+
+    def swap(self, name: str, operator: CompressedOperator) -> None:
+        """Hot-swap an operator on every replica; in-flight batches finish on the old one."""
+        with self._lock:
+            if name not in self._specs:
+                raise ServingError(f"unknown operator {name!r}")
+            placement = self._placement[name]
+            shards = [self._shards[sid] for sid in placement]
+        for shard in shards:
+            shard.server.swap(name, operator)
+        with self._lock:
+            self._specs[name].operator = operator
+
+    # -- routing ---------------------------------------------------------------
+    def _owners(self, name: str) -> List[ClusterShard]:
+        with self._lock:
+            if name not in self._specs:
+                known = ", ".join(sorted(self._specs)) or "none"
+                raise ServingError(f"unknown operator {name!r}; registered: {known}")
+            placement = self._placement.get(name, ())
+            owners = [self._shards[sid] for sid in placement
+                      if self._shards[sid].state == UP]
+        if not owners:
+            raise ShardUnavailableError(
+                f"no healthy shard serves operator {name!r} (placement {placement})"
+            )
+        return owners
+
+    def _lane_slot(self, name: str, lane_name: str) -> int:
+        """Deterministic lane → replica-offset mapping (lane isolation)."""
+        policy = self._specs[name].policy or self.policy
+        lanes = sorted(policy.lanes)
+        if lane_name in lanes:
+            return lanes.index(lane_name)
+        return _stable_hash(lane_name) % max(len(lanes), 1)
+
+    def _pick(self, name: str, owners: List[ClusterShard], lane_name: str) -> ClusterShard:
+        if len(owners) == 1:
+            return owners[0]
+        if self.lane_isolation:
+            return owners[self._lane_slot(name, lane_name) % len(owners)]
+        return min(owners, key=lambda shard: shard.queue_depth(name))
+
+    def submit(
+        self,
+        name: str,
+        w: np.ndarray,
+        kind: str = MATVEC,
+        *,
+        lane: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+        **solve_params,
+    ):
+        """Route one request; same surface and semantics as :meth:`MatvecServer.submit`.
+
+        A shard that turns out to be dead is handled per the health policy
+        and the request is retried once on the recovered or alternate
+        shard; request-level errors (bad shape, unknown lane, overload,
+        expired deadline) propagate untouched.
+        """
+        lane_name = THROUGHPUT if lane is None else lane
+        for attempt in range(2):
+            owners = self._owners(name)
+            shard = self._pick(name, owners, lane_name)
+            try:
+                return shard.server.submit(name, w, kind, lane=lane,
+                                           deadline_ms=deadline_ms, **solve_params)
+            except ServerOverloadedError:
+                raise  # load, not death: backpressure is the answer
+            except ServingError:
+                if shard.healthy or attempt == 1:
+                    raise  # a real request error, or we already failed over once
+                self._handle_unhealthy(shard)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def matvec(self, name: str, w: np.ndarray, timeout: Optional[float] = None, *,
+               lane: Optional[str] = None, deadline_ms: Optional[float] = None) -> np.ndarray:
+        return self.submit(name, w, lane=lane, deadline_ms=deadline_ms).result(timeout)
+
+    def solve(self, name: str, rhs: np.ndarray, timeout: Optional[float] = None, *,
+              lane: Optional[str] = None, deadline_ms: Optional[float] = None, **solve_params):
+        return self.submit(name, rhs, kind=SOLVE, lane=lane, deadline_ms=deadline_ms,
+                           **solve_params).result(timeout)
+
+    # -- health ----------------------------------------------------------------
+    def _reregister_placed(self, shard: ClusterShard) -> None:
+        """Re-register every operator placed on ``shard`` (after a rebuild)."""
+        for name, placement in self._placement.items():
+            if shard.shard_id in placement and name not in shard.server:
+                spec = self._specs[name]
+                shard.server.register(name, spec.operator, policy=spec.policy)
+
+    def _route_around(self, shard: ClusterShard) -> None:
+        """Mark ``shard`` DOWN and move its operators to their ring successors."""
+        shard.state = DOWN
+        alive = self._alive_ids()
+        for name, spec in self._specs.items():
+            if shard.shard_id not in self._placement.get(name, ()):
+                continue  # consistent hashing: only the dead shard's operators move
+            placement = self._ring.place(name, spec.replicas, alive)
+            if not placement:
+                self._placement[name] = ()
+                continue
+            for shard_id in placement:
+                target = self._shards[shard_id]
+                if name not in target.server:
+                    target.server.register(name, spec.operator, policy=spec.policy)
+            self._placement[name] = placement
+
+    def _handle_unhealthy(self, shard: ClusterShard) -> Optional[str]:
+        """Apply the health policy to a dead shard; returns the action taken."""
+        with self._lock:
+            if shard.healthy:
+                return None  # another thread already recovered it
+            if self.health.should_restart(shard):
+                shard.rebuild()
+                self._reregister_placed(shard)
+                return "restarted"
+            self._route_around(shard)
+            return "routed-around"
+
+    def check_health(self) -> Dict[str, dict]:
+        """Probe every shard; recover dead ones per the health policy.
+
+        Returns ``{shard_id: {"healthy": bool, "action": None | "restarted"
+        | "routed-around"}}`` where ``healthy`` is the *post-action* state.
+        """
+        report: Dict[str, dict] = {}
+        with self._lock:
+            shards = list(self._shards.values())
+        for shard in shards:
+            action = None
+            if shard.state == UP and not shard.healthy:
+                action = self._handle_unhealthy(shard)
+            report[shard.shard_id] = {"healthy": shard.healthy, "action": action}
+        return report
+
+    # -- lifecycle --------------------------------------------------------------
+    def start(self) -> "ShardRouter":
+        with self._lock:
+            self._started = True
+            for shard in self._shards.values():
+                if shard.state == UP:
+                    shard.start()
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        with self._lock:
+            self._started = False
+            shards = list(self._shards.values())
+        for shard in shards:
+            if shard.state == UP:
+                shard.stop(drain=drain)
+
+    def __enter__(self) -> "ShardRouter":
+        return self.start()
+
+    def __exit__(self, *exc) -> bool:
+        self.stop()
+        return False
+
+    # -- reporting ---------------------------------------------------------------
+    def shards(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._shards))
+
+    def shard(self, shard_id: str) -> ClusterShard:
+        with self._lock:
+            try:
+                return self._shards[shard_id]
+            except KeyError:
+                raise ServingError(
+                    f"unknown shard {shard_id!r}; shards: {', '.join(sorted(self._shards))}"
+                ) from None
+
+    def stats(self) -> Dict[str, object]:
+        """Cluster rollup: per-shard, per-operator, and cluster-wide metrics.
+
+        Every rollup uses the stable schema of
+        :func:`~repro.serving.metrics.aggregate_metrics`, so one scraper
+        consumes a single server's ``--metrics-json``, a shard's stats and
+        the cluster aggregate interchangeably.
+        """
+        with self._lock:
+            shards = dict(self._shards)
+            placement = dict(self._placement)
+            specs = dict(self._specs)
+        all_metrics = []
+        per_operator: Dict[str, dict] = {}
+        for name, spec in specs.items():
+            op_metrics = []
+            for shard_id in placement.get(name, ()):
+                shard = shards[shard_id]
+                try:
+                    entry = shard.server.entry(name)
+                except ServingError:
+                    continue  # dead shard mid-recovery
+                op_metrics.append(entry.metrics)
+            all_metrics.extend(op_metrics)
+            rollup = aggregate_metrics(op_metrics)
+            rollup["placement"] = list(placement.get(name, ()))
+            rollup["replicas"] = spec.replicas
+            per_operator[name] = rollup
+        return {
+            "cluster": aggregate_metrics(all_metrics),
+            "operators": per_operator,
+            "shards": {shard_id: shard.stats() for shard_id, shard in shards.items()},
+            "num_shards": len(shards),
+            "healthy_shards": sum(1 for shard in shards.values() if shard.healthy),
+        }
+
+    def __repr__(self) -> str:
+        with self._lock:
+            up = sum(1 for s in self._shards.values() if s.state == UP)
+            return (f"<ShardRouter shards={len(self._shards)} up={up} "
+                    f"operators={sorted(self._specs)} started={self._started}>")

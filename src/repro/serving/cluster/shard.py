@@ -1,0 +1,118 @@
+"""One serving shard: a :class:`~repro.serving.server.MatvecServer` plus lifecycle state.
+
+A shard is the unit of placement, isolation and failure in the serving
+cluster: the router places each operator (with its replicas) onto shards
+via consistent hashing, and the health machinery restarts or routes
+around a shard whose server died.  Each shard runs its own batcher
+threads, so two shards never share a request queue — the bulkhead that
+lets the router keep the interactive lane's SLO intact while another
+shard's throughput backlog saturates its queue.
+
+Shards of an operator family share the matrix-light artifacts the usual
+way: build the operators from one :class:`~repro.api.session.Session`
+(``session.attach(...)`` per family member, or ``save_artifacts`` files)
+and register the resulting operators; replicas of one operator share the
+*same* :class:`~repro.api.operator.CompressedOperator` object — its
+workspace pool makes concurrent evaluations safe and bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...errors import ServingError
+from ..batcher import BatchPolicy
+from ..server import MatvecServer
+
+__all__ = ["ClusterShard", "UP", "DOWN"]
+
+#: Shard states: ``UP`` shards take placements and traffic; ``DOWN`` shards
+#: are excluded from placement until explicitly revived.
+UP = "up"
+DOWN = "down"
+
+
+class ClusterShard:
+    """A named serving shard owned by a :class:`~repro.serving.cluster.ShardRouter`.
+
+    The shard object survives server crashes: :meth:`rebuild` swaps in a
+    fresh :class:`MatvecServer` (the router re-registers the operators
+    placed here afterwards) and counts the restart, so the health policy
+    can cap restart storms and demote a flapping shard to ``DOWN``.
+    """
+
+    def __init__(self, shard_id: str, policy: Optional[BatchPolicy] = None,
+                 num_workers: int = 0) -> None:
+        self.shard_id = shard_id
+        self.policy = policy
+        self.state = UP
+        self.restarts = 0
+        self._num_workers = int(num_workers)
+        self._started = False
+        self.server = self._new_server()
+
+    def _new_server(self) -> MatvecServer:
+        return MatvecServer(policy=self.policy, num_workers=self._num_workers)
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> None:
+        self.server.start()
+        self._started = True
+
+    def stop(self, drain: bool = True) -> None:
+        self.server.stop(drain=drain)
+        self._started = False
+
+    def kill(self) -> None:
+        """Abruptly stop the shard's server without marking it stopped.
+
+        This is the chaos hook the tests (and operators rehearsing
+        failover) use: the shard still claims to be started, but its
+        batcher threads are gone — exactly what a crashed process looks
+        like to the health checks.
+        """
+        self.server.stop(drain=False)
+
+    def rebuild(self) -> None:
+        """Replace a dead server with a fresh one and count the restart.
+
+        The new server starts empty — the router re-registers every
+        operator placed on this shard right after.
+        """
+        try:
+            self.server.stop(drain=False)
+        except Exception:
+            pass  # a wedged server must not block its own replacement
+        self.server = self._new_server()
+        self.restarts += 1
+        if self._started:
+            self.server.start()
+
+    # -- health --------------------------------------------------------------
+    @property
+    def healthy(self) -> bool:
+        """``True`` iff the shard is ``UP``, started, and its server is serving."""
+        if self.state != UP or not self._started:
+            return False
+        return self.server.serving
+
+    # -- introspection ---------------------------------------------------------
+    def queue_depth(self, name: str) -> int:
+        """Queued requests for one operator on this shard (∞-like for dead shards)."""
+        try:
+            return self.server.entry(name).batcher.queue_depth
+        except ServingError:
+            return 1 << 30  # unknown here (mid-rebuild): never the preferred replica
+
+    def stats(self) -> dict:
+        return {
+            "shard_id": self.shard_id,
+            "state": self.state,
+            "healthy": self.healthy,
+            "restarts": self.restarts,
+            "operators": self.server.stats(),
+        }
+
+    def __repr__(self) -> str:
+        return (f"<ClusterShard {self.shard_id} state={self.state} "
+                f"healthy={self.healthy} operators={list(self.server.operators())}>")

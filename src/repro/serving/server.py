@@ -354,6 +354,20 @@ class MatvecServer:
             self._pool.shutdown(join_timeout=5.0)
             self._pool = None
 
+    @property
+    def serving(self) -> bool:
+        """Whether the server is started and every entry's batcher is alive.
+
+        This is the liveness probe the cluster health checks use: a worker
+        thread that died (or a server that was stopped out from under the
+        router) makes the shard unhealthy.
+        """
+        with self._lock:
+            if not self._started:
+                return False
+            entries = list(self._entries.values())
+        return all(entry.batcher.alive for entry in entries)
+
     def __enter__(self) -> "MatvecServer":
         return self.start()
 
@@ -362,13 +376,27 @@ class MatvecServer:
         return False
 
     # -- requests ---------------------------------------------------------------
-    def submit(self, name: str, w: np.ndarray, kind: str = MATVEC, **solve_params) -> Future:
+    def submit(
+        self,
+        name: str,
+        w: np.ndarray,
+        kind: str = MATVEC,
+        *,
+        lane: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+        **solve_params,
+    ) -> Future:
         """Enqueue one request; returns a ``concurrent.futures.Future``.
 
         ``kind="matvec"`` resolves to the ``(n,)`` product ``K̃ w``;
         ``kind="solve"`` resolves to a per-request
         :class:`~repro.solvers.CGResult` for ``(K̃ + shift·I) x = w``.
-        Raises :class:`ServerOverloadedError` under backpressure.
+        ``lane`` selects the latency lane (default ``"throughput"``;
+        ``"interactive"`` flushes immediately) and ``deadline_ms`` arms
+        shed-on-deadline: a request still queued when its deadline expires
+        fails with :class:`~repro.errors.DeadlineExceededError` without
+        ever occupying a GEMM slot.  Raises
+        :class:`ServerOverloadedError` under backpressure.
         """
         entry = self._entry(name)
         # float64 mirrors the evaluation engines: _as_matrix promotes every
@@ -385,18 +413,22 @@ class MatvecServer:
                 raise ServingError(
                     f"unknown solve parameter(s) {sorted(unknown)}; allowed: {list(_SOLVE_PARAMS)}"
                 )
-            return entry.batcher.submit(SOLVE, vector, solve_params)
+            return entry.batcher.submit(SOLVE, vector, solve_params,
+                                        lane=lane, deadline_ms=deadline_ms)
         if solve_params:
             raise ServingError(f"matvec requests take no solver parameters, got {sorted(solve_params)}")
-        return entry.batcher.submit(MATVEC, vector)
+        return entry.batcher.submit(MATVEC, vector, lane=lane, deadline_ms=deadline_ms)
 
-    def matvec(self, name: str, w: np.ndarray, timeout: Optional[float] = None) -> np.ndarray:
+    def matvec(self, name: str, w: np.ndarray, timeout: Optional[float] = None, *,
+               lane: Optional[str] = None, deadline_ms: Optional[float] = None) -> np.ndarray:
         """Blocking convenience: submit one matvec and wait for its response."""
-        return self.submit(name, w).result(timeout)
+        return self.submit(name, w, lane=lane, deadline_ms=deadline_ms).result(timeout)
 
-    def solve(self, name: str, rhs: np.ndarray, timeout: Optional[float] = None, **solve_params):
+    def solve(self, name: str, rhs: np.ndarray, timeout: Optional[float] = None, *,
+              lane: Optional[str] = None, deadline_ms: Optional[float] = None, **solve_params):
         """Blocking convenience: submit one solve and wait for its :class:`CGResult`."""
-        return self.submit(name, rhs, kind=SOLVE, **solve_params).result(timeout)
+        return self.submit(name, rhs, kind=SOLVE, lane=lane, deadline_ms=deadline_ms,
+                           **solve_params).result(timeout)
 
     # -- reporting ---------------------------------------------------------------
     def stats(self) -> Dict[str, dict]:

@@ -21,16 +21,27 @@ import pytest
 
 from repro import GOFMMConfig
 from repro.api import Session
-from repro.errors import ServerOverloadedError, ServingError
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    ServerOverloadedError,
+    ServingConfigError,
+    ServingError,
+)
 from repro.serving import (
+    INTERACTIVE,
     MATVEC,
+    METRICS_SCHEMA_VERSION,
     SOLVE,
+    THROUGHPUT,
     AsyncServingClient,
     BatchPolicy,
+    LanePolicy,
     MatvecServer,
     MicroBatcher,
     ServingClient,
     ServingMetrics,
+    aggregate_metrics,
 )
 
 from ..conftest import make_gaussian_kernel_matrix
@@ -498,3 +509,361 @@ class TestRestart:
         p1 = operator.preconditioner(shift=0.5)
         p2 = operator.preconditioner(shift=0.5)
         assert p1 is p2
+
+
+def make_stub_batcher(policy, gate=None, started=None, evaluated=None):
+    """A MicroBatcher over a stub runner (optionally gated, recording batches)."""
+    metrics = ServingMetrics()
+
+    def runner(kind, block, params):
+        if started is not None:
+            started.set()
+        if gate is not None:
+            gate.wait(timeout=30)
+        if evaluated is not None:
+            evaluated.append(block.copy())
+        return [block[:, j] for j in range(block.shape[1])]
+
+    batcher = MicroBatcher(runner, policy, metrics, name="stub")
+    batcher.start()
+    return batcher, metrics
+
+
+class TestLatencyLanes:
+    def test_interactive_flushes_while_throughput_waits(self):
+        """An interactive request never waits out max_wait_ms; with a huge
+        policy wait it completes while the throughput request still queues —
+        and the lowest-wait-first rule serves it first."""
+        evaluated: list = []
+        policy = BatchPolicy(max_batch=8, max_wait_ms=5_000.0, max_queue=64)
+        batcher, metrics = make_stub_batcher(policy, evaluated=evaluated)
+        try:
+            slow = batcher.submit(MATVEC, np.full(4, 1.0))  # throughput: waits
+            fast = batcher.submit(MATVEC, np.full(4, 2.0), lane=INTERACTIVE)
+            assert np.array_equal(fast.result(timeout=30), np.full(4, 2.0))
+            assert not slow.done()  # still waiting for co-batched traffic
+            assert evaluated and evaluated[0][0, 0] == 2.0  # interactive ran first
+        finally:
+            batcher.close()  # drains: the throughput request completes
+        assert np.array_equal(slow.result(timeout=30), np.full(4, 1.0))
+        assert metrics.responses == 2
+
+    def test_requests_coalesce_only_within_a_lane(self):
+        evaluated: list = []
+        policy = BatchPolicy(max_batch=8, max_wait_ms=100.0, max_queue=64)
+        batcher, _ = make_stub_batcher(policy, evaluated=evaluated)
+        try:
+            futures = [
+                batcher.submit(MATVEC, np.full(4, float(i)),
+                               lane=INTERACTIVE if i % 2 else THROUGHPUT)
+                for i in range(8)
+            ]
+            for future in futures:
+                future.result(timeout=30)
+        finally:
+            batcher.close()
+        for block in evaluated:  # no batch mixes the two lanes' markers
+            lanes = {int(block[0, j]) % 2 for j in range(block.shape[1])}
+            assert len(lanes) == 1
+
+    def test_custom_lane_and_lane_validation(self):
+        policy = BatchPolicy(max_batch=8, lanes={"bulk": LanePolicy(max_wait_ms=50.0)})
+        assert set(policy.lanes) == {THROUGHPUT, INTERACTIVE, "bulk"}
+        assert policy.lane_limits("bulk") == (50.0, 8)
+        assert policy.lane_limits(INTERACTIVE) == (0.0, 8)
+        assert policy.lane_limits(THROUGHPUT)[0] is None  # inherits (adaptive-capable)
+        with pytest.raises(ServingError, match="unknown lane"):
+            policy.lane_policy("nope")
+
+    def test_unknown_lane_rejected_at_submit(self, matrix, operator):
+        with make_server(operator) as server:
+            with pytest.raises(ServingError, match="unknown lane"):
+                server.submit("op", np.zeros(matrix.n), lane="vip")
+
+    def test_lane_mix_in_flight_is_bit_identical_to_sequential(self, matrix, operator):
+        """The pinned lane guarantee: lanes change waiting, never the GEMM
+        width — a response is bitwise the same on either lane, under
+        concurrent mixed-lane load or served alone."""
+        rng = np.random.default_rng(21)
+        vectors = rng.standard_normal((24, matrix.n))
+        lanes = [INTERACTIVE if i % 3 == 0 else THROUGHPUT for i in range(24)]
+
+        with make_server(operator, max_wait_ms=20.0) as server:
+            futures = [server.submit("op", v, lane=lane) for v, lane in zip(vectors, lanes)]
+            mixed = [f.result(timeout=30) for f in futures]
+
+        with make_server(operator) as server:
+            sequential = [server.matvec("op", v, timeout=30) for v in vectors]
+
+        for got, alone in zip(mixed, sequential):
+            assert np.array_equal(got, alone)
+
+    def test_lane_latencies_reported_separately(self, matrix, operator):
+        with make_server(operator, max_wait_ms=1.0) as server:
+            server.matvec("op", np.zeros(matrix.n), timeout=30)
+            server.matvec("op", np.zeros(matrix.n), lane=INTERACTIVE, timeout=30)
+            stats = server.stats()["op"]
+        assert stats["lanes"][THROUGHPUT]["responses"] == 1
+        assert stats["lanes"][INTERACTIVE]["responses"] == 1
+        assert stats["lanes"][INTERACTIVE]["latency_ms"]["p50"] > 0.0
+
+
+class TestDeadlines:
+    def test_expired_while_queued_is_shed_and_never_evaluated(self):
+        """The deadline contract: an expired-in-queue request fails with the
+        typed error and its vector never reaches the runner."""
+        gate = threading.Event()
+        started = threading.Event()
+        evaluated: list = []
+        policy = BatchPolicy(max_batch=1, max_wait_ms=0.0, max_queue=8)
+        batcher, metrics = make_stub_batcher(policy, gate=gate, started=started,
+                                             evaluated=evaluated)
+        try:
+            blocker = batcher.submit(MATVEC, np.full(4, 1.0))
+            assert started.wait(timeout=30)  # worker is inside the gated batch
+            doomed = batcher.submit(MATVEC, np.full(4, 2.0), deadline_ms=5.0)
+            time.sleep(0.03)  # let the deadline expire while queued
+            gate.set()
+            with pytest.raises(DeadlineExceededError) as excinfo:
+                doomed.result(timeout=30)
+            assert excinfo.value.lane == THROUGHPUT
+            assert excinfo.value.waited_ms >= 5.0
+            assert np.array_equal(blocker.result(timeout=30), np.full(4, 1.0))
+        finally:
+            gate.set()
+            batcher.close()
+        # the shed vector (marker 2.0) never occupied a GEMM slot
+        assert all(block[0, 0] != 2.0 for block in evaluated)
+        assert metrics.shed == 1
+        assert metrics.responses == 1
+
+    def test_deadline_met_request_is_served_normally(self, matrix, operator):
+        with make_server(operator, max_wait_ms=1.0) as server:
+            got = server.matvec("op", np.zeros(matrix.n), deadline_ms=30_000.0, timeout=30)
+        assert got.shape == (matrix.n,)
+
+    def test_shed_is_counted_per_lane(self):
+        gate = threading.Event()
+        started = threading.Event()
+        policy = BatchPolicy(max_batch=1, max_wait_ms=0.0, max_queue=8)
+        batcher, metrics = make_stub_batcher(policy, gate=gate, started=started)
+        try:
+            batcher.submit(MATVEC, np.zeros(4))
+            assert started.wait(timeout=30)
+            doomed = batcher.submit(MATVEC, np.zeros(4), lane=INTERACTIVE, deadline_ms=1.0)
+            time.sleep(0.01)
+            gate.set()
+            with pytest.raises(DeadlineExceededError):
+                doomed.result(timeout=30)
+        finally:
+            gate.set()
+            batcher.close()
+        assert metrics.to_dict()["lanes"][INTERACTIVE]["shed"] == 1
+
+    def test_non_positive_deadline_rejected(self, matrix, operator):
+        with make_server(operator) as server:
+            with pytest.raises(ServingError, match="deadline_ms"):
+                server.submit("op", np.zeros(matrix.n), deadline_ms=0.0)
+
+
+class TestPolicyValidation:
+    """Satellite: all knobs validated at construction with typed config errors."""
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_batch": 0}, {"max_batch": -1}, {"max_batch": 2.5},
+        {"max_wait_ms": -0.1}, {"max_wait_ms": float("nan")},
+        {"max_queue": 0}, {"retry_after_ms": -1.0},
+        {"latency_target_ms": 0.0}, {"latency_target_ms": -3.0},
+    ])
+    def test_bad_batch_policy_raises_config_error(self, kwargs):
+        with pytest.raises(ServingConfigError):
+            BatchPolicy(**kwargs)
+
+    def test_config_error_is_both_serving_and_configuration_error(self):
+        with pytest.raises(ServingError):
+            BatchPolicy(max_batch=0)
+        with pytest.raises(ConfigurationError):
+            BatchPolicy(max_batch=0)
+
+    def test_bad_lane_policies_raise(self):
+        with pytest.raises(ServingConfigError, match="max_wait_ms"):
+            LanePolicy(max_wait_ms=-1.0)
+        with pytest.raises(ServingConfigError, match="max_batch"):
+            LanePolicy(max_batch=0)
+        with pytest.raises(ServingConfigError, match="canonical width"):
+            BatchPolicy(max_batch=4, lanes={"wide": LanePolicy(max_batch=8)})
+        with pytest.raises(ServingConfigError, match="lane names"):
+            BatchPolicy(lanes={"": LanePolicy()})
+        with pytest.raises(ServingConfigError, match="LanePolicy"):
+            BatchPolicy(lanes={"bulk": {"max_wait_ms": 1.0}})
+
+
+class TestClientBackoff:
+    """Satellite: retry_after honored with capped exponential backoff + jitter."""
+
+    class _Rejecting:
+        """A server stub that rejects the first ``failures`` submissions."""
+
+        def __init__(self, failures, retry_after_s=0.05):
+            self.failures = failures
+            self.retry_after_s = retry_after_s
+            self.calls = 0
+
+        def submit(self, name, w, kind=MATVEC, lane=None, deadline_ms=None, **params):
+            self.calls += 1
+            if self.calls <= self.failures:
+                raise ServerOverloadedError("full", retry_after_s=self.retry_after_s)
+            future = __import__("concurrent.futures", fromlist=["Future"]).Future()
+            future.set_result(np.asarray(w))
+            return future
+
+    def test_backoff_grows_exponentially_and_caps(self, monkeypatch):
+        sleeps: list = []
+        monkeypatch.setattr(time, "sleep", sleeps.append)
+        server = self._Rejecting(failures=4)
+        client = ServingClient(server, retries=4, backoff_growth=2.0,
+                               max_backoff_s=0.15, jitter=0.0)
+        got = client.matvec("op", np.zeros(4))
+        assert got.shape == (4,)
+        assert server.calls == 5
+        # hint·growth^i, capped: 0.05, 0.10, then pinned at max_backoff_s
+        assert sleeps == pytest.approx([0.05, 0.10, 0.15, 0.15])
+
+    def test_jitter_stays_within_the_backoff_envelope(self, monkeypatch):
+        import random
+
+        sleeps: list = []
+        monkeypatch.setattr(time, "sleep", sleeps.append)
+        server = self._Rejecting(failures=3)
+        client = ServingClient(server, retries=3, backoff_growth=2.0,
+                               max_backoff_s=1.0, jitter=0.5, rng=random.Random(7))
+        client.matvec("op", np.zeros(4))
+        expected_bases = [0.05, 0.10, 0.20]
+        assert len(sleeps) == 3
+        for slept, base in zip(sleeps, expected_bases):
+            assert 0.5 * base <= slept <= base  # jitter scales into [1-jitter, 1]
+
+    def test_exhausted_retries_reraise(self, monkeypatch):
+        monkeypatch.setattr(time, "sleep", lambda _s: None)
+        server = self._Rejecting(failures=10)
+        client = ServingClient(server, retries=2)
+        with pytest.raises(ServerOverloadedError):
+            client.matvec("op", np.zeros(4))
+        assert server.calls == 3  # initial try + retries, then give up
+
+    def test_deadline_shed_is_not_retried(self):
+        class Shedding:
+            calls = 0
+
+            def submit(self, name, w, kind=MATVEC, lane=None, deadline_ms=None, **params):
+                self.calls += 1
+                raise DeadlineExceededError("expired", lane=INTERACTIVE, waited_ms=9.0)
+
+        server = Shedding()
+        client = ServingClient(server, retries=5)
+        with pytest.raises(DeadlineExceededError):
+            client.matvec("op", np.zeros(4), lane=INTERACTIVE, deadline_ms=5.0)
+        assert server.calls == 1
+
+    def test_backoff_parameters_validated(self):
+        server = self._Rejecting(failures=0)
+        with pytest.raises(ServingConfigError):
+            ServingClient(server, retries=-1)
+        with pytest.raises(ServingConfigError):
+            ServingClient(server, backoff_growth=0.5)
+        with pytest.raises(ServingConfigError):
+            ServingClient(server, max_backoff_s=0.0)
+        with pytest.raises(ServingConfigError):
+            ServingClient(server, jitter=1.0)
+
+    def test_async_client_backoff_schedule_matches(self):
+        import asyncio
+
+        sleeps: list = []
+        server = self._Rejecting(failures=2)
+        client = AsyncServingClient(server, retries=2, backoff_growth=2.0,
+                                    max_backoff_s=1.0, jitter=0.0)
+
+        async def drive():
+            real_sleep = asyncio.sleep
+
+            async def fake_sleep(s):
+                sleeps.append(s)
+                await real_sleep(0)
+
+            asyncio.sleep = fake_sleep
+            try:
+                return await client.matvec("op", np.zeros(4))
+            finally:
+                asyncio.sleep = real_sleep
+
+        got = asyncio.run(drive())
+        assert got.shape == (4,)
+        assert sleeps == pytest.approx([0.05, 0.10])
+
+
+class TestStableMetricsSchema:
+    """Satellite: ``to_dict`` is a stable, every-key-present schema."""
+
+    TOP_KEYS = {
+        "schema_version", "instances", "requests", "responses", "errors",
+        "rejected", "shed", "batches", "batched_requests", "batch_occupancy",
+        "reloads", "reload_failures", "max_queue_depth", "adaptive_wait_ms",
+        "latency_ewma_ms", "latency_ms", "batch_eval_ms", "batch_sizes", "lanes",
+    }
+    LATENCY_KEYS = {"count", "mean", "p50", "p90", "p99", "max"}
+
+    def test_empty_metrics_schema_is_complete(self):
+        out = ServingMetrics().to_dict()
+        assert set(out) == self.TOP_KEYS
+        assert out["schema_version"] == METRICS_SCHEMA_VERSION
+        assert out["instances"] == 1
+        assert set(out["latency_ms"]) == self.LATENCY_KEYS
+        assert out["latency_ms"]["count"] == 0
+        assert out["adaptive_wait_ms"] is None
+        assert out["lanes"] == {}
+
+    def test_recorded_metrics_keep_the_same_schema(self):
+        metrics = ServingMetrics()
+        metrics.record_submit(1, lane=THROUGHPUT)
+        metrics.record_batch(2, 0.001)
+        metrics.record_response(0.002, lane=THROUGHPUT)
+        metrics.record_shed(INTERACTIVE)
+        out = metrics.to_dict()
+        assert set(out) == self.TOP_KEYS
+        assert out["shed"] == 1
+        assert set(out["lanes"]) == {THROUGHPUT, INTERACTIVE}
+        for lane_stats in out["lanes"].values():
+            assert set(lane_stats) == {"responses", "shed", "rejected", "latency_ms"}
+            assert set(lane_stats["latency_ms"]) == self.LATENCY_KEYS
+        assert out["lanes"][INTERACTIVE]["shed"] == 1
+
+    def test_schema_is_json_serializable(self):
+        import json
+
+        metrics = ServingMetrics()
+        metrics.record_response(0.001, lane=THROUGHPUT)
+        json.dumps(metrics.to_dict())  # must not raise
+
+    def test_aggregate_sums_counters_and_merges_lanes(self):
+        a, b = ServingMetrics(), ServingMetrics()
+        for _ in range(3):
+            a.record_response(0.001, lane=THROUGHPUT)
+        b.record_response(0.002, lane=INTERACTIVE)
+        b.record_shed(INTERACTIVE)
+        a.record_adaptive_wait(2.0, 1.0)
+        b.record_adaptive_wait(4.0, 3.0)
+        out = aggregate_metrics([a, b])
+        assert set(out) == self.TOP_KEYS
+        assert out["instances"] == 2
+        assert out["responses"] == 4
+        assert out["shed"] == 1
+        assert out["latency_ms"]["count"] == 4
+        assert out["adaptive_wait_ms"] == pytest.approx(3.0)  # mean of reporters
+        assert out["lanes"][THROUGHPUT]["responses"] == 3
+        assert out["lanes"][INTERACTIVE]["shed"] == 1
+
+    def test_legacy_snapshot_still_omits_adaptive_keys(self):
+        stats = ServingMetrics().snapshot()
+        assert "adaptive_wait_ms" not in stats
+        assert "schema_version" not in stats  # snapshot stays the legacy shape

@@ -1,0 +1,302 @@
+"""Unit tests for the sharded serving cluster (:mod:`repro.serving.cluster`).
+
+The load-bearing guarantees:
+
+* **placement is deterministic**: the consistent hash ring maps operator
+  names to shards as a pure function of the shard ids — identical across
+  router instances and processes,
+* **routing is numerically invisible** (pinned): a response through the
+  router — any lane, any replica, under failover — is bit-identical to
+  unbatched single-server serving at the same policy,
+* **lane isolation**: with replicated operators each latency lane is
+  pinned to its own shard, so interactive traffic never shares a queue
+  with a throughput backlog,
+* **shard death is survived**: restart-on-death rebuilds the server and
+  re-registers its operators; route-around re-places them on ring
+  successors; either way a request submitted through the dead shard is
+  retried once and succeeds,
+* **metrics roll up**: cluster stats aggregate per-shard ServingMetrics
+  into the stable schema.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import Session
+from repro.errors import ServingConfigError, ServingError, ShardUnavailableError
+from repro.serving import (
+    INTERACTIVE,
+    METRICS_SCHEMA_VERSION,
+    THROUGHPUT,
+    BatchPolicy,
+    MatvecServer,
+    ShardRouter,
+)
+from repro.serving.cluster import (
+    DOWN,
+    ROUTE_AROUND,
+    UP,
+    HashRing,
+    HealthPolicy,
+)
+
+from ..conftest import make_gaussian_kernel_matrix
+from .test_serving import make_config
+
+N = 224
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return make_gaussian_kernel_matrix(n=N, d=3, bandwidth=1.4, seed=0)
+
+
+@pytest.fixture(scope="module")
+def operator(matrix):
+    return Session(matrix, make_config()).compress()
+
+
+def make_policy(**overrides) -> BatchPolicy:
+    return BatchPolicy(**{"max_batch": 8, "max_wait_ms": 2.0, "max_queue": 512, **overrides})
+
+
+class TestPlacement:
+    def test_ring_is_deterministic_across_instances(self):
+        ids = [f"shard-{i}" for i in range(5)]
+        ring_a, ring_b = HashRing(ids), HashRing(ids)
+        for name in ("kernel", "graph", "precision", "op-7"):
+            assert ring_a.place(name, 2, ids) == ring_b.place(name, 2, ids)
+
+    def test_routers_place_identically(self, operator):
+        a = ShardRouter(num_shards=4, policy=make_policy())
+        b = ShardRouter(num_shards=4, policy=make_policy())
+        for name in ("kernel", "graph", "precision"):
+            assert a.register(name, operator, replicas=2) == b.register(name, operator, replicas=2)
+
+    def test_replicas_are_distinct_shards(self):
+        ids = [f"shard-{i}" for i in range(4)]
+        ring = HashRing(ids)
+        placement = ring.place("kernel", 3, ids)
+        assert len(placement) == 3
+        assert len(set(placement)) == 3
+
+    def test_degraded_placement_when_too_few_shards(self):
+        ids = ["shard-0", "shard-1"]
+        ring = HashRing(ids)
+        assert len(ring.place("kernel", 5, ids)) == 2  # degraded, still serving
+        assert ring.place("kernel", 2, []) == ()
+
+    def test_losing_a_shard_only_moves_its_operators(self):
+        ids = [f"shard-{i}" for i in range(6)]
+        ring = HashRing(ids)
+        names = [f"op-{i}" for i in range(40)]
+        before = {n: ring.place(n, 1, ids) for n in names}
+        survivors = [i for i in ids if i != "shard-3"]
+        for name in names:
+            after = ring.place(name, 1, survivors)
+            if before[name][0] != "shard-3":
+                assert after == before[name]  # untouched operators stay put
+            else:
+                assert after[0] in survivors
+
+    def test_registration_validation(self, operator):
+        router = ShardRouter(num_shards=2, policy=make_policy())
+        with pytest.raises(ServingConfigError):
+            ShardRouter(num_shards=0)
+        with pytest.raises(ServingConfigError):
+            router.register("kernel", operator, replicas=0)
+        router.register("kernel", operator)
+        with pytest.raises(ServingError, match="already registered"):
+            router.register("kernel", operator)
+        with pytest.raises(ServingError, match="unknown operator"):
+            router.unregister("nope")
+
+
+class TestRoutedBitIdentity:
+    """Pinned: routed responses == unbatched single-server responses."""
+
+    def test_routed_equals_single_server_unbatched(self, matrix, operator):
+        rng = np.random.default_rng(0)
+        vectors = rng.standard_normal((16, N))
+        policy = make_policy()
+
+        reference_server = MatvecServer(policy=policy)
+        reference_server.register("kernel", operator)
+        with reference_server:
+            # unbatched: each request served alone at the canonical width
+            reference = [reference_server.matvec("kernel", v, timeout=30) for v in vectors]
+
+        router = ShardRouter(num_shards=3, policy=policy)
+        router.register("kernel", operator, replicas=2)
+        with router:
+            futures = [
+                router.submit("kernel", v,
+                              lane=INTERACTIVE if i % 2 else THROUGHPUT)
+                for i, v in enumerate(vectors)
+            ]
+            routed = [f.result(timeout=30) for f in futures]
+
+        for got, expected in zip(routed, reference):
+            assert np.array_equal(got, expected)
+
+    def test_routed_solves_meet_tolerance(self, matrix, operator):
+        rng = np.random.default_rng(1)
+        rhs = rng.standard_normal(N)
+        router = ShardRouter(num_shards=2, policy=make_policy())
+        router.register("kernel", operator)
+        with router:
+            result = router.solve("kernel", rhs, shift=1.0, tolerance=1e-9, timeout=60)
+        assert result.converged
+        residual = np.asarray(operator.apply(result.solution)) + result.solution - rhs
+        assert np.linalg.norm(residual) <= 1e-8 * np.linalg.norm(rhs)
+
+
+class TestLaneIsolation:
+    def test_lanes_are_pinned_to_distinct_replicas(self, matrix, operator):
+        rng = np.random.default_rng(2)
+        router = ShardRouter(num_shards=3, policy=make_policy())
+        placement = router.register("kernel", operator, replicas=2)
+        assert len(placement) == 2
+        with router:
+            for _ in range(4):
+                router.matvec("kernel", rng.standard_normal(N), timeout=30)
+                router.matvec("kernel", rng.standard_normal(N),
+                              lane=INTERACTIVE, timeout=30)
+            per_shard = {
+                sid: router.shard(sid).server.entry("kernel").metrics.to_dict()
+                for sid in placement
+            }
+        # each lane's traffic landed wholly on its own shard
+        lanes_seen = {sid: set(stats["lanes"]) for sid, stats in per_shard.items()}
+        assert sorted(lanes_seen.values(), key=sorted) == [{INTERACTIVE}, {THROUGHPUT}]
+        for stats in per_shard.values():
+            assert stats["responses"] == 4
+
+    def test_queue_depth_balancing_when_isolation_off(self, matrix, operator):
+        router = ShardRouter(num_shards=2, policy=make_policy(), lane_isolation=False)
+        router.register("kernel", operator, replicas=2)
+        with router:
+            got = router.matvec("kernel", np.zeros(N), timeout=30)
+        assert got.shape == (N,)
+
+
+class TestHealth:
+    def test_restart_on_death_recovers_and_reregisters(self, matrix, operator):
+        rng = np.random.default_rng(3)
+        w = rng.standard_normal(N)
+        policy = make_policy()
+        router = ShardRouter(num_shards=2, policy=policy)
+        placement = router.register("kernel", operator, replicas=2)
+
+        reference_server = MatvecServer(policy=policy)
+        reference_server.register("kernel", operator)
+        with reference_server:
+            expected = reference_server.matvec("kernel", w, timeout=30)
+
+        with router:
+            # kill the shard the throughput lane is pinned to, then route through it
+            lanes = sorted(policy.lanes)
+            victim_id = placement[lanes.index(THROUGHPUT) % len(placement)]
+            victim = router.shard(victim_id)
+            victim.kill()
+            assert not victim.healthy
+            got = router.matvec("kernel", w, timeout=30)  # failover path
+            assert np.array_equal(got, expected)          # still bit-identical
+            assert victim.restarts == 1
+            assert victim.healthy
+            assert "kernel" in victim.server
+
+    def test_check_health_restarts_proactively(self, matrix, operator):
+        router = ShardRouter(num_shards=2, policy=make_policy())
+        placement = router.register("kernel", operator, replicas=1)
+        with router:
+            router.shard(placement[0]).kill()
+            report = router.check_health()
+            assert report[placement[0]] == {"healthy": True, "action": "restarted"}
+            other = [sid for sid in router.shards() if sid != placement[0]][0]
+            assert report[other] == {"healthy": True, "action": None}
+            got = router.matvec("kernel", np.zeros(N), timeout=30)
+        assert got.shape == (N,)
+
+    def test_route_around_moves_operators_off_the_dead_shard(self, matrix, operator):
+        router = ShardRouter(num_shards=3, policy=make_policy(),
+                             health=HealthPolicy(mode=ROUTE_AROUND))
+        placement = router.register("kernel", operator, replicas=1)
+        with router:
+            router.shard(placement[0]).kill()
+            got = router.matvec("kernel", np.zeros(N), timeout=30)
+            assert got.shape == (N,)
+            new_placement = router.placement()["kernel"]
+            assert new_placement != placement
+            assert router.shard(placement[0]).state == DOWN
+            assert all(router.shard(sid).state == UP for sid in new_placement)
+
+    def test_max_restarts_demotes_to_route_around(self, matrix, operator):
+        router = ShardRouter(num_shards=2, policy=make_policy(),
+                             health=HealthPolicy(max_restarts=0))
+        placement = router.register("kernel", operator, replicas=1)
+        with router:
+            router.shard(placement[0]).kill()
+            got = router.matvec("kernel", np.zeros(N), timeout=30)
+            assert got.shape == (N,)
+            assert router.shard(placement[0]).state == DOWN  # demoted, not restarted
+            assert router.shard(placement[0]).restarts == 0
+
+    def test_no_shard_left_raises_typed_error(self, matrix, operator):
+        router = ShardRouter(num_shards=1, policy=make_policy(),
+                             health=HealthPolicy(mode=ROUTE_AROUND))
+        placement = router.register("kernel", operator)
+        with router:
+            router.shard(placement[0]).kill()
+            with pytest.raises(ShardUnavailableError):
+                router.matvec("kernel", np.zeros(N), timeout=30)
+
+    def test_health_policy_validation(self):
+        with pytest.raises(ServingConfigError):
+            HealthPolicy(mode="reboot")
+        with pytest.raises(ServingConfigError):
+            HealthPolicy(max_restarts=-1)
+
+
+class TestClusterStats:
+    def test_rollup_aggregates_across_replicas(self, matrix, operator):
+        rng = np.random.default_rng(4)
+        router = ShardRouter(num_shards=3, policy=make_policy())
+        router.register("kernel", operator, replicas=2)
+        with router:
+            for _ in range(3):
+                router.matvec("kernel", rng.standard_normal(N), timeout=30)
+                router.matvec("kernel", rng.standard_normal(N),
+                              lane=INTERACTIVE, timeout=30)
+            stats = router.stats()
+        cluster = stats["cluster"]
+        assert cluster["schema_version"] == METRICS_SCHEMA_VERSION
+        assert cluster["instances"] == 2  # one metrics instance per replica
+        assert cluster["responses"] == 6
+        assert cluster["lanes"][THROUGHPUT]["responses"] == 3
+        assert cluster["lanes"][INTERACTIVE]["responses"] == 3
+        op = stats["operators"]["kernel"]
+        assert op["responses"] == 6
+        assert op["replicas"] == 2
+        assert len(op["placement"]) == 2
+        assert stats["healthy_shards"] == 3
+        assert set(stats["shards"]) == set(router.shards())
+
+    def test_swap_bumps_every_replica(self, matrix, operator):
+        router = ShardRouter(num_shards=2, policy=make_policy())
+        placement = router.register("kernel", operator, replicas=2)
+        with router:
+            router.swap("kernel", operator)
+            for sid in placement:
+                assert router.shard(sid).server.entry("kernel").version == 2
+
+    def test_unregister_removes_everywhere(self, matrix, operator):
+        router = ShardRouter(num_shards=2, policy=make_policy())
+        placement = router.register("kernel", operator, replicas=2)
+        with router:
+            router.unregister("kernel")
+            assert "kernel" not in router
+            for sid in placement:
+                assert "kernel" not in router.shard(sid).server
+            with pytest.raises(ServingError, match="unknown operator"):
+                router.matvec("kernel", np.zeros(N))
