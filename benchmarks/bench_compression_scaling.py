@@ -48,6 +48,11 @@ from repro.core.neighbors import all_nearest_neighbors
 from repro.matrices import KernelMatrix
 from repro.matrices.kernels import GaussianKernel
 
+try:  # package import (pytest benchmarks/) vs direct script run
+    from .harness import memory_probe
+except ImportError:
+    from harness import memory_probe
+
 #: (metric, leaf_size, neighbors) rows of the backend-speedup table.  All
 #: rows run num_neighbor_trees=10 at accuracy target 0.999 — enough
 #: iterations that the phase cost, not the convergence check, dominates.
@@ -241,6 +246,7 @@ def main() -> None:
 
     artifact = {
         "benchmark": "compression_scaling",
+        "memory": memory_probe(),
         "smoke": bool(args.smoke),
         "cpu_count": os.cpu_count(),
         "available_neighbor_backends": list(available_neighbor_backends()),

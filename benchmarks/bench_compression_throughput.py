@@ -48,6 +48,11 @@ from repro.core.backends import available_backends
 from repro.matrices import KernelMatrix
 from repro.matrices.kernels import GaussianKernel
 
+try:  # package import (pytest benchmarks/) vs direct script run
+    from .harness import memory_probe
+except ImportError:
+    from harness import memory_probe
+
 DEFAULT_SIZES = (2048, 8192)
 
 CONFIGS = {
@@ -154,6 +159,7 @@ def main() -> None:
 
     artifact = {
         "benchmark": "compression_throughput",
+        "memory": memory_probe(),
         "available_backends": list(available_backends()),
         "repeats": args.repeats,
         "results": rows,

@@ -42,9 +42,9 @@ from repro.matrices.kernels import GaussianKernel
 from repro.runtime import parallel_evaluate
 
 try:  # package import (pytest benchmarks/) vs direct script run
-    from .harness import traced_peak_bytes
+    from .harness import memory_probe, traced_peak_bytes
 except ImportError:
-    from harness import traced_peak_bytes
+    from harness import memory_probe, traced_peak_bytes
 
 DEFAULT_SIZES = (2048, 8192, 32768)
 
@@ -161,6 +161,7 @@ def main() -> None:
 
     artifact = {
         "benchmark": "matvec_throughput",
+        "memory": memory_probe(),
         "num_rhs": args.rhs,
         "repeats": args.repeats,
         "results": rows,

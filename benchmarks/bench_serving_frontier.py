@@ -56,6 +56,11 @@ from repro.serving import (
     ShardRouter,
 )
 
+try:  # package import (pytest benchmarks/) vs direct script run
+    from .harness import memory_probe
+except ImportError:
+    from harness import memory_probe
+
 #: Fraction of offered traffic on the interactive lane.
 INTERACTIVE_SHARE = 0.2
 #: Interactive requests carry this deadline; queued longer → shed.
@@ -284,6 +289,7 @@ def main() -> None:
 
     artifact = {
         "benchmark": "serving_frontier",
+        "memory": memory_probe(),
         "matrix": args.matrix,
         "n": n,
         "duration_s": duration,

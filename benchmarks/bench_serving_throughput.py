@@ -44,6 +44,11 @@ from repro.api import Session
 from repro.matrices import build_matrix
 from repro.serving import BatchPolicy, MatvecServer
 
+try:  # package import (pytest benchmarks/) vs direct script run
+    from .harness import memory_probe
+except ImportError:
+    from harness import memory_probe
+
 
 def fine_tree_config() -> GOFMMConfig:
     """The fine-tree regime (many small nodes) where level batching shines."""
@@ -179,6 +184,7 @@ def main() -> None:
 
     artifact = {
         "benchmark": "serving_throughput",
+        "memory": memory_probe(),
         "matrix": args.matrix,
         "n": n,
         "requests": requests,

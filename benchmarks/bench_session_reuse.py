@@ -37,6 +37,11 @@ from repro.api import Session
 from repro.core.compress import compress as monolithic_compress
 from repro.matrices import build_matrix
 
+try:  # package import (pytest benchmarks/) vs direct script run
+    from .harness import memory_probe
+except ImportError:
+    from harness import memory_probe
+
 DEFAULT_BUDGETS = (0.0, 0.05, 0.1)
 
 
@@ -116,6 +121,7 @@ def main() -> None:
 
     artifact = {
         "benchmark": "session_reuse",
+        "memory": memory_probe(),
         "matrix": args.matrix,
         "n": n,
         "budgets": budgets,

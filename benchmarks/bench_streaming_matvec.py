@@ -44,9 +44,9 @@ from repro.matrices import KernelMatrix
 from repro.matrices.kernels import GaussianKernel
 
 try:  # package import (pytest benchmarks/) vs direct script run
-    from .harness import traced_peak_bytes
+    from .harness import memory_probe, traced_peak_bytes
 except ImportError:
-    from harness import traced_peak_bytes
+    from harness import memory_probe, traced_peak_bytes
 
 DEFAULT_SIZES = (8192,)
 
@@ -173,6 +173,7 @@ def main() -> None:
 
     artifact = {
         "benchmark": "streaming_matvec",
+        "memory": memory_probe(),
         "num_rhs": args.rhs,
         "repeats": repeats,
         "smoke": bool(args.smoke),

@@ -35,6 +35,7 @@ __all__ = [
     "run_gofmm_session",
     "once",
     "traced_peak_bytes",
+    "memory_probe",
 ]
 
 
@@ -52,6 +53,30 @@ def traced_peak_bytes(fn) -> int:
     finally:
         tracemalloc.stop()
     return int(peak)
+
+
+def memory_probe(fn=None) -> dict:
+    """Process high-water memory for a bench artifact's ``memory`` section.
+
+    Returns ``{"ru_maxrss_kb": ...}`` — the process-lifetime peak RSS from
+    ``getrusage`` (kilobytes on Linux; monotone, so it reflects the largest
+    phase run so far, not just ``fn``) — plus ``{"traced_peak_bytes": ...}``
+    when a callable is given (the tracemalloc high-water of that one call;
+    Python-heap allocations only, so mmap'd pages are *not* counted — which
+    is exactly why it is the honest out-of-core residency measure).
+    Every benchmark writes this dict into its JSON artifact so memory
+    regressions are visible run over run.
+    """
+    out: dict = {}
+    if fn is not None:
+        out["traced_peak_bytes"] = traced_peak_bytes(fn)
+    try:
+        import resource
+
+        out["ru_maxrss_kb"] = int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    except Exception:  # pragma: no cover - resource is POSIX-only
+        out["ru_maxrss_kb"] = 0
+    return out
 
 
 def problem_size(default: int = 1024) -> int:

@@ -29,6 +29,7 @@ registration.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 from typing import Optional
 
@@ -38,7 +39,48 @@ from scipy.sparse.linalg import LinearOperator
 from ..core.compress import CompressionReport
 from ..core.hmatrix import CompressedMatrix
 
-__all__ = ["CompressedOperator"]
+__all__ = ["CompressedOperator", "OperatorReport"]
+
+#: Schema version of the dict :meth:`OperatorReport.__call__` returns.
+REPORT_SCHEMA_VERSION = 1
+
+
+class OperatorReport(CompressionReport):
+    """The operator's compression report, callable for the stable summary.
+
+    Field access (``operator.report.average_rank``, ``isinstance(...,
+    CompressionReport)``) behaves exactly like the wrapped
+    :class:`~repro.core.compress.CompressionReport`; *calling* it —
+    ``operator.report()`` — returns a stable-schema dict whose keys are
+    always present, including the live ``bytes_resident`` /
+    ``bytes_on_disk`` memory split of the operator's representation
+    (mmap-opened stores report their coefficients and blocks on disk).
+    """
+
+    def __init__(self, operator: "CompressedOperator", base: Optional[CompressionReport] = None) -> None:
+        base = base if base is not None else CompressionReport()
+        super().__init__(
+            **{f.name: getattr(base, f.name) for f in dataclasses.fields(CompressionReport)}
+        )
+        self._operator = operator
+
+    def __call__(self) -> dict:
+        operator = self._operator
+        memory = operator.compressed.memory_report()
+        return {
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "n": int(operator.n),
+            "engine": operator.default_engine(),
+            "bytes_resident": int(memory["bytes_resident"]),
+            "bytes_on_disk": int(memory["bytes_on_disk"]),
+            "average_rank": float(self.average_rank),
+            "max_rank": int(self.max_rank),
+            "num_leaves": int(self.num_leaves),
+            "tree_depth": int(self.tree_depth),
+            "near_pairs": int(self.near_pairs),
+            "far_pairs": int(self.far_pairs),
+            "compression_seconds": float(self.total_seconds),
+        }
 
 
 class CompressedOperator(LinearOperator):
@@ -55,13 +97,54 @@ class CompressedOperator(LinearOperator):
 
     def __init__(self, compressed: CompressedMatrix, report: Optional[CompressionReport] = None) -> None:
         self.compressed = compressed
-        self.report = report
+        # ``report`` is both the compression report (attribute access, the
+        # historical contract) and callable for the stable summary dict with
+        # the bytes_resident / bytes_on_disk split.
+        self.report = OperatorReport(self, report)
         # Block-Jacobi factors per shift, built once and shared across solves
         # (they are read-only after construction): a serving batch of solves
         # must not re-factor every leaf diagonal block per request batch.
         self._preconditioners: dict[float, object] = {}
         self._preconditioner_lock = threading.Lock()
         super().__init__(dtype=np.dtype(compressed.config.dtype), shape=compressed.shape)
+
+    # -- out-of-core persistence --------------------------------------------------
+    def save(self, path) -> None:
+        """Persist the operator as a format-v2 store directory.
+
+        The directory (``manifest.json`` + per-array ``.npy`` files) is the
+        out-of-core counterpart of ``Session.save_artifacts``: it carries
+        the *complete* compressed representation — tree, skeletons,
+        coefficients, interaction lists and every cached block — so
+        :meth:`open` can cold-start a serving replica without the source
+        matrix or any recompression.
+        """
+        from ..storage.store import OperatorStore
+
+        OperatorStore.save(self, path)
+
+    @classmethod
+    def open(
+        cls, path, resident: str = "mmap", matrix=None, **config_overrides
+    ) -> "CompressedOperator":
+        """Open an operator store directory written by :meth:`save`.
+
+        ``resident="mmap"`` (default) keeps coefficients and cached blocks
+        as read-only mmap views — the OS pages them in on demand, so the
+        operator cold-starts with near-zero resident footprint and serves
+        through the ``"streamed"`` engine's bounded workspace.
+        ``resident="ram"`` loads everything eagerly (the classic behavior,
+        keeping the engine the operator was saved with).  ``matrix``
+        re-attaches the source SPD matrix — required only for stores saved
+        from memoryless compressions (no cached blocks).  Extra keyword
+        arguments override config fields of the opened operator (e.g.
+        ``streaming_chunk_bytes=...`` to re-budget the workspace).
+        """
+        from ..storage.store import OperatorStore
+
+        store = OperatorStore(path)
+        compressed = store.open(resident=resident, matrix=matrix, **config_overrides)
+        return cls(compressed)
 
     # -- LinearOperator protocol ------------------------------------------------
     def _matvec(self, x: np.ndarray) -> np.ndarray:

@@ -53,7 +53,7 @@ from ..core.compress import CompressionReport, _PhaseTimer
 # so the stage functions stay monkeypatchable at ``repro.core.compress.*``.
 _pipeline = importlib.import_module(__name__.rsplit(".", 2)[0] + ".core.compress")
 from ..core.hmatrix import CompressedMatrix
-from ..errors import CompressionError
+from ..errors import ArtifactMismatchError, CompressionError, ConfigurationError
 from ..matrices.base import as_spd_matrix
 from .operator import CompressedOperator
 from .stages import (
@@ -403,8 +403,8 @@ class Session:
         return self.compress()
 
     # -- artifact persistence ----------------------------------------------------
-    def save_artifacts(self, path) -> None:
-        """Persist the Partition, Neighbors and Interactions artifacts to one ``.npz``.
+    def save_artifacts(self, path, format: str = "npz") -> None:
+        """Persist the Partition, Neighbors and Interactions artifacts.
 
         These are the matrix-light artifacts that dominate a cold
         compression at large n (tree build + iterative ANN search +
@@ -415,6 +415,14 @@ class Session:
         of the serving runtime (:mod:`repro.serving`).  The file records
         each artifact's config fingerprint, and loading validates it
         against the loading session's config.
+
+        ``format="npz"`` writes the legacy single ``.npz`` (loaded fully
+        into memory — fine up to the RAM ceiling, kept for compatibility).
+        ``format="dir"`` writes the format-v2 directory of
+        :mod:`repro.storage.store` (``manifest.json`` + one ``.npy`` per
+        array), which :meth:`load_artifacts` opens via ``mmap_mode="r"``
+        so artifacts much larger than RAM page in on demand — prefer it
+        for any new deployment; the ``.npz`` path is a migration shim.
         """
         partition, neighbors, interactions = self.prepare()
         arrays = partition.to_arrays()
@@ -454,7 +462,6 @@ class Session:
             },
         }
         payload = {
-            "meta": np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
             "node_offsets": arrays["node_offsets"],
             "node_indices": arrays["node_indices"],
             "neighbor_indices": table.indices if table is not None else np.empty((0, 0), dtype=np.intp),
@@ -467,8 +474,20 @@ class Session:
             "nl_indptr": nl_indptr,
             "nl_cols": nl_cols,
         }
-        with open(path, "wb") as fh:
-            np.savez(fh, **payload)
+        if format == "dir":
+            from ..storage.store import STORE_SCHEMA_VERSION, write_array_dir
+
+            manifest = {"kind": "session-artifacts", "schema_version": STORE_SCHEMA_VERSION}
+            manifest.update(meta)
+            write_array_dir(path, manifest, payload)
+        elif format == "npz":
+            payload["meta"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+            with open(path, "wb") as fh:
+                np.savez(fh, **payload)
+        else:
+            raise ConfigurationError(
+                f"unknown artifact format {format!r}: expected 'npz' or 'dir'"
+            )
 
     def load_artifacts(self, path) -> tuple[str, ...]:
         """Install the artifacts saved by :meth:`save_artifacts`.
@@ -476,29 +495,72 @@ class Session:
         Format-2 files carry Partition + Neighbors + Interactions (servers
         cold-start without re-running interaction-list construction);
         format-1 files (pre-Interactions) still load their two stages.
+        Accepts either the legacy ``.npz`` file or the format-v2 directory
+        (``format="dir"``); a directory's arrays are opened with
+        ``mmap_mode="r"`` so the load itself stays near-zero-resident.
         Validates the stored problem size and per-stage config fingerprints
-        against this session's matrix and config; a mismatch raises
-        :class:`~repro.errors.CompressionError` rather than silently
+        against this session's matrix and config; a mismatch — or a
+        truncated / hand-edited file — raises
+        :class:`~repro.errors.ArtifactMismatchError` rather than silently
         compressing against a foreign partition.  Returns the names of the
         installed stages; a following :meth:`compress` skips them all.
         """
-        with np.load(path) as data:
-            meta = json.loads(bytes(data["meta"]))
-            node_offsets = data["node_offsets"]
-            node_indices = data["node_indices"]
-            neighbor_indices = data["neighbor_indices"]
-            neighbor_distances = data["neighbor_distances"]
-            fmt = int(meta.get("format", 1))
-            if fmt >= 2:
-                near_indptr = data["near_indptr"]
-                near_cols = data["near_cols"]
-                far_indptr = data["far_indptr"]
-                far_cols = data["far_cols"]
-                nl_present = data["nl_present"]
-                nl_indptr = data["nl_indptr"]
-                nl_cols = data["nl_cols"]
+        import os
+        import zipfile
+
+        if os.path.isdir(path):
+            from ..storage.store import read_array_dir
+
+            meta, data = read_array_dir(path, mmap=True)
+            if meta.get("kind") != "session-artifacts":
+                raise ArtifactMismatchError(
+                    f"{path!s} is a {meta.get('kind', 'unknown')!r} store, not a "
+                    f"session-artifacts directory"
+                )
+            try:
+                node_offsets = data["node_offsets"]
+                node_indices = data["node_indices"]
+                neighbor_indices = data["neighbor_indices"]
+                neighbor_distances = data["neighbor_distances"]
+                fmt = int(meta.get("format", 1))
+                if fmt >= 2:
+                    near_indptr = data["near_indptr"]
+                    near_cols = data["near_cols"]
+                    far_indptr = data["far_indptr"]
+                    far_cols = data["far_cols"]
+                    nl_present = data["nl_present"]
+                    nl_indptr = data["nl_indptr"]
+                    nl_cols = data["nl_cols"]
+            except KeyError as exc:
+                raise ArtifactMismatchError(
+                    f"artifact directory {path!s} is missing array {exc}"
+                ) from exc
+        else:
+            try:
+                with np.load(path) as data:
+                    meta = json.loads(bytes(data["meta"]))
+                    node_offsets = data["node_offsets"]
+                    node_indices = data["node_indices"]
+                    neighbor_indices = data["neighbor_indices"]
+                    neighbor_distances = data["neighbor_distances"]
+                    fmt = int(meta.get("format", 1))
+                    if fmt >= 2:
+                        near_indptr = data["near_indptr"]
+                        near_cols = data["near_cols"]
+                        far_indptr = data["far_indptr"]
+                        far_cols = data["far_cols"]
+                        nl_present = data["nl_present"]
+                        nl_indptr = data["nl_indptr"]
+                        nl_cols = data["nl_cols"]
+            except (OSError, KeyError, ValueError, zipfile.BadZipFile) as exc:
+                # np.load raises zipfile.BadZipFile on a truncated archive,
+                # KeyError on a missing member, and ValueError on corrupt
+                # npy headers / malformed meta JSON.
+                raise ArtifactMismatchError(
+                    f"artifact file {path!s} is truncated or corrupt: {exc}"
+                ) from exc
         if int(meta["n"]) != self.matrix.n:
-            raise CompressionError(
+            raise ArtifactMismatchError(
                 f"artifact file holds a partition of n={meta['n']}, session matrix has n={self.matrix.n}"
             )
         stale = []
@@ -507,7 +569,7 @@ class Session:
             if meta["fingerprints"][stage] != current:
                 stale.append(stage)
         if stale:
-            raise CompressionError(
+            raise ArtifactMismatchError(
                 f"artifact fingerprints do not match the session config for stage(s) "
                 f"{', '.join(stale)}; recompute with save_artifacts under the current config"
             )
@@ -523,10 +585,12 @@ class Session:
             # Structural validation at the trust boundary: a truncated or
             # hand-edited file must fail here, not deep inside compression.
             partition.tree.check_invariants(self._config.leaf_size)
-        except CompressionError:
+        except ArtifactMismatchError:
             raise
         except Exception as exc:
-            raise CompressionError(f"artifact file holds a malformed partition: {exc}") from exc
+            raise ArtifactMismatchError(
+                f"artifact file holds a malformed partition: {exc}"
+            ) from exc
         if meta["has_neighbors"]:
             from ..core.neighbors import NeighborTable
 
@@ -540,7 +604,7 @@ class Session:
                 or distances.shape != indices.shape
                 or (indices.size and (indices.min() < 0 or indices.max() >= self.matrix.n))
             ):
-                raise CompressionError(
+                raise ArtifactMismatchError(
                     f"artifact file holds a malformed neighbor table "
                     f"(shape {indices.shape} for n={self.matrix.n})"
                 )
@@ -607,7 +671,7 @@ class Session:
                 or indptr[-1] != cols.size
                 or (cols.size and (cols.min() < 0 or cols.max() >= bound))
             ):
-                raise CompressionError(f"artifact file holds malformed {what} lists")
+                raise ArtifactMismatchError(f"artifact file holds malformed {what} lists")
             return {
                 i: cols[indptr[i] : indptr[i + 1]].tolist() for i in range(num_nodes)
             }
@@ -615,7 +679,7 @@ class Session:
         tree = partition.tree
         leaf_ids = {leaf.node_id for leaf in tree.leaves}
         if num_leaves != len(leaf_ids):
-            raise CompressionError(
+            raise ArtifactMismatchError(
                 f"artifact file holds interaction lists over {num_leaves} leaves, "
                 f"partition has {len(leaf_ids)}"
             )
@@ -625,11 +689,11 @@ class Session:
         # non-empty Near list on an internal node is a malformed file.
         near = {i: members for i, members in near_all.items() if i in leaf_ids}
         if any(members for i, members in near_all.items() if i not in leaf_ids):
-            raise CompressionError("artifact file holds Near lists on internal nodes")
+            raise ArtifactMismatchError("artifact file holds Near lists on internal nodes")
         nl_all = decode(nl_indptr, nl_cols, "node-neighbor", self.matrix.n)
         nl_present = np.asarray(nl_present, dtype=bool)
         if nl_present.shape != (num_nodes,):
-            raise CompressionError("artifact file holds a malformed node-neighbor mask")
+            raise ArtifactMismatchError("artifact file holds a malformed node-neighbor mask")
         neighbor_lists = {
             i: np.asarray(nl_all[i], dtype=np.intp)
             for i in range(num_nodes)

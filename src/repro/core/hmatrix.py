@@ -81,6 +81,20 @@ class BlockProvider:
     def cached_entries(self) -> int:
         return sum(block.size for block in self._cache.values())
 
+    def cached_items(self):
+        """Iterate ``(key, block)`` over the cached blocks (insertion order)."""
+        return self._cache.items()
+
+    @property
+    def bytes_resident(self) -> int:
+        """Heap bytes held by the cached blocks."""
+        return sum(block.nbytes for block in self._cache.values())
+
+    @property
+    def bytes_on_disk(self) -> int:
+        """Disk bytes backing the blocks (always 0 for the in-memory provider)."""
+        return 0
+
     def __len__(self) -> int:
         return len(self._cache)
 
@@ -307,6 +321,46 @@ class CompressedMatrix:
             "dense_equivalent": float(dense),
             "compression_ratio": float(dense / total) if total else float("inf"),
         }
+
+    def memory_report(self) -> dict[str, int]:
+        """Resident vs on-disk bytes of the representation (stable schema).
+
+        ``bytes_resident`` counts heap-held arrays: skeleton coefficients
+        (unless they are mmap views into an operator store), cached blocks
+        of in-memory providers, the packed plan and the streaming plan's
+        index tables *if already built* (this report never builds them).
+        ``bytes_on_disk`` counts mmap-backed coefficients/blocks plus any
+        live streaming spill arena.  Keys are always present, so serving
+        metrics and ``CompressedOperator.report()`` can rely on the schema.
+        """
+        from ..storage.store import is_disk_backed
+
+        coeff_resident = coeff_disk = 0
+        for node in self.tree.nodes:
+            for array in (node.coeffs, node.skeleton):
+                if array is None:
+                    continue
+                if is_disk_backed(array):
+                    coeff_disk += array.nbytes
+                else:
+                    coeff_resident += array.nbytes
+        resident = coeff_resident
+        on_disk = coeff_disk
+        for provider in (self.near_blocks, self.far_blocks):
+            resident += int(getattr(provider, "bytes_resident", 0))
+            on_disk += int(getattr(provider, "bytes_on_disk", 0))
+        if self._plan is not None:
+            resident += int(self._plan.packed_entries()) * 8
+        if self._streaming_plan is not None:
+            resident += int(self._streaming_plan.index_bytes())
+            if not self._streaming_plan.spills:
+                # Spilled workspaces live in the arena (counted below while
+                # an evaluation holds them), not on the heap.
+                resident += int(self._streaming_plan.workspace_bytes)
+            arena = getattr(self._streaming_plan, "_arena", None)
+            if arena is not None and not arena.closed:
+                on_disk += int(arena.bytes_on_disk)
+        return {"bytes_resident": int(resident), "bytes_on_disk": int(on_disk)}
 
     def plan_report(self) -> dict[str, float]:
         """Size of the packed evaluation plan (builds it if not yet cached)."""

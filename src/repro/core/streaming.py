@@ -85,6 +85,12 @@ _MATERIALIZE_CALL_BYTES = 2 << 20
 #: split across all the buffers, keeping the total workspace bound.
 _PIPELINE_BUFFERS = 4
 
+#: Granularity (bytes) of one panel-source read / panel-sink write when
+#: weights stream through :meth:`StreamingPlan.execute` as column panels.
+#: Bounds the transient a single ``source.read`` hands back, independent
+#: of ``n``.
+_PANEL_IO_BYTES = 8 << 20
+
 
 # ---------------------------------------------------------------------------
 # segments and chunks
@@ -294,6 +300,15 @@ class StreamingPlan:
         self.stall_timeout = stall_timeout
         chunks = s2s_chunks + l2l_chunks
         self.buffer_elems = max((c.total_elems for c in chunks), default=0)
+        #: Decided at plan time: the cycling buffers only exceed the budget
+        #: when a single interaction block is bigger than one buffer's share
+        #: of it (the packer's one-block minimum).  Exactly-at-budget plans
+        #: allocate normally; strictly-over plans take their buffers from a
+        #: disk-backed :class:`~repro.storage.spill.SpillArena` instead of
+        #: over-allocating anonymous memory.
+        self.spills = self.workspace_bytes > self.chunk_bytes
+        self._arena = None
+        self._arena_lock = threading.Lock()
         self.flops_per_rhs: Dict[str, float] = {
             "n2s": sum(s.flops_per_rhs for level in layout.n2s_levels for s in level),
             "s2s": sum(c.flops_per_rhs for c in s2s_chunks),
@@ -350,7 +365,41 @@ class StreamingPlan:
             "chunk_budget_bytes": float(self.chunk_bytes),
             "index_bytes": float(self.index_bytes()),
             "workspace_rows": float(self.layout.workspace_rows),
+            "spills": float(self.spills),
+            "spill_bytes": float(self._arena.bytes_on_disk if self._arena is not None else 0),
         }
+
+    # -- lifecycle ----------------------------------------------------------
+    def _spill_arena(self):
+        """The lazily created spill arena backing over-budget chunk buffers."""
+        with self._arena_lock:
+            if self._arena is None or self._arena.closed:
+                from ..storage.spill import SpillArena
+
+                self._arena = SpillArena(
+                    budget_bytes=max(self.chunk_bytes, 1), prefix="gofmm-stream-"
+                )
+            return self._arena
+
+    def close(self) -> None:
+        """Release the spill arena (if any); the plan stays usable and will
+        lazily recreate it on the next over-budget execution."""
+        with self._arena_lock:
+            arena, self._arena = self._arena, None
+        if arena is not None:
+            arena.close()
+
+    def __enter__(self) -> "StreamingPlan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # -- execution ----------------------------------------------------------
     def _run_pass(self, levels, ctx: PlanContext) -> None:
@@ -363,12 +412,33 @@ class StreamingPlan:
 
     def execute(
         self,
-        weights: np.ndarray,
+        weights,
         counters: Optional[EvaluationCounters] = None,
         pool=None,
         stall_timeout=_PLAN_TIMEOUT,
-    ) -> np.ndarray:
-        """One streamed matvec on an ``(N, r)`` weight matrix.
+        out=None,
+        panel_cols: Optional[int] = None,
+    ) -> Optional[np.ndarray]:
+        """One streamed matvec on ``(N, r)`` weights.
+
+        ``weights`` is either a plain array (the classic path: one context,
+        one result array) or anything :func:`repro.storage.panels.as_panel_source`
+        accepts — a ``PanelSource``, or a path to an ``.npy`` file opened
+        via mmap.  Non-array weights, an explicit ``out`` sink, or an
+        explicit ``panel_cols`` all select the **panel path**: the RHS is
+        processed as column panels of at most ``panel_cols`` columns, each
+        read in bounded row-range slices, so peak residency is
+        ``O(workspace + panel)`` instead of ``O(n * r)``.
+
+        ``out`` accepts an array, a ``PanelSink``, or a path (written as a
+        fresh ``.npy`` via write-mode mmap).  With a sink the return value
+        is ``None``; otherwise the dense result is returned.
+
+        Note on bit patterns: BLAS GEMM accumulation differs across RHS
+        widths, so a panel of width ``c`` is bit-identical to evaluating
+        those same ``c`` columns alone — not to slicing a full-width
+        evaluation (the established engine-contract caveat from the
+        serving batcher, which pads to a canonical width for that reason).
 
         ``stall_timeout`` defaults to the config value captured at plan
         build; pass ``None`` explicitly to disable the watchdog for this
@@ -376,21 +446,127 @@ class StreamingPlan:
         """
         if stall_timeout is self._PLAN_TIMEOUT:
             stall_timeout = self.stall_timeout
+        if isinstance(weights, np.ndarray) and out is None and panel_cols is None:
+            output = self._execute_array(weights, pool, stall_timeout, buffers=None)
+            if counters is not None:
+                self.add_flops(counters, weights.shape[1])
+            return output
+
+        from ..storage.panels import as_panel_sink, as_panel_source
+
+        source = as_panel_source(weights)
+        n, num_rhs = source.shape
+        if n != self.layout.n:
+            raise EvaluationError(
+                f"panel source has {n} rows, operator expects {self.layout.n}"
+            )
+        cols = panel_cols if panel_cols is not None else self.default_panel_cols(num_rhs)
+        if cols < 1:
+            raise EvaluationError(f"panel_cols must be >= 1, got {cols}")
+        cols = min(cols, num_rhs) if num_rhs else cols
+        result = None
+        if out is None:
+            result = np.empty((n, num_rhs))
+            sink = None
+        else:
+            sink = as_panel_sink(out, (n, num_rhs))
+        # The chunk buffers are independent of the RHS width, so one set
+        # cycles through every panel.
+        buffers = self._allocate_buffers() if (self.s2s_chunks or self.l2l_chunks) else []
+        try:
+            for start in range(0, num_rhs, cols):
+                stop = min(start + cols, num_rhs)
+                panel = self._read_panel(source, n, start, stop)
+                out_panel = self._execute_array(panel, pool, stall_timeout, buffers=buffers)
+                if sink is not None:
+                    self._write_panel(sink, out_panel, start)
+                else:
+                    result[:, start:stop] = out_panel
+                if counters is not None:
+                    self.add_flops(counters, stop - start)
+        finally:
+            self._release_buffers(buffers)
+        if sink is not None and hasattr(sink, "flush"):
+            sink.flush()
+        return result
+
+    def default_panel_cols(self, num_rhs: int) -> int:
+        """Panel width sizing the input + output panels to the chunk budget.
+
+        Each in-flight panel pair costs ``2 * n * cols * 8`` bytes (plus
+        the layout's ``2 * workspace_rows * cols * 8`` skeleton workspace),
+        so the default keeps them together within ``chunk_bytes`` —
+        mirroring how the chunk buffers split the same budget.
+        """
+        per_col = 2 * (self.layout.n + self.layout.workspace_rows) * 8
+        cols = max(1, self.chunk_bytes // max(per_col, 1))
+        return min(cols, num_rhs) if num_rhs else cols
+
+    @staticmethod
+    def _read_panel(source, n: int, col_start: int, col_stop: int) -> np.ndarray:
+        """Assemble one float64 column panel from bounded row-range reads."""
+        width = col_stop - col_start
+        panel = np.empty((n, width))
+        rows_per = max(1, _PANEL_IO_BYTES // max(width * 8, 1))
+        for row_start in range(0, n, rows_per):
+            row_stop = min(row_start + rows_per, n)
+            panel[row_start:row_stop] = source.read(row_start, row_stop, col_start, col_stop)
+        return panel
+
+    @staticmethod
+    def _write_panel(sink, panel: np.ndarray, col_start: int) -> None:
+        width = panel.shape[1]
+        rows_per = max(1, _PANEL_IO_BYTES // max(width * 8, 1))
+        for row_start in range(0, panel.shape[0], rows_per):
+            row_stop = min(row_start + rows_per, panel.shape[0])
+            sink.write(row_start, col_start, panel[row_start:row_stop])
+
+    def _allocate_buffers(self) -> List[np.ndarray]:
+        """The cycling chunk buffers — heap-allocated within budget,
+        arena-backed (disk spill) when the plan is over budget."""
+        num_chunks = self.num_chunks
+        num_buffers = min(_PIPELINE_BUFFERS, max(num_chunks, 1))
+        if not self.spills:
+            return [np.empty(self.buffer_elems) for _ in range(num_buffers)]
+        arena = self._spill_arena()
+        return [arena.allocate(self.buffer_elems) for _ in range(num_buffers)]
+
+    def _release_buffers(self, buffers: List[np.ndarray]) -> None:
+        """Return spill-backed buffers to the arena (heap buffers just GC)."""
+        if not self.spills:
+            return
+        with self._arena_lock:
+            arena = self._arena
+        if arena is None or arena.closed:
+            return
+        for buffer in buffers:
+            if isinstance(buffer, np.memmap):
+                arena.release(buffer)
+
+    def _execute_array(
+        self, weights: np.ndarray, pool, stall_timeout, buffers: Optional[List[np.ndarray]]
+    ) -> np.ndarray:
+        """One full evaluation of an in-memory ``(N, r)`` weight array.
+
+        ``buffers`` lets the panel loop reuse one set of chunk buffers
+        across panels; ``None`` allocates (and lets GC drop) a fresh set.
+        """
         ctx = self.layout.new_context(weights)
         chunks = self.s2s_chunks + self.l2l_chunks
         if not chunks:
             # Degenerate (no interactions): just the up/down passes.
             self._run_pass(self.layout.n2s_levels, ctx)
             self._run_pass(self.layout.s2n_levels, ctx)
-        else:
-            num_buffers = min(_PIPELINE_BUFFERS, len(chunks))
-            buffers = [np.empty(self.buffer_elems) for _ in range(num_buffers)]
+            return ctx.output
+        own_buffers = buffers is None
+        if own_buffers:
+            buffers = self._allocate_buffers()
+        try:
             graph, payloads = self._build_graph(ctx, buffers)
-            (pool or _shared_pool()).run(
-                graph, payloads=payloads, stall_timeout=stall_timeout
-            )
-        if counters is not None:
-            self.add_flops(counters, weights.shape[1])
+            (pool or _shared_pool()).run(graph, payloads=payloads, stall_timeout=stall_timeout)
+        finally:
+            if own_buffers:
+                self._release_buffers(buffers)
         return ctx.output
 
     def _build_graph(self, ctx: PlanContext, buffers):
@@ -421,13 +597,27 @@ class StreamingPlan:
         add("S2N", "S2N", self.flops_per_rhs["s2n"] * num_rhs,
             lambda: self._run_pass(self.layout.s2n_levels, ctx))
         num_buffers = len(buffers)
+        # Spill-backed buffers are pinned hot across their materialize →
+        # execute window and released after, so the arena's LRU accounting
+        # tracks exactly the chunks the pipeline is actively touching.
+        arena = self._arena if self.spills else None
+
+        def run_mat(chunk, buffer) -> None:
+            if arena is not None:
+                arena.pin(buffer)
+            chunk.materialize(self.near_blocks, self.far_blocks, self.matrix, buffer)
+
+        def run_exec(chunk, buffer) -> None:
+            chunk.run(ctx, buffer)
+            if arena is not None:
+                arena.unpin(buffer)
+
         for i, chunk in enumerate(chunks):
             buffer = buffers[i % num_buffers]
             add(f"mat:{i}", "MAT", float(chunk.total_elems),
-                lambda c=chunk, b=buffer: c.materialize(
-                    self.near_blocks, self.far_blocks, self.matrix, b))
+                lambda c=chunk, b=buffer: run_mat(c, b))
             add(f"exec:{i}", chunk.segments[0].kind, chunk.flops_per_rhs * num_rhs,
-                lambda c=chunk, b=buffer: c.run(ctx, b))
+                lambda c=chunk, b=buffer: run_exec(c, b))
 
         graph.add_dependency("N2S", "S2N")
         for i in range(len(chunks)):

@@ -12,6 +12,8 @@ __all__ = [
     "ConfigurationError",
     "NotSPDError",
     "CompressionError",
+    "ArtifactMismatchError",
+    "StorageError",
     "RankDeficiencyError",
     "EvaluationError",
     "SchedulingError",
@@ -47,6 +49,27 @@ class NotSPDError(GOFMMError, ValueError):
 
 class CompressionError(GOFMMError, RuntimeError):
     """The compression phase failed to produce a usable hierarchical matrix."""
+
+
+class ArtifactMismatchError(CompressionError, ConfigurationError):
+    """A persisted artifact cannot be installed into the current session.
+
+    Raised by ``Session.load_artifacts`` / the operator store when a file's
+    stage fingerprints do not match the loading config, or when the file
+    itself is truncated, hand-edited, or otherwise fails the trust-boundary
+    validation.  Subclasses both :class:`CompressionError` (the historical
+    type, so existing handlers keep working) and
+    :class:`ConfigurationError` (it is a configuration-level mistake:
+    pointing a session at artifacts built under a different config).
+    """
+
+
+class StorageError(GOFMMError, RuntimeError):
+    """The out-of-core storage layer was used in an invalid state.
+
+    A closed spill arena, a write into a read-only stored block provider,
+    an object that cannot be interpreted as a panel source/sink.
+    """
 
 
 class RankDeficiencyError(CompressionError):

@@ -173,6 +173,8 @@ class ShardRouter:
         config=None,
         artifacts=None,
         coordinates=None,
+        store=None,
+        resident: str = "mmap",
         replicas: int = 1,
         policy: Optional[BatchPolicy] = None,
     ) -> Tuple[str, ...]:
@@ -182,19 +184,31 @@ class ShardRouter:
         ``config`` / ``coordinates`` / ``artifacts``) to build one *once*
         here — replicas then share that single operator object (its
         workspace pool makes concurrent evaluation safe and the responses
-        bit-identical).  Returns the placement (shard ids, ring order).
+        bit-identical).  ``store`` (a ``CompressedOperator.save``
+        directory) instead cold-starts the complete operator from disk with
+        no matrix and no recompression; ``resident="mmap"`` keeps its
+        coefficients and blocks paged in on demand, shared read-only by all
+        replicas.  Returns the placement (shard ids, ring order).
         """
         if not isinstance(replicas, int) or replicas < 1:
             raise ServingConfigError(f"replicas must be a positive integer, got {replicas!r}")
+        if store is not None and (operator is not None or matrix is not None or artifacts is not None):
+            raise ServingError(
+                f"register({name!r}): store= is a complete source; it cannot be combined "
+                f"with operator/matrix/artifacts"
+            )
         if operator is None:
-            if matrix is None:
+            if store is not None:
+                operator = CompressedOperator.open(store, resident=resident)
+            elif matrix is None:
                 raise ServingError(
-                    f"register({name!r}) needs an operator, or a matrix to compress one from"
+                    f"register({name!r}) needs an operator, a store, or a matrix to compress one from"
                 )
-            session = Session(matrix, config, coordinates=coordinates)
-            if artifacts is not None:
-                session.load_artifacts(artifacts)
-            operator = session.compress()
+            else:
+                session = Session(matrix, config, coordinates=coordinates)
+                if artifacts is not None:
+                    session.load_artifacts(artifacts)
+                operator = session.compress()
         with self._lock:
             if name in self._specs:
                 raise ServingError(f"operator {name!r} is already registered on the cluster")

@@ -33,7 +33,9 @@ import numpy as np
 __all__ = ["ServingMetrics", "aggregate_metrics", "METRICS_SCHEMA_VERSION"]
 
 #: Version of the stable ``to_dict`` / ``aggregate_metrics`` schema.
-METRICS_SCHEMA_VERSION = 1
+#: v2 added the ``bytes_resident`` / ``bytes_on_disk`` memory split (how
+#: much of the served operator lives in RAM vs pages in from an mmap store).
+METRICS_SCHEMA_VERSION = 2
 
 
 def _latency_summary(latencies_s: Sequence[float]) -> Dict[str, float]:
@@ -83,6 +85,11 @@ class ServingMetrics:
         #: the batcher's current effective wait and its latency-EWMA estimate.
         self.adaptive_wait_ms = None
         self.latency_ewma_ms = None
+        #: Memory split of the served operator (see
+        #: ``CompressedMatrix.memory_report``); gauges, refreshed at
+        #: registration and on every hot reload, zero until recorded.
+        self.bytes_resident = 0
+        self.bytes_on_disk = 0
 
     # -- recording ----------------------------------------------------------
     def record_submit(self, queue_depth: int, lane: Optional[str] = None) -> None:
@@ -139,6 +146,12 @@ class ServingMetrics:
             self.adaptive_wait_ms = float(wait_ms)
             self.latency_ewma_ms = float(latency_ewma_ms)
 
+    def record_memory(self, bytes_resident: int, bytes_on_disk: int) -> None:
+        """Gauge update: the served operator's resident/on-disk byte split."""
+        with self._lock:
+            self.bytes_resident = int(bytes_resident)
+            self.bytes_on_disk = int(bytes_on_disk)
+
     # -- raw state (aggregation substrate) -----------------------------------
     def _raw(self) -> Dict[str, object]:
         """A consistent copy of counters + windows, taken under the lock."""
@@ -159,6 +172,8 @@ class ServingMetrics:
                 "max_queue_depth": self.max_queue_depth,
                 "adaptive_wait_ms": self.adaptive_wait_ms,
                 "latency_ewma_ms": self.latency_ewma_ms,
+                "bytes_resident": self.bytes_resident,
+                "bytes_on_disk": self.bytes_on_disk,
                 "latencies": list(self._latencies),
                 "batch_sizes": list(self._batch_sizes),
                 "batch_seconds": list(self._batch_seconds),
@@ -206,6 +221,8 @@ class ServingMetrics:
             "reloads": raw["reloads"],
             "reload_failures": raw["reload_failures"],
             "max_queue_depth": raw["max_queue_depth"],
+            "bytes_resident": raw["bytes_resident"],
+            "bytes_on_disk": raw["bytes_on_disk"],
         }
         if raw["adaptive_wait_ms"] is not None:
             out["adaptive_wait_ms"] = raw["adaptive_wait_ms"]
@@ -259,6 +276,8 @@ def _render(raw: Dict[str, object], instances: int) -> Dict[str, object]:
         "max_queue_depth": raw["max_queue_depth"],
         "adaptive_wait_ms": raw["adaptive_wait_ms"],
         "latency_ewma_ms": raw["latency_ewma_ms"],
+        "bytes_resident": raw["bytes_resident"],
+        "bytes_on_disk": raw["bytes_on_disk"],
         "latency_ms": _latency_summary(raw["latencies"]),
         "batch_eval_ms": {
             "count": int(batch_seconds.size),
@@ -295,7 +314,7 @@ def aggregate_metrics(metrics: Iterable[ServingMetrics]) -> Dict[str, object]:
     merged: Dict[str, object] = {
         "requests": 0, "responses": 0, "errors": 0, "rejected": 0, "shed": 0,
         "batches": 0, "batched_requests": 0, "reloads": 0, "reload_failures": 0,
-        "max_queue_depth": 0,
+        "max_queue_depth": 0, "bytes_resident": 0, "bytes_on_disk": 0,
         "adaptive_wait_ms": None, "latency_ewma_ms": None,
         "latencies": [], "batch_sizes": [], "batch_seconds": [], "lanes": {},
     }
@@ -303,7 +322,8 @@ def aggregate_metrics(metrics: Iterable[ServingMetrics]) -> Dict[str, object]:
     ewma: List[float] = []
     for raw in raws:
         for key in ("requests", "responses", "errors", "rejected", "shed",
-                    "batches", "batched_requests", "reloads", "reload_failures"):
+                    "batches", "batched_requests", "reloads", "reload_failures",
+                    "bytes_resident", "bytes_on_disk"):
             merged[key] += raw[key]
         merged["max_queue_depth"] = max(merged["max_queue_depth"], raw["max_queue_depth"])
         if raw["adaptive_wait_ms"] is not None:

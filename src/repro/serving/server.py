@@ -51,8 +51,19 @@ _SOLVE_PARAMS = ("shift", "tolerance", "max_iterations", "use_preconditioner", "
 
 
 def _file_stamp(path) -> tuple[int, int]:
+    # A store / dir-format artifact directory is stamped by its manifest:
+    # write_array_dir publishes the manifest last, so a manifest change is
+    # the authoritative "new contents" signal (directory mtimes are not).
+    if os.path.isdir(path):
+        path = os.path.join(path, "manifest.json")
     stat = os.stat(path)
     return (stat.st_mtime_ns, stat.st_size)
+
+
+def _record_memory(entry: "OperatorEntry") -> None:
+    """Refresh the entry's resident/on-disk gauges from its current operator."""
+    memory = entry.operator.compressed.memory_report()
+    entry.metrics.record_memory(memory["bytes_resident"], memory["bytes_on_disk"])
 
 
 def _prebuild_plan(operator: CompressedOperator) -> None:
@@ -146,6 +157,7 @@ class MatvecServer:
         server.register("kernel", operator)                    # in-process
         server.register("cold", matrix=K, config=cfg,
                         artifacts="artifacts.npz")             # cold start from disk
+        server.register("ooc", store="op.store")               # mmap'd operator store
         with server:                                            # start()/stop()
             u = server.matvec("kernel", w)                      # sync convenience
             fut = server.submit("kernel", w)                    # raw future
@@ -178,6 +190,8 @@ class MatvecServer:
         config: Optional[GOFMMConfig] = None,
         artifacts=None,
         coordinates=None,
+        store=None,
+        resident: str = "mmap",
         policy: Optional[BatchPolicy] = None,
     ) -> OperatorEntry:
         """Register a named operator, building it first if needed.
@@ -186,13 +200,24 @@ class MatvecServer:
         ``config`` / ``coordinates``) to compress one here; adding
         ``artifacts`` (a ``Session.save_artifacts`` file) cold-starts the
         build from the persisted partition / ANN / interaction lists and
-        arms hot reload on that file.  The evaluation plan is prebuilt so
-        the first request does not pay the plan build.
+        arms hot reload on that file.  Alternatively pass ``store`` (a
+        ``CompressedOperator.save`` directory) to cold-start the *complete*
+        operator from disk with no matrix and no recompression —
+        ``resident="mmap"`` (default) serves straight off the mmap'd store
+        with a bounded resident footprint, ``resident="ram"`` loads it
+        eagerly; hot reload is armed on the store's manifest.  The
+        evaluation plan is prebuilt so the first request does not pay the
+        plan build.
         """
         with self._lock:
             if name in self._entries:
                 # fail before the (possibly minutes-long) build, not after
                 raise ServingError(f"operator {name!r} is already registered (use swap/reload)")
+        if store is not None and (operator is not None or matrix is not None or artifacts is not None):
+            raise ServingError(
+                f"register({name!r}): store= is a complete source; it cannot be combined "
+                f"with operator/matrix/artifacts"
+            )
         if artifacts is not None and matrix is None:
             raise ServingError(
                 f"register({name!r}): hot reload from artifacts requires the matrix"
@@ -200,15 +225,21 @@ class MatvecServer:
         # Stamp BEFORE building: a file rewritten during the (possibly long)
         # build must look changed to the next poll_reloads, not silently
         # current while the entry serves the pre-rewrite operator.
-        stamp = _file_stamp(artifacts) if artifacts is not None else None
+        source_path = store if store is not None else artifacts
+        stamp = _file_stamp(source_path) if source_path is not None else None
         if operator is None:
-            if matrix is None:
+            if store is not None:
+                operator = CompressedOperator.open(store, resident=resident)
+            elif matrix is None:
                 raise ServingError(
-                    f"register({name!r}) needs an operator, or a matrix to compress one from"
+                    f"register({name!r}) needs an operator, a store, or a matrix to compress one from"
                 )
-            operator = self._build(matrix, config, artifacts, coordinates)
+            else:
+                operator = self._build(matrix, config, artifacts, coordinates)
         source = None
-        if artifacts is not None:
+        if store is not None:
+            source = {"store": store, "resident": resident, "stamp": stamp}
+        elif artifacts is not None:
             source = {
                 "matrix": matrix,
                 "config": config,
@@ -231,6 +262,7 @@ class MatvecServer:
             self._entries[name] = entry
             if self._started:
                 entry.batcher.start()
+        _record_memory(entry)
         return entry
 
     def unregister(self, name: str, drain: bool = True) -> None:
@@ -281,6 +313,7 @@ class MatvecServer:
         """Hot-swap an in-process operator; in-flight batches finish on the old one."""
         entry = self._entry(name)
         entry.swap(operator)
+        _record_memory(entry)
         entry.metrics.record_reload()
 
     def reload(self, name: str, force: bool = False) -> bool:
@@ -297,18 +330,24 @@ class MatvecServer:
         if source is None:
             raise ServingError(f"operator {name!r} has no artifact source to reload from")
         try:
-            stamp = _file_stamp(source["artifacts"])
+            stamp = _file_stamp(source.get("store") or source["artifacts"])
             if not force and stamp == source["stamp"]:
                 return False
-            operator = self._build(
-                source["matrix"], source["config"], source["artifacts"], source["coordinates"]
-            )
+            if source.get("store") is not None:
+                operator = CompressedOperator.open(
+                    source["store"], resident=source["resident"]
+                )
+            else:
+                operator = self._build(
+                    source["matrix"], source["config"], source["artifacts"], source["coordinates"]
+                )
             _prebuild_plan(operator)
             entry.swap(operator)
             source["stamp"] = stamp
         except BaseException:
             entry.metrics.record_reload(ok=False)
             raise
+        _record_memory(entry)
         entry.metrics.record_reload()
         return True
 

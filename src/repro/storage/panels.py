@@ -1,0 +1,172 @@
+"""Panel sources and sinks: chunked access to RHS weights and outputs.
+
+The streamed engine (PR 5) bounds the *block* workspace but historically
+still required the full ``(n, r)`` weight and output arrays in memory.
+These adapters let :meth:`repro.core.streaming.StreamingPlan.execute`
+consume weights and produce outputs as **column panels** read/written in
+**row-range slices**, so peak residency is ``O(workspace + panel)``
+instead of ``O(n * r)``.
+
+A :class:`PanelSource` is anything with ``shape`` and a
+``read(row_start, row_stop, col_start, col_stop)`` method returning that
+2-D slice; a :class:`PanelSink` mirrors it with ``write``.  Two backings
+ship here — plain in-memory arrays and ``.npy`` files opened through
+``numpy``'s mmap machinery — and anything structurally compatible (a
+network fetcher, a database cursor) plugs in without subclassing.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Protocol, Tuple, runtime_checkable
+
+import numpy as np
+from numpy.lib.format import open_memmap
+
+from ..errors import StorageError
+
+__all__ = [
+    "PanelSource",
+    "PanelSink",
+    "ArrayPanelSource",
+    "MmapPanelSource",
+    "ArrayPanelSink",
+    "MmapPanelSink",
+    "as_panel_source",
+    "as_panel_sink",
+]
+
+
+@runtime_checkable
+class PanelSource(Protocol):
+    """Read-only 2-D slice provider for RHS weights."""
+
+    @property
+    def shape(self) -> Tuple[int, int]: ...
+
+    def read(self, row_start: int, row_stop: int, col_start: int, col_stop: int) -> np.ndarray: ...
+
+
+@runtime_checkable
+class PanelSink(Protocol):
+    """Write-only 2-D slice consumer for matvec outputs."""
+
+    @property
+    def shape(self) -> Tuple[int, int]: ...
+
+    def write(self, row_start: int, col_start: int, panel: np.ndarray) -> None: ...
+
+
+def _check_2d(shape: Tuple[int, ...], what: str) -> Tuple[int, int]:
+    if len(shape) != 2:
+        raise StorageError(f"{what} must be 2-D, got shape {shape}")
+    return int(shape[0]), int(shape[1])
+
+
+class ArrayPanelSource:
+    """Panel view over an in-memory (or already-mmapped) 2-D array."""
+
+    def __init__(self, array: np.ndarray) -> None:
+        _check_2d(array.shape, "panel source array")
+        self._array = array
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self._array.shape  # type: ignore[return-value]
+
+    def read(self, row_start: int, row_stop: int, col_start: int, col_stop: int) -> np.ndarray:
+        return self._array[row_start:row_stop, col_start:col_stop]
+
+
+class MmapPanelSource:
+    """Panel view over a ``.npy`` file opened with ``mmap_mode='r'``.
+
+    Only the pages covering the requested slice are faulted in, so a
+    weight file much larger than RAM streams through a bounded buffer.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = os.fspath(path)
+        try:
+            array = np.load(self.path, mmap_mode="r")
+        except (OSError, ValueError) as exc:
+            raise StorageError(f"cannot mmap panel file {self.path!r}: {exc}") from exc
+        _check_2d(array.shape, f"panel file {self.path!r}")
+        self._array = array
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self._array.shape  # type: ignore[return-value]
+
+    def read(self, row_start: int, row_stop: int, col_start: int, col_stop: int) -> np.ndarray:
+        return self._array[row_start:row_stop, col_start:col_stop]
+
+
+class ArrayPanelSink:
+    """Panel writer into a caller-owned 2-D array."""
+
+    def __init__(self, array: np.ndarray) -> None:
+        _check_2d(array.shape, "panel sink array")
+        if not array.flags.writeable:
+            raise StorageError("panel sink array is read-only")
+        self.array = array
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.array.shape  # type: ignore[return-value]
+
+    def write(self, row_start: int, col_start: int, panel: np.ndarray) -> None:
+        self.array[row_start : row_start + panel.shape[0], col_start : col_start + panel.shape[1]] = panel
+
+
+class MmapPanelSink:
+    """Panel writer into a freshly created ``.npy`` file (write-mode mmap).
+
+    The file carries a normal ``.npy`` header, so the finished output
+    round-trips through ``np.load`` (mmap or eager) like any other array.
+    """
+
+    def __init__(self, path: str | os.PathLike, shape: Tuple[int, int], dtype: np.dtype | type = np.float64) -> None:
+        self.path = os.fspath(path)
+        n, r = _check_2d(tuple(shape), "panel sink")
+        self._array = open_memmap(self.path, mode="w+", dtype=np.dtype(dtype), shape=(n, r))
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self._array.shape  # type: ignore[return-value]
+
+    def write(self, row_start: int, col_start: int, panel: np.ndarray) -> None:
+        self._array[row_start : row_start + panel.shape[0], col_start : col_start + panel.shape[1]] = panel
+
+    def flush(self) -> None:
+        self._array.flush()
+
+    def close(self) -> None:
+        self.flush()
+        self._array = None  # type: ignore[assignment]
+
+
+def as_panel_source(obj: "np.ndarray | PanelSource | str | os.PathLike") -> PanelSource:
+    """Coerce arrays, paths, or structural panel sources to a PanelSource."""
+    if isinstance(obj, np.ndarray):
+        return ArrayPanelSource(obj)
+    if isinstance(obj, (str, os.PathLike)):
+        return MmapPanelSource(obj)
+    if hasattr(obj, "read") and hasattr(obj, "shape"):
+        return obj  # structural match — use as-is
+    raise StorageError(f"cannot interpret {type(obj).__name__} as a panel source")
+
+
+def as_panel_sink(obj: "np.ndarray | PanelSink | str | os.PathLike", shape: Tuple[int, int]) -> PanelSink:
+    """Coerce arrays, paths, or structural panel sinks to a PanelSink."""
+    if isinstance(obj, np.ndarray):
+        sink = ArrayPanelSink(obj)
+    elif isinstance(obj, (str, os.PathLike)):
+        return MmapPanelSink(obj, shape)
+    elif hasattr(obj, "write") and hasattr(obj, "shape"):
+        sink = obj  # structural match — use as-is
+    else:
+        raise StorageError(f"cannot interpret {type(obj).__name__} as a panel sink")
+    if tuple(sink.shape) != tuple(shape):
+        raise StorageError(f"panel sink shape {tuple(sink.shape)} does not match output shape {tuple(shape)}")
+    return sink

@@ -1,0 +1,209 @@
+"""Disk-backed spill arena for streaming workspace buffers.
+
+When a :class:`~repro.core.streaming.StreamingPlan` discovers at plan time
+that its cycling chunk buffers cannot fit inside the configured workspace
+budget (a single interaction block larger than one buffer's share of
+``streaming_chunk_bytes``), it allocates those buffers from a
+:class:`SpillArena` instead of refusing or silently over-allocating
+anonymous memory.
+
+Arena buffers are plain ``np.memmap`` arrays over files in a private
+temporary directory, so the hot loop reads and writes them exactly like
+heap arrays while the OS is free to page cold regions out.  The arena
+adds the bookkeeping the kernel cannot do for us:
+
+* **LRU pinning** — callers :meth:`~SpillArena.pin` a buffer for the
+  duration of a materialize/execute pair and :meth:`~SpillArena.unpin`
+  it afterwards.  Whenever the bytes accounted as resident exceed the
+  arena budget, unpinned buffers are flushed and marked cold in
+  least-recently-pinned order.  Pinned buffers are never evicted, and a
+  single pinned buffer may exceed the budget by itself (mirroring the
+  chunk packer's one-block minimum) — the arena bounds what the plan
+  actively holds, not what the OS caches.
+* **Crash-safe naming** — the backing directory comes from
+  ``tempfile.mkdtemp`` (unique per arena, never reused), and a
+  ``weakref.finalize`` hook removes it even if :meth:`close` is never
+  called, so an interrupted run leaves at worst an orphaned temp
+  directory with an unambiguous ``gofmm-spill-*`` prefix.
+* **Explicit lifecycle** — ``close()`` (idempotent) or use as a context
+  manager; allocation after close raises :class:`~repro.errors.StorageError`.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import threading
+import weakref
+from collections import OrderedDict
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from ..errors import StorageError
+
+__all__ = ["SpillArena"]
+
+
+class _SpillSlot:
+    """Bookkeeping record for one arena allocation."""
+
+    __slots__ = ("array", "nbytes", "pins", "resident", "path")
+
+    def __init__(self, array: np.memmap, nbytes: int, path: str) -> None:
+        self.array = array
+        self.nbytes = int(nbytes)
+        self.pins = 0
+        self.resident = False
+        self.path = path
+
+
+class SpillArena:
+    """A bounded temp-file arena handing out memmap-backed work buffers."""
+
+    def __init__(
+        self,
+        budget_bytes: int,
+        directory: str | None = None,
+        prefix: str = "gofmm-spill-",
+    ) -> None:
+        if budget_bytes <= 0:
+            raise StorageError(f"spill arena budget must be positive, got {budget_bytes}")
+        self.budget_bytes = int(budget_bytes)
+        self._dir = tempfile.mkdtemp(prefix=prefix, dir=directory)
+        self._lock = threading.Lock()
+        self._slots: "OrderedDict[int, _SpillSlot]" = OrderedDict()
+        self._seq = 0
+        self._closed = False
+        # Best-effort cleanup if the owner forgets close(); ignore_errors so
+        # a finalizer racing an explicit close never raises at interpreter exit.
+        self._finalizer = weakref.finalize(self, shutil.rmtree, self._dir, True)
+
+    # ------------------------------------------------------------------ api
+
+    @property
+    def path(self) -> str:
+        """Backing directory (useful for tests and diagnostics)."""
+        return self._dir
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def allocate(self, shape: int | Tuple[int, ...], dtype: np.dtype | type = np.float64) -> np.memmap:
+        """Create a new zero-filled spill buffer backed by its own file."""
+        with self._lock:
+            if self._closed:
+                raise StorageError("spill arena is closed")
+            self._seq += 1
+            path = os.path.join(self._dir, f"spill-{self._seq:04d}.bin")
+        buf = np.memmap(path, dtype=np.dtype(dtype), mode="w+", shape=shape)
+        with self._lock:
+            self._slots[id(buf)] = _SpillSlot(buf, buf.nbytes, path)
+        return buf
+
+    def pin(self, buf: np.memmap) -> None:
+        """Mark ``buf`` hot (about to be written/read); may evict cold peers."""
+        with self._lock:
+            slot = self._slot(buf)
+            slot.pins += 1
+            slot.resident = True
+            self._slots.move_to_end(id(buf))
+            self._evict_locked()
+
+    def unpin(self, buf: np.memmap) -> None:
+        """Release a pin; the buffer becomes eligible for LRU eviction."""
+        with self._lock:
+            slot = self._slot(buf)
+            if slot.pins <= 0:
+                raise StorageError("unpin without matching pin")
+            slot.pins -= 1
+
+    def release(self, buf: np.memmap) -> None:
+        """Drop an allocation and delete its backing file.
+
+        The caller's memmap view stays readable while referenced (POSIX
+        unlink semantics) but the arena stops accounting for it; callers
+        release their cycling buffers after each evaluation so repeated
+        matvecs do not accrete spill files.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            slot = self._slots.pop(id(buf), None)
+        if slot is None:
+            raise StorageError("buffer was not allocated from this arena")
+        slot.array = None  # type: ignore[assignment]
+        try:
+            os.unlink(slot.path)
+        except OSError:
+            pass
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes currently accounted as hot (pinned or not yet evicted)."""
+        with self._lock:
+            return sum(s.nbytes for s in self._slots.values() if s.resident)
+
+    @property
+    def bytes_on_disk(self) -> int:
+        """Total bytes of backing files ever allocated and still live."""
+        with self._lock:
+            return sum(s.nbytes for s in self._slots.values())
+
+    def close(self) -> None:
+        """Flush, drop all buffers, and remove the backing directory."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            slots = list(self._slots.values())
+            self._slots.clear()
+        for slot in slots:
+            try:
+                slot.array.flush()
+            except (OSError, ValueError):
+                pass
+            slot.array = None  # type: ignore[assignment]
+        self._finalizer()
+
+    def __enter__(self) -> "SpillArena":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------- internals
+
+    def _slot(self, buf: np.memmap) -> _SpillSlot:
+        if self._closed:
+            raise StorageError("spill arena is closed")
+        slot = self._slots.get(id(buf))
+        if slot is None:
+            raise StorageError("buffer was not allocated from this arena")
+        return slot
+
+    def _evict_locked(self) -> None:
+        """Flush unpinned buffers, least-recently-pinned first, until the
+        resident accounting fits the budget (or only pinned buffers remain)."""
+        resident = sum(s.nbytes for s in self._slots.values() if s.resident)
+        if resident <= self.budget_bytes:
+            return
+        for slot in list(self._slots.values()):  # OrderedDict => LRU order
+            if resident <= self.budget_bytes:
+                break
+            if slot.resident and slot.pins == 0:
+                slot.array.flush()
+                slot.resident = False
+                resident -= slot.nbytes
+
+    def _iter_slots(self) -> Iterator[_SpillSlot]:  # pragma: no cover - debug aid
+        with self._lock:
+            return iter(list(self._slots.values()))

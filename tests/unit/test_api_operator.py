@@ -107,3 +107,39 @@ class TestReports:
         text = repr(operator)
         assert "CompressedOperator" in text
         assert "engine=" in text
+
+
+class TestOperatorReport:
+    """operator.report: CompressionReport fields + callable stable summary."""
+
+    REPORT_KEYS = {
+        "schema_version", "n", "engine", "bytes_resident", "bytes_on_disk",
+        "average_rank", "max_rank", "num_leaves", "tree_depth",
+        "near_pairs", "far_pairs", "compression_seconds",
+    }
+
+    def test_report_is_still_a_compression_report(self, operator):
+        from repro.core.compress import CompressionReport
+
+        assert isinstance(operator.report, CompressionReport)
+        assert operator.report.num_leaves > 0
+
+    def test_report_call_returns_stable_schema(self, operator, matrix):
+        summary = operator.report()
+        assert set(summary) == self.REPORT_KEYS
+        assert summary["n"] == matrix.n
+        assert summary["engine"] == operator.default_engine()
+        assert summary["bytes_resident"] > 0
+        assert summary["bytes_on_disk"] == 0  # fully in-memory operator
+
+    def test_save_open_roundtrip_swaps_residency(self, operator, matrix, tmp_path):
+        path = tmp_path / "operator.store"
+        operator.save(path)
+        reopened = CompressedOperator.open(path, resident="mmap")
+        summary = reopened.report()
+        assert summary["bytes_on_disk"] > 0
+        assert summary["engine"] == "streamed"
+        w = np.random.default_rng(5).standard_normal((matrix.n, 3))
+        assert np.array_equal(
+            reopened.apply(w), operator.apply(w, engine="reference")
+        )

@@ -563,3 +563,94 @@ class TestInteractionsPersistence:
         assert fresh.last_built == ("skeletons", "blocks", "plan")
         w = np.random.default_rng(3).standard_normal(matrix.n)
         assert np.array_equal(op1.compressed.matvec(w), op2.compressed.matvec(w))
+
+
+class TestArtifactMismatchError:
+    """Satellite: artifact failures raise the typed ArtifactMismatchError."""
+
+    def test_fingerprint_mismatch_raises_typed_error(self, matrix, tmp_path):
+        from repro.errors import ArtifactMismatchError, ConfigurationError
+
+        session = make_session(matrix)
+        path = tmp_path / "artifacts.npz"
+        session.save_artifacts(path)
+        other = make_session(matrix, leaf_size=64)
+        with pytest.raises(ArtifactMismatchError, match="fingerprint"):
+            other.load_artifacts(path)
+        # the typed error stays catchable under both historical families
+        with pytest.raises(CompressionError):
+            other.load_artifacts(path)
+        with pytest.raises(ConfigurationError):
+            other.load_artifacts(path)
+
+    def test_truncated_npz_raises_typed_error(self, matrix, tmp_path):
+        from repro.errors import ArtifactMismatchError
+
+        session = make_session(matrix)
+        path = tmp_path / "artifacts.npz"
+        session.save_artifacts(path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 3])
+        with pytest.raises(ArtifactMismatchError, match="truncated or corrupt"):
+            make_session(matrix).load_artifacts(path)
+
+    def test_size_mismatch_raises_typed_error(self, matrix, tmp_path):
+        from repro.errors import ArtifactMismatchError
+
+        session = make_session(matrix)
+        path = tmp_path / "artifacts.npz"
+        session.save_artifacts(path)
+        other = make_session(make_gaussian_kernel_matrix(n=128, d=3, bandwidth=1.5, seed=0))
+        with pytest.raises(ArtifactMismatchError, match="n="):
+            other.load_artifacts(path)
+
+
+class TestDirArtifactFormat:
+    """Session.save_artifacts(format="dir"): the mmap-able format-v2 directory."""
+
+    def test_dir_roundtrip_reproduces_operator_exactly(self, matrix, tmp_path):
+        session = make_session(matrix)
+        path = tmp_path / "artifacts.store"
+        session.save_artifacts(path, format="dir")
+        assert path.is_dir() and (path / "manifest.json").exists()
+        fresh = make_session(matrix)
+        assert fresh.load_artifacts(path) == ("partition", "neighbors", "interactions")
+        w = np.random.default_rng(0).standard_normal(matrix.n)
+        direct = session.compress().matvec(w)
+        assert np.array_equal(fresh.compress().matvec(w), direct)
+
+    def test_unknown_format_rejected(self, matrix, tmp_path):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="format"):
+            make_session(matrix).save_artifacts(tmp_path / "x", format="zip")
+
+    def test_corrupt_dir_array_raises_typed_error(self, matrix, tmp_path):
+        from repro.errors import ArtifactMismatchError
+
+        session = make_session(matrix)
+        path = tmp_path / "artifacts.store"
+        session.save_artifacts(path, format="dir")
+        victim = path / "node_indices.npy"
+        victim.write_bytes(victim.read_bytes()[: victim.stat().st_size // 2])
+        with pytest.raises(ArtifactMismatchError):
+            make_session(matrix).load_artifacts(path)
+
+    def test_wrong_directory_kind_rejected(self, matrix, tmp_path):
+        from repro.errors import ArtifactMismatchError
+
+        session = make_session(matrix)
+        operator = session.compress()
+        store = tmp_path / "operator.store"
+        operator.save(store)  # an operator store is not a session-artifacts dir
+        with pytest.raises(ArtifactMismatchError, match="session-artifacts"):
+            make_session(matrix).load_artifacts(store)
+
+    def test_dir_format_loads_arrays_as_mmap(self, matrix, tmp_path):
+        session = make_session(matrix)
+        path = tmp_path / "artifacts.store"
+        session.save_artifacts(path, format="dir")
+        from repro.storage import read_array_dir
+
+        _, arrays = read_array_dir(path, mmap=True)
+        assert all(isinstance(arr, np.memmap) for arr in arrays.values())

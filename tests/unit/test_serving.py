@@ -809,7 +809,8 @@ class TestStableMetricsSchema:
         "schema_version", "instances", "requests", "responses", "errors",
         "rejected", "shed", "batches", "batched_requests", "batch_occupancy",
         "reloads", "reload_failures", "max_queue_depth", "adaptive_wait_ms",
-        "latency_ewma_ms", "latency_ms", "batch_eval_ms", "batch_sizes", "lanes",
+        "latency_ewma_ms", "bytes_resident", "bytes_on_disk",
+        "latency_ms", "batch_eval_ms", "batch_sizes", "lanes",
     }
     LATENCY_KEYS = {"count", "mean", "p50", "p90", "p99", "max"}
 
@@ -837,6 +838,24 @@ class TestStableMetricsSchema:
             assert set(lane_stats) == {"responses", "shed", "rejected", "latency_ms"}
             assert set(lane_stats["latency_ms"]) == self.LATENCY_KEYS
         assert out["lanes"][INTERACTIVE]["shed"] == 1
+
+    def test_memory_gauges_always_present_and_recorded(self):
+        metrics = ServingMetrics()
+        out = metrics.to_dict()
+        assert out["bytes_resident"] == 0 and out["bytes_on_disk"] == 0
+        metrics.record_memory(1024, 2048)
+        out = metrics.to_dict()
+        assert out["bytes_resident"] == 1024 and out["bytes_on_disk"] == 2048
+        snapshot = metrics.snapshot()
+        assert snapshot["bytes_resident"] == 1024 and snapshot["bytes_on_disk"] == 2048
+
+    def test_aggregate_sums_memory_gauges(self):
+        a, b = ServingMetrics(), ServingMetrics()
+        a.record_memory(100, 0)
+        b.record_memory(50, 700)
+        out = aggregate_metrics([a, b])
+        assert out["bytes_resident"] == 150
+        assert out["bytes_on_disk"] == 700
 
     def test_schema_is_json_serializable(self):
         import json

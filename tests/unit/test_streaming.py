@@ -254,3 +254,113 @@ def _padded_column(vector: np.ndarray, n: int, width: int) -> np.ndarray:
     block = np.zeros((n, width))
     block[:, 0] = vector
     return block
+
+
+class TestWorkspaceAccounting:
+    """Satellite: ``workspace_bytes`` is the plan's true allocation bound."""
+
+    @pytest.fixture(scope="class")
+    def session(self, matrix):
+        session = Session(matrix, make_config(cache_near_blocks=False, cache_far_blocks=False))
+        session.compress()
+        return session
+
+    def _plan(self, session, chunk_bytes):
+        return session.recompress(
+            streaming_chunk_bytes=chunk_bytes
+        ).compressed.streaming_plan()
+
+    def test_workspace_bytes_upper_bounds_observed_allocation(self, session):
+        """Property: across chunk budgets, the buffers actually allocated for
+        an execution never exceed the advertised ``workspace_bytes``, and
+        every chunk of the plan fits inside one buffer."""
+        from hypothesis import HealthCheck, given, settings
+        from hypothesis import strategies as st
+
+        @settings(max_examples=12, deadline=None,
+                  suppress_health_check=[HealthCheck.function_scoped_fixture])
+        @given(chunk_bytes=st.integers(min_value=1024, max_value=1 << 22))
+        def check(chunk_bytes):
+            plan = self._plan(session, chunk_bytes)
+            buffers = plan._allocate_buffers()
+            try:
+                assert sum(b.nbytes for b in buffers) <= plan.workspace_bytes
+                for chunk in plan.s2s_chunks + plan.l2l_chunks:
+                    assert chunk.total_elems <= plan.buffer_elems
+                # heap buffers only while within budget; disk-backed beyond it
+                for buffer in buffers:
+                    assert isinstance(buffer, np.memmap) == plan.spills
+            finally:
+                plan._release_buffers(buffers)
+                plan.close()
+
+        check()
+
+    def test_exactly_at_budget_must_not_spill(self, session):
+        """Regression: the spill trigger is strictly-greater-than — a plan
+        whose workspace lands exactly on the budget allocates normally."""
+        from repro.core.streaming import StreamingPlan
+
+        base = self._plan(session, 1 << 20)
+        assert base.num_chunks >= 1 and base.workspace_bytes > 0
+
+        def clone(chunk_bytes):
+            return StreamingPlan(
+                layout=base.layout,
+                s2s_chunks=base.s2s_chunks,
+                l2l_chunks=base.l2l_chunks,
+                near_blocks=base.near_blocks,
+                far_blocks=base.far_blocks,
+                matrix=base.matrix,
+                chunk_bytes=chunk_bytes,
+                stall_timeout=None,
+            )
+
+        at_budget = clone(base.workspace_bytes)
+        assert not at_budget.spills
+        buffers = at_budget._allocate_buffers()
+        assert all(not isinstance(b, np.memmap) for b in buffers)
+        w = np.random.default_rng(11).standard_normal((at_budget.layout.n, 2))
+        assert np.array_equal(at_budget.execute(w), base.execute(w))
+
+        over_budget = clone(base.workspace_bytes - 8)
+        assert over_budget.spills
+        over_budget.close()
+
+    def test_over_budget_plan_spills_to_disk_and_stays_bitwise(self, matrix):
+        cm = compress(
+            matrix,
+            make_config(
+                cache_near_blocks=False, cache_far_blocks=False, streaming_chunk_bytes=2048
+            ),
+        )
+        plan = cm.streaming_plan()
+        assert plan.spills
+        assert plan.workspace_bytes > plan.chunk_bytes
+        report = plan.report()
+        assert report["spills"] == 1.0 and "spill_bytes" in report
+        w = np.random.default_rng(12).standard_normal((matrix.n, 3))
+        assert np.array_equal(
+            cm.matvec(w, engine="streamed"), cm.matvec(w, engine="reference")
+        )
+        # the execution released its arena buffers: no disk left held
+        assert plan.report()["spill_bytes"] == 0.0
+
+    def test_panel_execution_matches_per_panel_reference(self, matrix, tmp_path):
+        cm = compress(
+            matrix,
+            make_config(cache_near_blocks=False, cache_far_blocks=False),
+        )
+        plan = cm.streaming_plan()
+        num_rhs = 5
+        w = np.random.default_rng(13).standard_normal((matrix.n, num_rhs))
+        weights_path = tmp_path / "w.npy"
+        out_path = tmp_path / "u.npy"
+        np.save(weights_path, w)
+        panel_cols = 2
+        plan.execute(str(weights_path), out=str(out_path), panel_cols=panel_cols)
+        expected = np.empty_like(w)
+        for start in range(0, num_rhs, panel_cols):
+            stop = min(start + panel_cols, num_rhs)
+            expected[:, start:stop] = cm.matvec(w[:, start:stop], engine="reference")
+        assert np.array_equal(np.load(out_path), expected)
