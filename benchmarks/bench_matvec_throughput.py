@@ -42,9 +42,9 @@ from repro.matrices.kernels import GaussianKernel
 from repro.runtime import parallel_evaluate
 
 try:  # package import (pytest benchmarks/) vs direct script run
-    from .harness import memory_probe, traced_peak_bytes
+    from .harness import add_trace_argument, memory_probe, trace_section, traced_peak_bytes, tracing_from_args
 except ImportError:
-    from harness import memory_probe, traced_peak_bytes
+    from harness import add_trace_argument, memory_probe, trace_section, traced_peak_bytes, tracing_from_args
 
 DEFAULT_SIZES = (2048, 8192, 32768)
 
@@ -137,6 +137,7 @@ def main() -> None:
     parser.add_argument("--rhs", type=int, default=16)
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument("--out", type=Path, default=Path(__file__).parent / "artifacts" / "matvec_throughput.json")
+    add_trace_argument(parser)
     args = parser.parse_args()
 
     sizes = args.sizes
@@ -149,15 +150,16 @@ def main() -> None:
         f"{'n':>8} {'tree':>7} {'ref (s)':>10} {'planned (s)':>12} {'par (s)':>9} "
         f"{'speedup':>8} {'planned GF/s':>13} {'eps2':>9}"
     )
-    for n in sizes:
-        for tree in CONFIGS:
-            row = bench_one(n, tree, args.rhs, args.repeats)
-            rows.append(row)
-            print(
-                f"{row['n']:>8} {row['tree']:>7} {row['reference_seconds']:>10.4f} "
-                f"{row['planned_seconds']:>12.4f} {row['planned_parallel_seconds']:>9.4f} "
-                f"{row['speedup']:>7.1f}x {row['planned_gflops']:>13.2f} {row['epsilon2']:>9.1e}"
-            )
+    with tracing_from_args(args) as tracer:
+        for n in sizes:
+            for tree in CONFIGS:
+                row = bench_one(n, tree, args.rhs, args.repeats)
+                rows.append(row)
+                print(
+                    f"{row['n']:>8} {row['tree']:>7} {row['reference_seconds']:>10.4f} "
+                    f"{row['planned_seconds']:>12.4f} {row['planned_parallel_seconds']:>9.4f} "
+                    f"{row['speedup']:>7.1f}x {row['planned_gflops']:>13.2f} {row['epsilon2']:>9.1e}"
+                )
 
     artifact = {
         "benchmark": "matvec_throughput",
@@ -166,6 +168,9 @@ def main() -> None:
         "repeats": args.repeats,
         "results": rows,
     }
+    trace = trace_section(tracer, args)
+    if trace is not None:
+        artifact["trace"] = trace
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(artifact, indent=2) + "\n")
     print(f"wrote {args.out}")

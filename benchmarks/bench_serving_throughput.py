@@ -45,9 +45,9 @@ from repro.matrices import build_matrix
 from repro.serving import BatchPolicy, MatvecServer
 
 try:  # package import (pytest benchmarks/) vs direct script run
-    from .harness import memory_probe
+    from .harness import add_trace_argument, memory_probe, trace_section, tracing_from_args
 except ImportError:
-    from harness import memory_probe
+    from harness import add_trace_argument, memory_probe, trace_section, tracing_from_args
 
 
 def fine_tree_config() -> GOFMMConfig:
@@ -133,6 +133,7 @@ def main() -> None:
     parser.add_argument("--smoke", action="store_true", help="tiny CI configuration")
     parser.add_argument("--out", type=Path,
                         default=Path(__file__).parent / "artifacts" / "serving_throughput.json")
+    add_trace_argument(parser)
     args = parser.parse_args()
 
     if args.smoke:
@@ -146,35 +147,36 @@ def main() -> None:
     print(f"serving throughput benchmark: {args.matrix}, n={n}, {requests} requests, "
           f"max_batch={args.max_batch}, max_wait_ms={args.max_wait_ms}")
     matrix = build_matrix(args.matrix, n, seed=0)
-    t0 = time.perf_counter()
-    operator = Session(matrix, config).compress()
-    operator.compressed.plan()
-    print(f"compressed in {time.perf_counter() - t0:.1f}s "
-          f"(engine={operator.default_engine()}, eps2={operator.relative_error():.2e})")
+    with tracing_from_args(args) as tracer:
+        t0 = time.perf_counter()
+        operator = Session(matrix, config, tracer=tracer).compress()
+        operator.compressed.plan()
+        print(f"compressed in {time.perf_counter() - t0:.1f}s "
+              f"(engine={operator.default_engine()}, eps2={operator.relative_error():.2e})")
 
-    rng = np.random.default_rng(0)
-    vectors = rng.standard_normal((requests, n))
-    repeats = max(1, args.repeats if not args.smoke else 1)
+        rng = np.random.default_rng(0)
+        vectors = rng.standard_normal((requests, n))
+        repeats = max(1, args.repeats if not args.smoke else 1)
 
-    # Timings on shared boxes are noisy (thread scheduling dominates the
-    # spread): measure each side `repeats` times and keep the best run,
-    # matching the other benchmark harnesses in this repo.
-    sequential = max(
-        (run_sequential(operator, vectors) for _ in range(repeats)),
-        key=lambda r: r["requests_per_second"],
-    )
-    print(f"sequential: {sequential['requests_per_second']:.1f} req/s "
-          f"(p50 {sequential['latency_ms']['p50']:.2f} ms, "
-          f"p99 {sequential['latency_ms']['p99']:.2f} ms)")
+        # Timings on shared boxes are noisy (thread scheduling dominates the
+        # spread): measure each side `repeats` times and keep the best run,
+        # matching the other benchmark harnesses in this repo.
+        sequential = max(
+            (run_sequential(operator, vectors) for _ in range(repeats)),
+            key=lambda r: r["requests_per_second"],
+        )
+        print(f"sequential: {sequential['requests_per_second']:.1f} req/s "
+              f"(p50 {sequential['latency_ms']['p50']:.2f} ms, "
+              f"p99 {sequential['latency_ms']['p99']:.2f} ms)")
 
-    policy = BatchPolicy(
-        max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
-        max_queue=max(4 * requests, 256),
-    )
-    served = max(
-        (run_served(operator, vectors, policy, args.concurrency) for _ in range(repeats)),
-        key=lambda r: r["requests_per_second"],
-    )
+        policy = BatchPolicy(
+            max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+            max_queue=max(4 * requests, 256),
+        )
+        served = max(
+            (run_served(operator, vectors, policy, args.concurrency) for _ in range(repeats)),
+            key=lambda r: r["requests_per_second"],
+        )
     speedup = served["requests_per_second"] / sequential["requests_per_second"]
     print(f"served:     {served['requests_per_second']:.1f} req/s "
           f"(p50 {served['latency_ms']['p50']:.2f} ms, "
@@ -202,6 +204,9 @@ def main() -> None:
         "throughput_speedup": speedup,
         "smoke": bool(args.smoke),
     }
+    trace = trace_section(tracer, args)
+    if trace is not None:
+        artifact["trace"] = trace
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(artifact, indent=2) + "\n")
     print(f"wrote {args.out}")

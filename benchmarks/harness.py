@@ -15,6 +15,7 @@ crossovers), as recorded in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import time
 import tracemalloc
@@ -36,7 +37,62 @@ __all__ = [
     "once",
     "traced_peak_bytes",
     "memory_probe",
+    "add_trace_argument",
+    "tracing_from_args",
+    "trace_section",
 ]
+
+
+def add_trace_argument(parser) -> None:
+    """Register the shared ``--trace`` flag on a bench CLI parser.
+
+    ``--trace`` alone enables span tracing for the run and attaches the
+    trace summary (:func:`repro.obs.summary`) to the JSON artifact under
+    ``"trace"``; ``--trace PATH`` additionally writes the Chrome
+    trace-event JSON to ``PATH`` (open it in Perfetto / chrome://tracing).
+    """
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        nargs="?",
+        const="",
+        default=None,
+        help="enable span tracing; with PATH also write the Chrome trace JSON there",
+    )
+
+
+@contextlib.contextmanager
+def tracing_from_args(args):
+    """Active :class:`~repro.obs.Tracer` while the block runs, or ``None``.
+
+    Resets the pipeline counters at entry so the artifact's trace section
+    reflects this run alone.
+    """
+    if getattr(args, "trace", None) is None:
+        yield None
+        return
+    from repro.obs import counters as obs_counters
+    from repro.obs.trace import Tracer, tracing
+
+    obs_counters.reset()
+    tracer = Tracer()
+    with tracing(tracer):
+        yield tracer
+
+
+def trace_section(tracer, args) -> dict | None:
+    """The artifact ``"trace"`` section for a traced run (``None`` untraced).
+
+    Writes the Chrome trace file too when ``--trace PATH`` named one.
+    """
+    if tracer is None:
+        return None
+    from repro.obs.export import summary, write_chrome_trace
+
+    if getattr(args, "trace", ""):
+        write_chrome_trace(tracer, args.trace)
+        print(f"wrote Chrome trace to {args.trace}")
+    return summary(tracer)
 
 
 def traced_peak_bytes(fn) -> int:

@@ -42,7 +42,10 @@ from ..core.hmatrix import CompressedMatrix
 __all__ = ["CompressedOperator", "OperatorReport"]
 
 #: Schema version of the dict :meth:`OperatorReport.__call__` returns.
-REPORT_SCHEMA_VERSION = 1
+#: v2 adds ``stage_seconds`` — the per-stage wall-clock breakdown of the
+#: compression (the report's ``phase_seconds``, empty for stages that were
+#: reused from a session cache or for operators opened from a store).
+REPORT_SCHEMA_VERSION = 2
 
 
 class OperatorReport(CompressionReport):
@@ -80,6 +83,9 @@ class OperatorReport(CompressionReport):
             "near_pairs": int(self.near_pairs),
             "far_pairs": int(self.far_pairs),
             "compression_seconds": float(self.total_seconds),
+            "stage_seconds": {
+                phase: float(seconds) for phase, seconds in self.phase_seconds.items()
+            },
         }
 
 

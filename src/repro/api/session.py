@@ -35,6 +35,7 @@ never shifts downstream randomness.
 from __future__ import annotations
 
 import json
+import time
 from collections import Counter
 from dataclasses import dataclass
 from typing import Optional
@@ -47,6 +48,8 @@ from contextlib import nullcontext
 
 from ..config import DistanceMetric, GOFMMConfig
 from ..core.compress import CompressionReport, _PhaseTimer
+from ..obs import get_logger
+from ..obs.trace import NULL_TRACER, Tracer, get_tracer, tracing
 
 # ``repro.core`` re-exports the ``compress`` *function*, which shadows the
 # submodule under ``from ..core import compress`` — resolve the module itself
@@ -71,6 +74,8 @@ from .stages import (
 )
 
 __all__ = ["Session"]
+
+_LOG = get_logger("api.session")
 
 #: CompressionReport phase name for each pipeline stage (matches the
 #: monolithic :func:`repro.core.compress.compress` report keys).
@@ -132,6 +137,13 @@ class Session:
         the initial :class:`GOFMMConfig` (default: paper defaults).
     coordinates:
         optional point coordinates for the geometric distance.
+    tracer:
+        an optional :class:`repro.obs.Tracer`.  When given (or when
+        ``config.telemetry`` is true, which creates one), every
+        ``compress()`` installs it as the process-wide active tracer for
+        its duration, so stage spans, per-level skeletonization spans and
+        any nested evaluation spans land in one trace.  Export it with
+        :func:`repro.obs.write_chrome_trace`.
     """
 
     def __init__(
@@ -139,15 +151,22 @@ class Session:
         matrix,
         config: Optional[GOFMMConfig] = None,
         coordinates: Optional[np.ndarray] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.matrix = as_spd_matrix(matrix)
         if self.matrix.n < 2:
             raise CompressionError("cannot compress a 1x1 matrix")
         self._config = config or GOFMMConfig()
         self.coordinates = coordinates
+        self.tracer = tracer if tracer is not None else (
+            Tracer() if self._config.telemetry else NULL_TRACER
+        )
         self._cache: dict[str, _CachedStage] = {}
         self._distance = None
         self._distance_metric = None
+        #: Seconds spent in the most recent build of each stage (plus the
+        #: ``"distance"`` oracle when it ran); see :attr:`stage_timings`.
+        self._stage_seconds: dict[str, float] = {}
         #: How many times each stage has actually been built by this session.
         self.stage_builds: Counter = Counter()
         #: Stages rebuilt / reused by the most recent compress() call.
@@ -162,6 +181,18 @@ class Session:
     @property
     def n(self) -> int:
         return self.matrix.n
+
+    @property
+    def stage_timings(self) -> dict[str, float]:
+        """Seconds spent building each pipeline stage (most recent build).
+
+        Keys are the stage names of :data:`~repro.api.stages.STAGE_ORDER`
+        (plus ``"distance"`` when the distance oracle was rebuilt); stages
+        never built by this session are absent, reused stages keep the
+        timing of their last actual build.  Wall-clock accurate: each value
+        is the ``perf_counter`` interval around that stage's build call.
+        """
+        return dict(self._stage_seconds)
 
     def stale_stages(self, **changes) -> frozenset:
         """Stages :meth:`recompress` would rebuild for the given config changes.
@@ -211,8 +242,11 @@ class Session:
     def _distance_oracle(self, timer: Optional[_PhaseTimer] = None):
         """The distance object, rebuilt only when the metric changes."""
         if self._distance is None or self._distance_metric != self._config.distance:
+            t0 = time.perf_counter()
             with (timer("distance") if timer is not None else nullcontext()):
-                self._distance = _pipeline.run_distance_stage(self.matrix, self._config, self.coordinates)
+                with get_tracer().span("session.distance"):
+                    self._distance = _pipeline.run_distance_stage(self.matrix, self._config, self.coordinates)
+            self._stage_seconds["distance"] = time.perf_counter() - t0
             self._distance_metric = self._config.distance
         return self._distance
 
@@ -239,8 +273,11 @@ class Session:
         fingerprint = stage_fingerprint(self._config, stage)
         if self._entry_valid(stage, fingerprint):
             return self._cache[stage].value
+        t0 = time.perf_counter()
         with (timer(_PHASE_NAME[stage]) if timer is not None else nullcontext()):
-            value = build()
+            with get_tracer().span(f"session.{stage}"):
+                value = build()
+        self._stage_seconds[stage] = time.perf_counter() - t0
         self._cache[stage] = _CachedStage(
             value=value,
             fingerprint=fingerprint,
@@ -309,8 +346,19 @@ class Session:
 
         Only stale stages execute; the returned operator's ``report`` lists
         executed phases in ``phase_seconds`` and reused ones in
-        ``reused_phases``.
+        ``reused_phases``.  When this session has an enabled tracer
+        (``Session(tracer=...)`` or ``config.telemetry``), it is installed
+        as the active tracer for the duration of the call, so stage and
+        per-level spans are recorded.
         """
+        if self._config.telemetry and not self.tracer.enabled:
+            self.tracer = Tracer()
+        if self.tracer.enabled:
+            with tracing(self.tracer):
+                return self._compress_impl()
+        return self._compress_impl()
+
+    def _compress_impl(self) -> CompressedOperator:
         report = CompressionReport()
         timer = _PhaseTimer(report)
         start_evals = self.matrix.entry_evaluations
@@ -536,6 +584,11 @@ class Session:
                     f"artifact directory {path!s} is missing array {exc}"
                 ) from exc
         else:
+            _LOG.info(
+                "loading legacy .npz session artifacts from %s (fully resident); "
+                "prefer save_artifacts(format='dir') for mmap cold starts",
+                path,
+            )
             try:
                 with np.load(path) as data:
                     meta = json.loads(bytes(data["meta"]))

@@ -181,6 +181,17 @@ class GOFMMConfig:
         (huge n, few workers) should raise this rather than risk a
         false positive — it bounds the *gap between task completions*,
         not total evaluation time.
+    telemetry:
+        enable span tracing (:mod:`repro.obs`) for sessions built with
+        this config: :class:`~repro.api.session.Session` creates a
+        :class:`~repro.obs.Tracer` and installs it for the duration of
+        every ``compress()``, so stage, per-level skeletonization,
+        evaluation-pass, chunk-pipeline and worker spans are recorded and
+        exportable as a Chrome trace (``repro.obs.write_chrome_trace``).
+        Purely an execution knob — it changes no numerical result and,
+        like ``neighbor_workers``, enters no stage fingerprint, so
+        toggling it never invalidates session artifacts.  When ``False``
+        (default), instrumented hot paths pay one attribute check.
     dtype:
         floating point type of the compressed representation.
     seed:
@@ -212,6 +223,7 @@ class GOFMMConfig:
     plan_rank_bucketing: str = "pow2"
     prebuild_plan: bool = False
     executor_stall_timeout: Optional[float] = 300.0
+    telemetry: bool = False
     dtype: np.dtype = np.float64
     seed: Optional[int] = 0
 
@@ -243,6 +255,10 @@ class GOFMMConfig:
         if self.executor_stall_timeout is not None and not (self.executor_stall_timeout > 0.0):
             raise ConfigurationError(
                 f"executor_stall_timeout must be positive or None, got {self.executor_stall_timeout}"
+            )
+        if not isinstance(self.telemetry, bool):
+            raise ConfigurationError(
+                f"telemetry must be a bool, got {self.telemetry!r}"
             )
         # Validate against the engine registry (lazy import: repro.core modules
         # import this module, so the registry cannot be a top-level import).

@@ -64,6 +64,8 @@ from typing import Dict, Iterator, List, Optional, Tuple
 import numpy as np
 
 from ..errors import EvaluationError
+from ..obs import counters as _obs_counters
+from ..obs.trace import get_tracer
 from .backends import pad_ranks
 from .evaluate import EvaluationCounters, _as_matrix
 
@@ -627,13 +629,20 @@ class EvaluationPlan:
 
         Reentrant: all mutable state lives in the per-call context, so
         concurrent ``execute`` calls on one plan are safe and each is
-        bit-identical to running alone.
+        bit-identical to running alone.  With tracing enabled
+        (:mod:`repro.obs`), each pass stage gets a span and its byte
+        traffic is added to the ``gemm_bytes_*`` counters; the disabled
+        cost is one attribute check per matvec.
         """
         ctx = self.new_context(weights)
         try:
-            for _, stage in self.stages():
-                for segment in stage:
-                    segment.run(ctx)
+            tracer = get_tracer()
+            if tracer.enabled:
+                self._execute_traced(ctx, tracer)
+            else:
+                for _, stage in self.stages():
+                    for segment in stage:
+                        segment.run(ctx)
             output = ctx.output
         finally:
             self.release_context(ctx)
@@ -641,11 +650,37 @@ class EvaluationPlan:
             self.add_flops(counters, weights.shape[1])
         return output
 
+    def _execute_traced(self, ctx: PlanContext, tracer) -> None:
+        """Traced sequential execution: identical work, one span per stage."""
+        for _, stage in self.stages():
+            kind = stage[0].kind.lower()
+            with tracer.span(f"eval.{kind}", level=stage[0].level, segments=len(stage)):
+                for segment in stage:
+                    segment.run(ctx)
+            _obs_counters.add(f"gemm_bytes_{kind}", _stage_bytes(stage, ctx.num_rhs))
+
     def add_flops(self, counters: EvaluationCounters, num_rhs: int) -> None:
         counters.n2s += self.flops_per_rhs["n2s"] * num_rhs
         counters.s2s += self.flops_per_rhs["s2s"] * num_rhs
         counters.s2n += self.flops_per_rhs["s2n"] * num_rhs
         counters.l2l += self.flops_per_rhs["l2l"] * num_rhs
+
+
+def _stage_bytes(stage: List[PlanSegment], num_rhs: int) -> int:
+    """Approximate bytes one stage moves: packed operands + workspace rows.
+
+    For a packed ``(g, a, b)`` operand the GEMM reads ``g·b`` workspace
+    rows and writes ``g·a``, each ``num_rhs`` floats wide.  Recorded only
+    on the traced path, so the disabled matvec never computes this.
+    """
+    total = 0
+    for seg in stage:
+        for name in ("coeffs", "coeffs_t", "blocks"):
+            arr = getattr(seg, name, None)
+            if arr is not None:
+                g, a, b = arr.shape
+                total += arr.nbytes + g * (a + b) * num_rhs * arr.itemsize
+    return total
 
 
 # ---------------------------------------------------------------------------

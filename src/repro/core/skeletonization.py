@@ -33,6 +33,8 @@ from ..config import GOFMMConfig
 from ..errors import RankDeficiencyError
 from ..linalg.id import interpolative_decomposition
 from ..matrices.base import SPDMatrix
+from ..obs import counters as _obs_counters
+from ..obs.trace import get_tracer
 from .neighbors import NeighborTable
 from .tree import BallTree, TreeNode
 
@@ -265,8 +267,26 @@ def skeletonize_tree(
     """
     rng = rng or np.random.default_rng(config.seed)
     base = node_stream_base(rng)
-    for node in tree.postorder():
-        if node.is_root:
-            continue
-        skeletonize_node(node, matrix, config, neighbors, node_stream(base, node.node_id))
+    start_entries = matrix.entry_evaluations
+    tracer = get_tracer()
+    if tracer.enabled:
+        # Level sweep instead of postorder, purely so each level gets one
+        # span.  Every node is skeletonized from its own derived stream and
+        # depends only on its children, so any children-first order —
+        # postorder or bottom-up levels — produces bit-identical skeletons
+        # (the tracing bit-identity test pins this).
+        levels = tree.levels()
+        for level in range(tree.depth, 0, -1):
+            members = levels[level]
+            before = matrix.entry_evaluations
+            with tracer.span("skeletonize.level", level=level, nodes=len(members)) as span:
+                for node in members:
+                    skeletonize_node(node, matrix, config, neighbors, node_stream(base, node.node_id))
+                span.set(entries=int(matrix.entry_evaluations - before))
+    else:
+        for node in tree.postorder():
+            if node.is_root:
+                continue
+            skeletonize_node(node, matrix, config, neighbors, node_stream(base, node.node_id))
+    _obs_counters.add("kernel_entries_evaluated", int(matrix.entry_evaluations - start_entries))
     return collect_stats(tree)

@@ -51,6 +51,8 @@ from ..linalg.id import (
     stacked_sweep_applies,
 )
 from ..matrices.base import SPDMatrix
+from ..obs import counters as _obs_counters
+from ..obs.trace import get_tracer
 from .backends import bucket_size
 from .neighbors import NeighborTable
 from .skeletonization import (
@@ -273,6 +275,17 @@ def skeletonize_tree_batched(
     rng = rng or np.random.default_rng(config.seed)
     base = node_stream_base(rng)
     levels = tree.levels()
-    for level in range(tree.depth, 0, -1):
-        skeletonize_level(levels[level], tree.n, matrix, config, neighbors, base)
+    start_entries = matrix.entry_evaluations
+    tracer = get_tracer()
+    if tracer.enabled:
+        for level in range(tree.depth, 0, -1):
+            members = levels[level]
+            before = matrix.entry_evaluations
+            with tracer.span("skeletonize.level", level=level, nodes=len(members)) as span:
+                skeletonize_level(members, tree.n, matrix, config, neighbors, base)
+                span.set(entries=int(matrix.entry_evaluations - before))
+    else:
+        for level in range(tree.depth, 0, -1):
+            skeletonize_level(levels[level], tree.n, matrix, config, neighbors, base)
+    _obs_counters.add("kernel_entries_evaluated", int(matrix.entry_evaluations - start_entries))
     return collect_stats(tree)

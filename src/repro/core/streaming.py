@@ -58,8 +58,13 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..errors import EvaluationError
+from ..obs import counters as _obs_counters
+from ..obs import get_logger
+from ..obs.trace import get_tracer
 from .evaluate import EvaluationCounters, _as_matrix
 from .plan import PassLayout, PlanContext, build_pass_layout
+
+_LOG = get_logger("core.streaming")
 
 __all__ = [
     "StreamSegment",
@@ -211,7 +216,10 @@ class StreamSegment:
 class StreamChunk:
     """A contiguous run of segments materialized into one buffer together."""
 
-    __slots__ = ("segments", "offsets", "total_elems", "flops_per_rhs")
+    __slots__ = (
+        "segments", "offsets", "total_elems", "flops_per_rhs",
+        "num_blocks", "missing_elems",
+    )
 
     def __init__(self, segments: List[StreamSegment]) -> None:
         self.segments = segments
@@ -222,6 +230,12 @@ class StreamChunk:
             offset += segment.elems
         self.total_elems = offset
         self.flops_per_rhs = sum(s.flops_per_rhs for s in segments)
+        # Telemetry aggregates, fixed once bind_cache has run on the
+        # segments (the cache split never changes between matvecs).
+        self.num_blocks = sum(s.batch for s in segments)
+        self.missing_elems = sum(
+            len(s.missing) * s.shape[0] * s.shape[1] for s in segments
+        )
 
     def _views(self, buffer: np.ndarray):
         for segment, offset in zip(self.segments, self.offsets):
@@ -376,6 +390,12 @@ class StreamingPlan:
             if self._arena is None or self._arena.closed:
                 from ..storage.spill import SpillArena
 
+                _LOG.info(
+                    "streaming workspace (%d bytes) exceeds chunk budget (%d bytes); "
+                    "chunk buffers spill to a disk-backed arena",
+                    self.workspace_bytes,
+                    self.chunk_bytes,
+                )
                 self._arena = SpillArena(
                     budget_bytes=max(self.chunk_bytes, 1), prefix="gofmm-stream-"
                 )
@@ -402,7 +422,14 @@ class StreamingPlan:
             pass
 
     # -- execution ----------------------------------------------------------
-    def _run_pass(self, levels, ctx: PlanContext) -> None:
+    def _run_pass(self, levels, ctx: PlanContext, trace_name: Optional[str] = None) -> None:
+        tracer = get_tracer()
+        if trace_name is not None and tracer.enabled:
+            with tracer.span(trace_name, segments=sum(len(level) for level in levels)):
+                for level in levels:
+                    for segment in level:
+                        segment.run(ctx)
+            return
         for level in levels:
             for segment in level:
                 segment.run(ctx)
@@ -555,8 +582,8 @@ class StreamingPlan:
         chunks = self.s2s_chunks + self.l2l_chunks
         if not chunks:
             # Degenerate (no interactions): just the up/down passes.
-            self._run_pass(self.layout.n2s_levels, ctx)
-            self._run_pass(self.layout.s2n_levels, ctx)
+            self._run_pass(self.layout.n2s_levels, ctx, trace_name="eval.n2s")
+            self._run_pass(self.layout.s2n_levels, ctx, trace_name="eval.s2n")
             return ctx.output
         own_buffers = buffers is None
         if own_buffers:
@@ -593,31 +620,54 @@ class StreamingPlan:
 
         num_rhs = ctx.num_rhs
         add("N2S", "N2S", self.flops_per_rhs["n2s"] * num_rhs,
-            lambda: self._run_pass(self.layout.n2s_levels, ctx))
+            lambda: self._run_pass(self.layout.n2s_levels, ctx, trace_name="eval.n2s"))
         add("S2N", "S2N", self.flops_per_rhs["s2n"] * num_rhs,
-            lambda: self._run_pass(self.layout.s2n_levels, ctx))
+            lambda: self._run_pass(self.layout.s2n_levels, ctx, trace_name="eval.s2n"))
         num_buffers = len(buffers)
         # Spill-backed buffers are pinned hot across their materialize →
         # execute window and released after, so the arena's LRU accounting
         # tracks exactly the chunks the pipeline is actively touching.
         arena = self._arena if self.spills else None
 
-        def run_mat(chunk, buffer) -> None:
+        def run_mat(chunk, buffer, index) -> None:
             if arena is not None:
                 arena.pin(buffer)
-            chunk.materialize(self.near_blocks, self.far_blocks, self.matrix, buffer)
+            tracer = get_tracer()
+            if tracer.enabled:
+                with tracer.span(
+                    "stream.chunk.fill",
+                    chunk=index,
+                    kind=chunk.segments[0].kind,
+                    elems=chunk.total_elems,
+                    spilled=bool(arena is not None),
+                ):
+                    chunk.materialize(self.near_blocks, self.far_blocks, self.matrix, buffer)
+            else:
+                chunk.materialize(self.near_blocks, self.far_blocks, self.matrix, buffer)
+            _obs_counters.add("blocks_materialized", chunk.num_blocks)
+            if chunk.missing_elems:
+                _obs_counters.add("kernel_entries_evaluated", chunk.missing_elems)
 
-        def run_exec(chunk, buffer) -> None:
-            chunk.run(ctx, buffer)
+        def run_exec(chunk, buffer, index) -> None:
+            tracer = get_tracer()
+            if tracer.enabled:
+                with tracer.span(
+                    f"eval.{chunk.segments[0].kind.lower()}",
+                    chunk=index,
+                    segments=len(chunk.segments),
+                ):
+                    chunk.run(ctx, buffer)
+            else:
+                chunk.run(ctx, buffer)
             if arena is not None:
                 arena.unpin(buffer)
 
         for i, chunk in enumerate(chunks):
             buffer = buffers[i % num_buffers]
             add(f"mat:{i}", "MAT", float(chunk.total_elems),
-                lambda c=chunk, b=buffer: run_mat(c, b))
+                lambda c=chunk, b=buffer, i=i: run_mat(c, b, i))
             add(f"exec:{i}", chunk.segments[0].kind, chunk.flops_per_rhs * num_rhs,
-                lambda c=chunk, b=buffer: run_exec(c, b))
+                lambda c=chunk, b=buffer, i=i: run_exec(c, b, i))
 
         graph.add_dependency("N2S", "S2N")
         for i in range(len(chunks)):

@@ -1,0 +1,47 @@
+"""``repro.obs`` — the cross-cutting telemetry layer.
+
+Three small pieces, used together:
+
+* :mod:`repro.obs.trace` — thread-aware span tracer with a module-level
+  no-op fast path (``get_tracer().enabled`` is the only disabled cost),
+* :mod:`repro.obs.counters` — process-wide pipeline counters/gauges with
+  a fixed vocabulary that serving metrics (schema v3) re-export,
+* :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto-loadable)
+  and flat summaries, also available as
+  ``python -m repro.obs summarize <trace.json>``.
+
+Quickstart::
+
+    from repro.api import Session
+    from repro import obs
+
+    session = Session(matrix, config.replace(telemetry=True))
+    operator = session.compress()
+    operator.matvec(w)
+    obs.write_chrome_trace(session.tracer, "trace.json")   # open in Perfetto
+    print(obs.format_summary(obs.summary(session.tracer)))
+"""
+
+from . import counters, log
+from .export import chrome_trace, format_summary, summary, write_chrome_trace
+from .log import configure as configure_logging
+from .log import get_logger
+from .trace import NULL_TRACER, NullTracer, Span, Tracer, get_tracer, set_tracer, tracing
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+    "chrome_trace",
+    "write_chrome_trace",
+    "summary",
+    "format_summary",
+    "counters",
+    "log",
+    "get_logger",
+    "configure_logging",
+]

@@ -1,0 +1,41 @@
+"""CLI for trace files: ``python -m repro.obs summarize <trace.json>``.
+
+Prints the top-N spans by total time plus the per-stage and per-level
+rollups of a Chrome trace-event file exported by
+:func:`repro.obs.write_chrome_trace` (or attached to a benchmark artifact
+behind ``--trace``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .export import format_summary, summary
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.obs")
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_sum = sub.add_parser("summarize", help="print the rollup of a Chrome trace JSON file")
+    p_sum.add_argument("trace", help="path to a trace.json exported by repro.obs")
+    p_sum.add_argument("--top", type=int, default=10, help="number of span names to rank")
+    p_sum.add_argument("--json", action="store_true", help="emit the summary dict as JSON")
+    args = parser.parse_args(argv)
+
+    with open(args.trace) as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict) or "traceEvents" not in data:
+        print(f"{args.trace}: not a Chrome trace-event file (missing 'traceEvents')", file=sys.stderr)
+        return 1
+    rollup = summary(data, top=args.top)
+    if args.json:
+        print(json.dumps(rollup, indent=2, sort_keys=True))
+    else:
+        print(format_summary(rollup))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,233 @@
+"""Trace exporters: Chrome trace-event JSON (Perfetto-loadable) + summaries.
+
+Two consumers, one span stream:
+
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  trace-event format (``{"traceEvents": [...]}``, complete ``"X"`` events
+  plus ``"i"`` instants, timestamps in microseconds rebased to the tracer
+  epoch).  Worker threads appear as named tracks via ``thread_name``
+  metadata events, so a streamed matvec's chunk pipeline is visible as
+  parallel lanes in Perfetto / ``chrome://tracing``.
+* :func:`summary` — a flat dict (per-name rollup, top-N spans by total
+  time, per-stage and per-level rollups, counter snapshot) attached to
+  benchmark artifacts behind ``--trace`` and printed by
+  ``python -m repro.obs summarize <trace.json>``.
+
+``summary`` accepts a live :class:`~repro.obs.trace.Tracer`, a list of
+:class:`~repro.obs.trace.Span`, or an already-exported Chrome trace dict,
+so the CLI and the in-process paths share one implementation.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from . import counters as _counters
+from .trace import Span, Tracer
+
+__all__ = ["chrome_trace", "write_chrome_trace", "summary", "format_summary"]
+
+#: Schema version of the summary dict (bump on key changes).
+SUMMARY_SCHEMA_VERSION = 1
+
+
+def _category(name: str) -> str:
+    return name.split(".", 1)[0]
+
+
+def chrome_trace(tracer: Tracer, process_name: str = "repro") -> Dict[str, Any]:
+    """Export a tracer's spans as a Chrome trace-event dict.
+
+    Thread idents are remapped to small consecutive track ids (main thread
+    first) and each track carries a ``thread_name`` metadata event, so the
+    trace loads in Perfetto with readable lane names.  The process-wide
+    counter snapshot rides along under ``otherData``.
+    """
+    spans = tracer.spans()
+    names = tracer.thread_names()
+    order = sorted(names, key=lambda ident: (names[ident] != "MainThread", names[ident], ident))
+    track = {ident: i for i, ident in enumerate(order)}
+    epoch = tracer.epoch
+
+    events: List[Dict[str, Any]] = [
+        {"name": "process_name", "ph": "M", "pid": 0, "tid": 0, "args": {"name": process_name}}
+    ]
+    for ident in order:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": track[ident],
+                "args": {"name": names[ident]},
+            }
+        )
+    for span in spans:
+        tid = track.get(span.thread_id, len(track))
+        ts = (span.start - epoch) * 1e6
+        if span.is_instant:
+            events.append(
+                {
+                    "name": span.name,
+                    "ph": "i",
+                    "s": "t",
+                    "pid": 0,
+                    "tid": tid,
+                    "ts": ts,
+                    "cat": _category(span.name),
+                    "args": span.attrs,
+                }
+            )
+        else:
+            events.append(
+                {
+                    "name": span.name,
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": tid,
+                    "ts": ts,
+                    "dur": span.duration * 1e6,
+                    "cat": _category(span.name),
+                    "args": span.attrs,
+                }
+            )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"counters": _counters.snapshot()},
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path, process_name: str = "repro"):
+    """Write :func:`chrome_trace` to ``path``; returns the path."""
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(tracer, process_name=process_name), fh)
+    return path
+
+
+# ---------------------------------------------------------------------------
+# summaries
+# ---------------------------------------------------------------------------
+
+def _spans_from_chrome(data: Dict[str, Any]) -> List[Span]:
+    """Rebuild :class:`Span` records from an exported Chrome trace dict."""
+    spans: List[Span] = []
+    for event in data.get("traceEvents", ()):
+        ph = event.get("ph")
+        if ph not in ("X", "i"):
+            continue
+        start = float(event.get("ts", 0.0)) * 1e-6
+        dur = float(event.get("dur", 0.0)) * 1e-6 if ph == "X" else 0.0
+        spans.append(
+            Span(
+                event.get("name", "?"),
+                start,
+                start + dur,
+                int(event.get("tid", 0)),
+                str(event.get("tid", 0)),
+                0,
+                dict(event.get("args") or {}),
+            )
+        )
+    spans.sort(key=lambda s: s.start)
+    return spans
+
+
+def summary(
+    source: Union[Tracer, Dict[str, Any], Sequence[Span]],
+    top: int = 10,
+    counter_snapshot: Optional[Dict[str, float]] = None,
+) -> Dict[str, Any]:
+    """Flat rollup of a span stream (see the module docstring).
+
+    Keys: ``schema_version``, ``total_spans``, ``wall_seconds``,
+    ``by_name`` (count / total_s / mean_s / max_s per span name),
+    ``top`` (top-N names by total time), ``stages`` (``session.*`` spans →
+    seconds), ``levels`` (``skeletonize.level`` spans → per-level seconds,
+    node and entry counts) and ``counters``.
+    """
+    if isinstance(source, Tracer):
+        spans = source.spans()
+        if counter_snapshot is None:
+            counter_snapshot = _counters.snapshot()
+    elif isinstance(source, dict):
+        spans = _spans_from_chrome(source)
+        if counter_snapshot is None:
+            counter_snapshot = dict((source.get("otherData") or {}).get("counters") or {})
+    else:
+        spans = list(source)
+        if counter_snapshot is None:
+            counter_snapshot = _counters.snapshot()
+
+    by_name: Dict[str, Dict[str, float]] = {}
+    stages: Dict[str, float] = {}
+    levels: Dict[str, Dict[str, float]] = {}
+    t_min = t_max = None
+    for span in spans:
+        stat = by_name.setdefault(span.name, {"count": 0, "total_s": 0.0, "max_s": 0.0})
+        stat["count"] += 1
+        stat["total_s"] += span.duration
+        stat["max_s"] = max(stat["max_s"], span.duration)
+        t_min = span.start if t_min is None else min(t_min, span.start)
+        t_max = span.end if t_max is None else max(t_max, span.end)
+        if span.name.startswith("session."):
+            stage = span.name.split(".", 1)[1]
+            stages[stage] = stages.get(stage, 0.0) + span.duration
+        elif span.name == "skeletonize.level":
+            key = str(span.attrs.get("level", "?"))
+            roll = levels.setdefault(key, {"seconds": 0.0, "nodes": 0, "entries": 0})
+            roll["seconds"] += span.duration
+            roll["nodes"] += int(span.attrs.get("nodes", 0) or 0)
+            roll["entries"] += int(span.attrs.get("entries", 0) or 0)
+    for stat in by_name.values():
+        stat["mean_s"] = stat["total_s"] / stat["count"] if stat["count"] else 0.0
+    ranked = sorted(by_name.items(), key=lambda kv: kv[1]["total_s"], reverse=True)
+    return {
+        "schema_version": SUMMARY_SCHEMA_VERSION,
+        "total_spans": len(spans),
+        "wall_seconds": (t_max - t_min) if spans else 0.0,
+        "by_name": by_name,
+        "top": [[name, stat["total_s"]] for name, stat in ranked[: max(top, 0)]],
+        "stages": stages,
+        "levels": levels,
+        "counters": counter_snapshot,
+    }
+
+
+def format_summary(data: Dict[str, Any]) -> str:
+    """Human-readable rendering of a :func:`summary` dict (the CLI output)."""
+    lines: List[str] = []
+    lines.append(
+        f"{data['total_spans']} spans over {data['wall_seconds'] * 1e3:.2f} ms"
+    )
+    if data["top"]:
+        lines.append("")
+        lines.append(f"{'span':<32} {'count':>7} {'total ms':>10} {'mean ms':>10} {'max ms':>10}")
+        for name, _total in data["top"]:
+            stat = data["by_name"][name]
+            lines.append(
+                f"{name:<32} {stat['count']:>7d} {stat['total_s'] * 1e3:>10.3f} "
+                f"{stat['mean_s'] * 1e3:>10.3f} {stat['max_s'] * 1e3:>10.3f}"
+            )
+    if data["stages"]:
+        lines.append("")
+        lines.append("session stages:")
+        for stage, seconds in data["stages"].items():
+            lines.append(f"  {stage:<16} {seconds * 1e3:>10.3f} ms")
+    if data["levels"]:
+        lines.append("")
+        lines.append("skeletonization levels:")
+        for level in sorted(data["levels"], key=lambda k: (len(k), k)):
+            roll = data["levels"][level]
+            lines.append(
+                f"  level {level:<4} {roll['seconds'] * 1e3:>10.3f} ms"
+                f"  nodes={roll['nodes']}  entries={roll['entries']}"
+            )
+    nonzero = {k: v for k, v in (data.get("counters") or {}).items() if v}
+    if nonzero:
+        lines.append("")
+        lines.append("counters:")
+        for name in sorted(nonzero):
+            lines.append(f"  {name:<28} {nonzero[name]:>14}")
+    return "\n".join(lines)

@@ -56,11 +56,16 @@ import numpy as np
 from ..core.evaluate import EvaluationState, _as_matrix, task_l2l, task_n2s, task_s2n, task_s2s
 from ..core.hmatrix import CompressedMatrix
 from ..errors import SchedulingError
+from ..obs import counters as _obs_counters
+from ..obs import get_logger
+from ..obs.trace import get_tracer
 from .costs import CostModel
 from .dag import build_evaluation_dag, build_plan_dag
 from .task import TaskGraph
 
 __all__ = ["ParallelEvaluation", "WorkerPool", "parallel_evaluate", "run_task_graph"]
+
+_LOG = get_logger("runtime.executor")
 
 
 @dataclass
@@ -214,6 +219,14 @@ class WorkerPool:
                     last_executed = run.executed
                     deadline = time.monotonic() + stall_timeout
                 elif time.monotonic() >= deadline:
+                    _obs_counters.add("chunk_stalls")
+                    _LOG.warning(
+                        "executor stall watchdog fired after %gs (%d in flight, %d pending); "
+                        "abandoning the run",
+                        stall_timeout,
+                        run.in_flight,
+                        run.remaining,
+                    )
                     run.errors.append(
                         SchedulingError(
                             f"no task completed within the stall timeout ({stall_timeout:g}s) "
@@ -247,7 +260,14 @@ class WorkerPool:
             exc: Optional[BaseException] = None
             try:
                 if payload is not None:
-                    payload()
+                    tracer = get_tracer()
+                    if tracer.enabled:
+                        with tracer.span(
+                            "executor.task", task=tid, kind=run.graph.tasks[tid].kind
+                        ):
+                            payload()
+                    else:
+                        payload()
             except BaseException as caught:  # propagate to the run's caller
                 exc = caught
             with cv:

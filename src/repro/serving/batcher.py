@@ -82,6 +82,11 @@ from typing import Callable, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import DeadlineExceededError, ServerOverloadedError, ServingConfigError, ServingError
+from ..obs import counters as _obs_counters
+from ..obs import get_logger
+from ..obs.trace import get_tracer
+
+_LOG = get_logger("serving.batcher")
 
 __all__ = [
     "BatchPolicy",
@@ -261,11 +266,13 @@ class MicroBatcher:
         policy: BatchPolicy,
         metrics,
         name: str = "operator",
+        tracer=None,
     ) -> None:
         self._runner = runner
         self.policy = policy
         self.metrics = metrics
         self.name = name
+        self.tracer = tracer
         self._cond = threading.Condition()
         #: Effective co-batching wait of wait-inheriting lanes; fixed at
         #: policy.max_wait_ms unless the policy sets a latency target
@@ -513,6 +520,10 @@ class MicroBatcher:
                 # every not-ready lane has a finite flush time, so wake is set
                 self._cond.wait(None if wake is None else max(0.0, wake - now))
 
+    def _active_tracer(self):
+        tracer = self.tracer
+        return tracer if (tracer is not None and tracer.enabled) else get_tracer()
+
     def _worker(self) -> None:
         while True:
             collected = self._collect()
@@ -521,6 +532,7 @@ class MicroBatcher:
             batch, shed = collected
             if shed:
                 now = time.monotonic()
+                tracer = self._active_tracer()
                 for request in shed:
                     if not request.future.set_running_or_notify_cancel():
                         continue  # already cancelled by the caller
@@ -535,6 +547,16 @@ class MicroBatcher:
                         )
                     )
                     self.metrics.record_shed(request.lane_name)
+                    _obs_counters.add("requests_shed")
+                    if tracer.enabled:
+                        tracer.instant(
+                            "serve.shed", lane=request.lane_name, waited_ms=waited_ms
+                        )
+                _LOG.warning(
+                    "operator %r shed %d deadline-expired request(s) before evaluation",
+                    self.name,
+                    len(shed),
+                )
             if not batch:
                 continue
             # Claim every future before evaluating: a pending future can be
@@ -548,7 +570,17 @@ class MicroBatcher:
                 continue
             started = time.monotonic()
             try:
-                block = np.stack([request.vector for request in batch], axis=1)
+                tracer = self._active_tracer()
+                if tracer.enabled:
+                    with tracer.span(
+                        "serve.batch.assemble",
+                        operator=self.name,
+                        requests=len(batch),
+                        lane=batch[0].lane_name,
+                    ):
+                        block = np.stack([request.vector for request in batch], axis=1)
+                else:
+                    block = np.stack([request.vector for request in batch], axis=1)
                 results = self._runner(batch[0].kind, block, batch[0].params)
                 if len(results) != len(batch):
                     raise ServingError(
@@ -562,6 +594,9 @@ class MicroBatcher:
                 continue
             now = time.monotonic()
             self.metrics.record_batch(len(batch), now - started)
+            _obs_counters.add("batches_assembled")
+            _obs_counters.add("batch_requests", len(batch))
+            _obs_counters.add("batch_occupancy_sum", len(batch) / self.policy.max_batch)
             _, _, inherits = self._effective_wait_ms(batch[0].lane_name)
             if inherits:
                 self._adapt_wait(batch, now)

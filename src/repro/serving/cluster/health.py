@@ -27,11 +27,35 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ...errors import ServingConfigError
+from ...obs import get_logger
 
-__all__ = ["HealthPolicy", "RESTART", "ROUTE_AROUND"]
+__all__ = ["HealthPolicy", "RESTART", "ROUTE_AROUND", "log_recovery"]
 
 RESTART = "restart"
 ROUTE_AROUND = "route-around"
+
+_LOG = get_logger("serving.cluster.health")
+
+
+def log_recovery(shard_id: str, action: str, restarts: int) -> None:
+    """Surface a shard recovery that would otherwise happen silently.
+
+    Called by the router after it has applied the health policy; the log
+    line is the operator-facing record of the event (the metrics only show
+    an incremented counter).
+    """
+    if action == "restarted":
+        _LOG.warning(
+            "shard %s was dead and has been rebuilt in place (restart %d)",
+            shard_id,
+            restarts,
+        )
+    else:
+        _LOG.warning(
+            "shard %s was dead and has been routed around (marked DOWN; "
+            "its operators moved to their ring successors)",
+            shard_id,
+        )
 
 
 @dataclass(frozen=True)

@@ -49,7 +49,7 @@ from ...errors import (
 )
 from ..batcher import MATVEC, SOLVE, THROUGHPUT, BatchPolicy
 from ..metrics import aggregate_metrics
-from .health import HealthPolicy
+from .health import HealthPolicy, log_recovery
 from .shard import DOWN, UP, ClusterShard
 
 __all__ = ["ShardRouter", "HashRing"]
@@ -365,8 +365,10 @@ class ShardRouter:
             if self.health.should_restart(shard):
                 shard.rebuild()
                 self._reregister_placed(shard)
+                log_recovery(shard.shard_id, "restarted", shard.restarts)
                 return "restarted"
             self._route_around(shard)
+            log_recovery(shard.shard_id, "routed-around", shard.restarts)
             return "routed-around"
 
     def check_health(self) -> Dict[str, dict]:

@@ -30,12 +30,20 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from ..obs import counters as _obs_counters
+
 __all__ = ["ServingMetrics", "aggregate_metrics", "METRICS_SCHEMA_VERSION"]
 
 #: Version of the stable ``to_dict`` / ``aggregate_metrics`` schema.
 #: v2 added the ``bytes_resident`` / ``bytes_on_disk`` memory split (how
 #: much of the served operator lives in RAM vs pages in from an mmap store).
-METRICS_SCHEMA_VERSION = 2
+#: v3 adds the ``counters`` section re-exporting the process-wide pipeline
+#: counters of :mod:`repro.obs.counters` — every vocabulary key always
+#: present (zero until the instrumented path runs).  The registry is
+#: process-wide, so in-process instances report the same values and
+#: :func:`aggregate_metrics` sums them across instances (one instance per
+#: shard process in a real cluster).  All v2 keys are unchanged.
+METRICS_SCHEMA_VERSION = 3
 
 
 def _latency_summary(latencies_s: Sequence[float]) -> Dict[str, float]:
@@ -177,6 +185,7 @@ class ServingMetrics:
                 "latencies": list(self._latencies),
                 "batch_sizes": list(self._batch_sizes),
                 "batch_seconds": list(self._batch_seconds),
+                "counters": _obs_counters.snapshot(names=_obs_counters.VOCABULARY),
                 "lanes": {
                     lane: {
                         "latencies": list(self._lane_latencies.get(lane, ())),
@@ -278,6 +287,9 @@ def _render(raw: Dict[str, object], instances: int) -> Dict[str, object]:
         "latency_ewma_ms": raw["latency_ewma_ms"],
         "bytes_resident": raw["bytes_resident"],
         "bytes_on_disk": raw["bytes_on_disk"],
+        "counters": {
+            name: raw["counters"].get(name, 0) for name in _obs_counters.VOCABULARY
+        },
         "latency_ms": _latency_summary(raw["latencies"]),
         "batch_eval_ms": {
             "count": int(batch_seconds.size),
@@ -317,6 +329,7 @@ def aggregate_metrics(metrics: Iterable[ServingMetrics]) -> Dict[str, object]:
         "max_queue_depth": 0, "bytes_resident": 0, "bytes_on_disk": 0,
         "adaptive_wait_ms": None, "latency_ewma_ms": None,
         "latencies": [], "batch_sizes": [], "batch_seconds": [], "lanes": {},
+        "counters": {name: 0 for name in _obs_counters.VOCABULARY},
     }
     adaptive: List[float] = []
     ewma: List[float] = []
@@ -333,6 +346,8 @@ def aggregate_metrics(metrics: Iterable[ServingMetrics]) -> Dict[str, object]:
         merged["latencies"].extend(raw["latencies"])
         merged["batch_sizes"].extend(raw["batch_sizes"])
         merged["batch_seconds"].extend(raw["batch_seconds"])
+        for name in _obs_counters.VOCABULARY:
+            merged["counters"][name] += raw["counters"].get(name, 0)
         for lane, stats in raw["lanes"].items():
             into = merged["lanes"].setdefault(
                 lane, {"latencies": [], "responses": 0, "shed": 0, "rejected": 0}

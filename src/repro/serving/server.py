@@ -40,6 +40,7 @@ from ..api.operator import CompressedOperator
 from ..api.session import Session
 from ..config import GOFMMConfig
 from ..errors import ServingError
+from ..obs.trace import Tracer, get_tracer, tracing
 from ..solvers import CGResult
 from .batcher import MATVEC, SOLVE, BatchPolicy, MicroBatcher
 from .metrics import ServingMetrics
@@ -91,6 +92,7 @@ class OperatorEntry:
         metrics: ServingMetrics,
         evaluate,
         source: Optional[dict] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.name = name
         self.operator = operator
@@ -98,8 +100,14 @@ class OperatorEntry:
         self.metrics = metrics
         self.source = source  # {"matrix", "config", "artifacts", "coordinates", "stamp"}
         self.version = 1
+        self.tracer = tracer
         self._evaluate = evaluate  # (operator, (n,k) block) -> (n,k) result
-        self.batcher = MicroBatcher(self._run_batch, policy, metrics, name=name)
+        self.batcher = MicroBatcher(self._run_batch, policy, metrics, name=name, tracer=tracer)
+
+    def _active_tracer(self):
+        """The server's own tracer when it has an enabled one, else the global."""
+        tracer = self.tracer
+        return tracer if (tracer is not None and tracer.enabled) else get_tracer()
 
     @property
     def n(self) -> int:
@@ -123,7 +131,18 @@ class OperatorEntry:
                 padded = np.zeros((block.shape[0], self.policy.max_batch), dtype=block.dtype)
                 padded[:, :k] = block
                 block = padded
-            out = np.asarray(self._evaluate(operator, block))
+            tracer = self._active_tracer()
+            if tracer.enabled:
+                # Activate the server's tracer around the evaluation so the
+                # engine-level spans (eval.*) land in the same trace as the
+                # serving batch phases.
+                with tracing(tracer):
+                    with tracer.span(
+                        "serve.batch.gemm", operator=self.name, requests=k, width=block.shape[1]
+                    ):
+                        out = np.asarray(self._evaluate(operator, block))
+            else:
+                out = np.asarray(self._evaluate(operator, block))
             return [out[:, j].copy() for j in range(k)]
         # solve lane: blocked multi-RHS CG, one wide matvec per Krylov iteration
         result = operator.solve(block, **(params or {}))
@@ -168,8 +187,14 @@ class MatvecServer:
     module docstring for the determinism trade-off).
     """
 
-    def __init__(self, policy: Optional[BatchPolicy] = None, num_workers: int = 0) -> None:
+    def __init__(
+        self,
+        policy: Optional[BatchPolicy] = None,
+        num_workers: int = 0,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         self.policy = policy or BatchPolicy()
+        self.tracer = tracer
         self._entries: Dict[str, OperatorEntry] = {}
         self._lock = threading.Lock()
         self._started = False
@@ -258,6 +283,7 @@ class MatvecServer:
                 ServingMetrics(),
                 self._evaluate,
                 source=source,
+                tracer=self.tracer,
             )
             self._entries[name] = entry
             if self._started:

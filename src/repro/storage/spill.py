@@ -42,6 +42,8 @@ from typing import Iterator, Tuple
 import numpy as np
 
 from ..errors import StorageError
+from ..obs import counters as _obs_counters
+from ..obs.trace import get_tracer
 
 __all__ = ["SpillArena"]
 
@@ -49,13 +51,14 @@ __all__ = ["SpillArena"]
 class _SpillSlot:
     """Bookkeeping record for one arena allocation."""
 
-    __slots__ = ("array", "nbytes", "pins", "resident", "path")
+    __slots__ = ("array", "nbytes", "pins", "resident", "evicted", "path")
 
     def __init__(self, array: np.memmap, nbytes: int, path: str) -> None:
         self.array = array
         self.nbytes = int(nbytes)
         self.pins = 0
         self.resident = False
+        self.evicted = False
         self.path = path
 
 
@@ -107,10 +110,17 @@ class SpillArena:
         """Mark ``buf`` hot (about to be written/read); may evict cold peers."""
         with self._lock:
             slot = self._slot(buf)
+            reloaded = slot.evicted
+            slot.evicted = False
             slot.pins += 1
             slot.resident = True
             self._slots.move_to_end(id(buf))
             self._evict_locked()
+        if reloaded:
+            _obs_counters.add("spill_bytes_in", slot.nbytes)
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.instant("spill.load", bytes=slot.nbytes)
 
     def unpin(self, buf: np.memmap) -> None:
         """Release a pin; the buffer becomes eligible for LRU eviction."""
@@ -196,13 +206,21 @@ class SpillArena:
         resident = sum(s.nbytes for s in self._slots.values() if s.resident)
         if resident <= self.budget_bytes:
             return
+        evicted_bytes = 0
         for slot in list(self._slots.values()):  # OrderedDict => LRU order
             if resident <= self.budget_bytes:
                 break
             if slot.resident and slot.pins == 0:
                 slot.array.flush()
                 slot.resident = False
+                slot.evicted = True
                 resident -= slot.nbytes
+                evicted_bytes += slot.nbytes
+        if evicted_bytes:
+            _obs_counters.add("spill_bytes_out", evicted_bytes)
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.instant("spill.evict", bytes=evicted_bytes)
 
     def _iter_slots(self) -> Iterator[_SpillSlot]:  # pragma: no cover - debug aid
         with self._lock:

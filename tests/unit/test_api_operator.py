@@ -115,7 +115,7 @@ class TestOperatorReport:
     REPORT_KEYS = {
         "schema_version", "n", "engine", "bytes_resident", "bytes_on_disk",
         "average_rank", "max_rank", "num_leaves", "tree_depth",
-        "near_pairs", "far_pairs", "compression_seconds",
+        "near_pairs", "far_pairs", "compression_seconds", "stage_seconds",
     }
 
     def test_report_is_still_a_compression_report(self, operator):

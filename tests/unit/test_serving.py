@@ -810,7 +810,7 @@ class TestStableMetricsSchema:
         "rejected", "shed", "batches", "batched_requests", "batch_occupancy",
         "reloads", "reload_failures", "max_queue_depth", "adaptive_wait_ms",
         "latency_ewma_ms", "bytes_resident", "bytes_on_disk",
-        "latency_ms", "batch_eval_ms", "batch_sizes", "lanes",
+        "latency_ms", "batch_eval_ms", "batch_sizes", "lanes", "counters",
     }
     LATENCY_KEYS = {"count", "mean", "p50", "p90", "p99", "max"}
 
