@@ -172,6 +172,34 @@ class GOFMMConfig:
     prebuild_plan:
         build the evaluation plan during compression (phase ``"plan"`` of
         the report) instead of lazily on the first planned matvec.
+    shard_retries:
+        how many times a failed sharded task (worker killed, stalled past
+        ``shard_task_timeout_s``, or errored) is retried by the
+        :class:`~repro.core.sharding.SupervisedPool` before the sharded
+        backend degrades to its single-process equivalent.  Retries are
+        deterministic — shard tasks rewrite their slab slots from
+        per-node streams, so a retried task produces the bytes the first
+        attempt would have.  Execution knob only: enters no stage
+        fingerprint.
+    shard_task_timeout_s:
+        supervision timeout of the sharded backends, in seconds: the
+        maximum gap between shard-task completions before the supervisor
+        declares the outstanding tasks dead and retries them (a killed
+        fork worker never returns its task, so without this bound a
+        ``pool.map`` would hang forever).  ``None`` disables detection of
+        silent worker death (errors are still retried).
+    storage_read_retries:
+        how many times a *transient* ``OSError`` (EIO, EAGAIN, ESTALE …)
+        on a store manifest/array read is retried (with capped jittered
+        backoff) before :class:`~repro.errors.StorageRetryExhaustedError`
+        is raised.  Non-transient errors (missing files, corrupt data)
+        fail immediately as :class:`~repro.errors.ArtifactMismatchError`.
+    spill_degrade_to_heap:
+        when the :class:`~repro.storage.spill.SpillArena` hits ENOSPC
+        mid-matvec (:class:`~repro.errors.SpillCapacityError`), fall back
+        to heap-allocated chunk buffers with a warning instead of failing
+        the evaluation.  The fallback is bit-identical — buffers hold the
+        same values wherever they live.  ``False`` propagates the error.
     executor_stall_timeout:
         watchdog for the threaded executor (:mod:`repro.runtime.executor`):
         if no task of an evaluation completes within this many seconds
@@ -222,6 +250,10 @@ class GOFMMConfig:
     compression_workers: int = 1
     plan_rank_bucketing: str = "pow2"
     prebuild_plan: bool = False
+    shard_retries: int = 2
+    shard_task_timeout_s: Optional[float] = 60.0
+    storage_read_retries: int = 2
+    spill_degrade_to_heap: bool = True
     executor_stall_timeout: Optional[float] = 300.0
     telemetry: bool = False
     dtype: np.dtype = np.float64
@@ -251,6 +283,23 @@ class GOFMMConfig:
         if self.streaming_chunk_bytes < 1:
             raise ConfigurationError(
                 f"streaming_chunk_bytes must be >= 1, got {self.streaming_chunk_bytes}"
+            )
+        if not isinstance(self.shard_retries, int) or self.shard_retries < 0:
+            raise ConfigurationError(
+                f"shard_retries must be a non-negative integer, got {self.shard_retries!r}"
+            )
+        if self.shard_task_timeout_s is not None and not (self.shard_task_timeout_s > 0.0):
+            raise ConfigurationError(
+                f"shard_task_timeout_s must be positive or None, got {self.shard_task_timeout_s}"
+            )
+        if not isinstance(self.storage_read_retries, int) or self.storage_read_retries < 0:
+            raise ConfigurationError(
+                f"storage_read_retries must be a non-negative integer, "
+                f"got {self.storage_read_retries!r}"
+            )
+        if not isinstance(self.spill_degrade_to_heap, bool):
+            raise ConfigurationError(
+                f"spill_degrade_to_heap must be a bool, got {self.spill_degrade_to_heap!r}"
             )
         if self.executor_stall_timeout is not None and not (self.executor_stall_timeout > 0.0):
             raise ConfigurationError(

@@ -55,10 +55,14 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from ..errors import CompressionError
+from ..errors import CompressionError, WorkerCrashError
+from ..obs import counters as _obs_counters
+from ..obs import get_logger
 from .distances import Distance
-from .sharding import SharedSlab, fork_available, fork_pool
+from .sharding import SharedSlab, SupervisedPool, fork_available
 from .tree import build_tree
+
+_LOG = get_logger("core.neighbor_backends")
 
 __all__ = [
     "NeighborBackendSpec",
@@ -261,6 +265,37 @@ def _neighbor_shard_task(task: tuple[int, int, int, int]) -> int:
     return slot
 
 
+def _finish_blocked(distance, config, idx_table, dist_table, remaining_seeds, iterations, kappa):
+    """Finish an interrupted sharded search sequentially, bit-identically.
+
+    Resumes from the current table state and the *remaining* seed schedule
+    with the blocked backend's per-iteration pass + convergence check.
+    Iterations are merged in the same seed order with the same screening
+    rule (``screen`` from the second global iteration on), so the table
+    trajectory is exactly what the healthy sharded run — and the blocked
+    backend — would have produced.
+    """
+    from . import neighbors as nb
+
+    n = distance.n
+    converged = False
+    for seed in remaining_seeds:
+        iterations += 1
+        tree = build_tree(
+            n, config, distance, rng=np.random.default_rng(seed), randomized_pivots=True
+        )
+        touched, overlap = _blocked_pass(
+            tree, distance, idx_table, dist_table, kappa, screen=iterations > 1
+        )
+        unchanged = (overlap + (n - touched) * kappa) / (n * kappa) if kappa else 1.0
+        if unchanged >= config.neighbor_accuracy_target and iterations > 1:
+            converged = True
+            break
+    return nb.NeighborTable(
+        indices=idx_table, distances=dist_table, iterations=iterations, converged=converged
+    )
+
+
 def _run_sharded(distance, config, rng):
     """Wave-parallel tree iterations over a fork pool + shared-memory slabs.
 
@@ -271,6 +306,12 @@ def _run_sharded(distance, config, rng):
     backend's, bit for bit, regardless of ``neighbor_workers`` (waves
     merely bound how many iterations are speculatively in flight; overshoot
     past convergence is discarded).
+
+    Supervision: tasks run on a :class:`~repro.core.sharding.SupervisedPool`
+    (killed/stalled workers detected and retried, safe because every task
+    rewrites its full slab slot); past the retry budget the search *resumes
+    sequentially* from the current table and the remaining seeds
+    (:func:`_finish_blocked`) — same trajectory, one process.
     """
     from . import neighbors as nb
 
@@ -284,22 +325,34 @@ def _run_sharded(distance, config, rng):
     seeds = nb.tree_seed_schedule(rng, config.num_neighbor_trees)
     wave = min(workers, len(seeds))
 
-    idx_slab = SharedSlab((wave, n, kappa), np.int64)
-    dist_slab = SharedSlab((wave, n, kappa), np.float64)
     all_rows = np.arange(n, dtype=np.intp)
     converged = False
     iterations = 0
 
     global _SHARD
-    _SHARD = {
-        "distance": distance,
-        "config": config,
-        "kappa": kappa,
-        "idx": idx_slab,
-        "dist": dist_slab,
-    }
-    try:
-        with fork_pool(workers) as pool:
+    from contextlib import ExitStack
+
+    with ExitStack() as stack:
+        # Slabs join the stack as they are created so no later failure
+        # (allocation, crashed pool, injected fault) leaks a segment.
+        idx_slab = stack.enter_context(SharedSlab((wave, n, kappa), np.int64))
+        dist_slab = stack.enter_context(SharedSlab((wave, n, kappa), np.float64))
+        _SHARD = {
+            "distance": distance,
+            "config": config,
+            "kappa": kappa,
+            "idx": idx_slab,
+            "dist": dist_slab,
+        }
+        try:
+            supervised = stack.enter_context(
+                SupervisedPool(
+                    workers,
+                    retries=config.shard_retries,
+                    task_timeout=config.shard_task_timeout_s,
+                    label="neighbors.sharded",
+                )
+            )
             start = 0
             while start < len(seeds) and not converged:
                 batch = seeds[start : start + wave]
@@ -311,7 +364,21 @@ def _run_sharded(distance, config, rng):
                     for slot, seed in enumerate(batch)
                     for chunk in range(chunks)
                 ]
-                pool.map(_neighbor_shard_task, tasks, chunksize=1)
+                try:
+                    supervised.map(_neighbor_shard_task, tasks)
+                except WorkerCrashError as exc:
+                    _LOG.warning(
+                        "sharded neighbor search exhausted its retry budget (%s); "
+                        "finishing the remaining %d iteration(s) single-process",
+                        exc,
+                        len(seeds) - start,
+                    )
+                    _obs_counters.add("faults_degraded")
+                    _SHARD = None
+                    return _finish_blocked(
+                        distance, config, idx_table, dist_table,
+                        seeds[start:], iterations, kappa,
+                    )
                 for slot in range(len(batch)):
                     iterations += 1
                     touched, overlap = nb.screened_merge(
@@ -327,10 +394,8 @@ def _run_sharded(distance, config, rng):
                         converged = True
                         break
                 start += len(batch)
-    finally:
-        _SHARD = None
-        idx_slab.close(unlink=True)
-        dist_slab.close(unlink=True)
+        finally:
+            _SHARD = None
 
     return nb.NeighborTable(
         indices=idx_table, distances=dist_table, iterations=iterations, converged=converged

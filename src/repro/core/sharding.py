@@ -18,16 +18,37 @@ Fork inheritance is load-bearing (plain numpy arrays are copy-on-write
 *into* a child but writes never propagate back, hence the slabs), so on
 platforms without the ``fork`` start method the sharded backends fall back
 to their single-process equivalents — :func:`fork_available` is the gate.
+
+A raw ``pool.map`` has a failure mode the backends cannot accept: a worker
+killed mid-task (OOM killer, segfault in BLAS) never returns its result,
+and the map blocks forever.  :class:`SupervisedPool` wraps the same fork
+pool with task-level supervision — results are collected via
+``imap_unordered`` under a per-task-gap timeout, missing or errored tasks
+are retried (re-forking the pool, with capped backoff), and a task that
+exhausts its retry budget raises a typed
+:class:`~repro.errors.WorkerCrashError` so the caller can degrade to its
+single-process backend.  Retrying is always safe here: every shard task
+deterministically rewrites its own slab slots from per-node streams, so a
+retry produces exactly the bytes the first attempt would have.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import time
 from multiprocessing import shared_memory
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["SharedSlab", "fork_available", "fork_pool"]
+from ..errors import WorkerCrashError
+from ..faults import injection as _faults
+from ..obs import counters as _obs_counters
+from ..obs import get_logger
+
+__all__ = ["SharedSlab", "SupervisedPool", "fork_available", "fork_pool"]
+
+_LOG = get_logger("core.sharding")
 
 
 def fork_available() -> bool:
@@ -76,3 +97,161 @@ class SharedSlab:
                 self._shm.unlink()
             except FileNotFoundError:
                 pass
+
+    def __enter__(self) -> "SharedSlab":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        # Context-managed slabs always unlink: the sharded backends stack
+        # them in an ExitStack so no injection/exception path can leak a
+        # /dev/shm segment.
+        self.close(unlink=True)
+
+
+# ---------------------------------------------------------------------------
+# supervised execution
+# ---------------------------------------------------------------------------
+
+def _supervised_call(payload):
+    """Worker-side wrapper around one shard task (module-level: fork-picklable).
+
+    Fires the ``shard.worker`` fault point with the task's identity (so a
+    plan can kill/stall/error one precise attempt), then runs the task.
+    Failures are *returned*, not raised — a raised exception would poison
+    the pool's result pipe ordering; the supervisor decides what to retry.
+    """
+    fn, key, task, attempt = payload
+    try:
+        _faults.fire("shard.worker", task=key, attempt=attempt)
+        return key, True, fn(task)
+    except BaseException as exc:  # noqa: BLE001 - reported to the supervisor
+        return key, False, f"{type(exc).__name__}: {exc}"
+
+
+class SupervisedPool:
+    """A fork pool that survives worker death, stalls, and task errors.
+
+    ``map(fn, tasks)`` submits each task through :func:`_supervised_call`
+    via ``imap_unordered`` and collects results under ``task_timeout`` —
+    the maximum *gap between completions*, not a total-runtime bound.  A
+    gap timeout means the outstanding tasks' workers are dead or wedged
+    (``multiprocessing.Pool`` refills killed workers, but the tasks they
+    held never return): the pool is terminated and re-forked, and the
+    missing tasks are resubmitted with capped backoff, up to ``retries``
+    extra attempts per task.  Past the budget a
+    :class:`~repro.errors.WorkerCrashError` is raised so callers can
+    degrade to a single-process backend.
+
+    Telemetry: each failure round reports its losses through
+    ``injection.record_detection("shard.worker", …)`` (counted as
+    injected only while a plan scripting that point is armed) and every
+    task that subsequently succeeds on a retry increments
+    ``faults_recovered``.
+
+    Context manager; the pool (if any) is terminated on exit — results
+    travel through shared slabs, so there is never anything to drain.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        retries: int = 2,
+        task_timeout: Optional[float] = None,
+        backoff_s: float = 0.05,
+        max_backoff_s: float = 2.0,
+        label: str = "shard",
+    ) -> None:
+        self.workers = max(1, int(workers))
+        self.retries = max(0, int(retries))
+        self.task_timeout = task_timeout
+        self.backoff_s = float(backoff_s)
+        self.max_backoff_s = float(max_backoff_s)
+        self.label = label
+        self._pool = None
+
+    def __enter__(self) -> "SupervisedPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._discard_pool()
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            self._pool = fork_pool(self.workers)
+        return self._pool
+
+    def _discard_pool(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+    def map(self, fn: Callable, tasks: Sequence) -> list:
+        """Run ``fn`` over ``tasks`` with supervision; results in task order.
+
+        Task keys are the positions in ``tasks``; a retried task reruns
+        with the same key and an incremented attempt number (visible to
+        fault-plan ``match`` triggers as ``task=`` / ``attempt=``).
+        """
+        pending = {key: task for key, task in enumerate(tasks)}
+        attempts = {key: 0 for key in pending}
+        results: dict = {}
+        round_no = 0
+        while pending:
+            pool = self._ensure_pool()
+            payloads = [(fn, key, pending[key], attempts[key]) for key in sorted(pending)]
+            failed: dict = {}
+            try:
+                it = pool.imap_unordered(_supervised_call, payloads, chunksize=1)
+                for _ in range(len(payloads)):
+                    key, ok, value = it.next(self.task_timeout)
+                    if ok:
+                        results[key] = value
+                        if attempts[key]:
+                            _obs_counters.add("faults_recovered")
+                        del pending[key]
+                    else:
+                        failed[key] = value
+            except multiprocessing.TimeoutError:
+                # Dead or wedged workers: whatever is still pending (minus
+                # successes above) is lost — fall through to the retry round.
+                pass
+            except (OSError, EOFError) as exc:
+                # Pool infrastructure breakage (result pipe torn down by a
+                # dying worker); treat the whole round as lost.
+                _LOG.warning("%s pool infrastructure failed mid-round: %s", self.label, exc)
+            if not pending:
+                break
+
+            # Failure round: pending now holds errored + vanished tasks.
+            self._discard_pool()
+            _faults.record_detection("shard.worker", len(pending))
+            for key in pending:
+                attempts[key] += 1
+            exhausted = sorted(key for key in pending if attempts[key] > self.retries)
+            if exhausted:
+                detail = "; ".join(
+                    f"task {key}: {failed[key]}" for key in exhausted if key in failed
+                )
+                raise WorkerCrashError(
+                    f"{self.label}: {len(exhausted)} of {len(attempts)} shard tasks failed "
+                    f"past the retry budget (shard_retries={self.retries})"
+                    + (f" [{detail}]" if detail else ""),
+                    failed_tasks=tuple(exhausted),
+                    attempts=max(attempts[key] for key in exhausted),
+                )
+            delay = min(self.max_backoff_s, self.backoff_s * (2**round_no))
+            _LOG.warning(
+                "%s: %d shard task(s) failed or vanished (%s); re-forking the pool and "
+                "retrying in %.0f ms (attempt %d/%d)",
+                self.label,
+                len(pending),
+                ", ".join(str(k) for k in sorted(pending)),
+                delay * 1e3,
+                max(attempts[key] for key in pending),
+                self.retries,
+            )
+            time.sleep(delay)
+            round_no += 1
+        return [results[key] for key in sorted(results)]

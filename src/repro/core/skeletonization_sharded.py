@@ -30,19 +30,25 @@ single-process backends exactly.
 
 from __future__ import annotations
 
+from contextlib import ExitStack
 from typing import Iterator, Optional
 
 import numpy as np
 
 from ..config import GOFMMConfig
+from ..errors import WorkerCrashError
 from ..matrices.base import SPDMatrix
+from ..obs import counters as _obs_counters
+from ..obs import get_logger
 from .neighbors import NeighborTable
-from .sharding import SharedSlab, fork_available, fork_pool
+from .sharding import SharedSlab, SupervisedPool, fork_available
 from .skeletonization import SkeletonizationStats, collect_stats, node_stream_base
 from .skeletonization_batched import skeletonize_level, skeletonize_tree_batched
 from .tree import BallTree
 
 __all__ = ["skeletonize_tree_sharded"]
+
+_LOG = get_logger("core.skeletonization_sharded")
 
 #: Hard ceiling on the coefficient slab; configurations whose worst-case
 #: capacity would exceed it (huge ``max_rank`` × many workers) fall back
@@ -139,59 +145,91 @@ def skeletonize_tree_sharded(
     if coeff_bytes > _MAX_COEFF_SLAB_BYTES:
         return skeletonize_tree_batched(tree, matrix, config, neighbors, rng=rng)
 
-    meta_slab = SharedSlab((num_subtrees, nodes_per_subtree, 2), np.int64)
-    skel_slab = SharedSlab((num_subtrees, nodes_per_subtree, max(1, cap_rank)), np.int64)
-    coeff_slab = SharedSlab(
-        (num_subtrees, nodes_per_subtree, max(1, cap_rank), max(1, cap_cols)), np.float64
-    )
-    evals_slab = SharedSlab((num_subtrees,), np.int64)
-
+    # Slabs enter an ExitStack *as they are allocated*: a failed later
+    # allocation, a crashed pool, or an injected fault can no longer leak
+    # an earlier slab's /dev/shm segment (each SharedSlab.__exit__ closes
+    # and unlinks).
     global _SHARD
-    _SHARD = {
-        "tree": tree,
-        "matrix": matrix,
-        "config": config,
-        "neighbors": neighbors,
-        "base": base,
-        "shard_level": shard_level,
-        "meta": meta_slab,
-        "skel": skel_slab,
-        "coeff": coeff_slab,
-        "evals": evals_slab,
-    }
-    try:
-        with fork_pool(min(workers, num_subtrees)) as pool:
-            pool.map(_compression_shard_task, range(num_subtrees), chunksize=1)
+    with ExitStack() as stack:
+        meta_slab = stack.enter_context(SharedSlab((num_subtrees, nodes_per_subtree, 2), np.int64))
+        skel_slab = stack.enter_context(
+            SharedSlab((num_subtrees, nodes_per_subtree, max(1, cap_rank)), np.int64)
+        )
+        coeff_slab = stack.enter_context(
+            SharedSlab(
+                (num_subtrees, nodes_per_subtree, max(1, cap_rank), max(1, cap_cols)), np.float64
+            )
+        )
+        evals_slab = stack.enter_context(SharedSlab((num_subtrees,), np.int64))
 
-        # Unpack in the workers' packing order, then finish the top levels.
-        meta = meta_slab.array
-        skel = skel_slab.array
-        coeff = coeff_slab.array
-        for slot in range(num_subtrees):
-            root_id = num_subtrees - 1 + slot
-            pos = 0
-            for _level, lo, hi in _subtree_level_slices(root_id, shard_level, tree.depth):
-                for node_id in range(lo, hi + 1):
-                    node = tree.nodes[node_id]
-                    rank = int(meta[slot, pos, 0])
-                    ncols = int(meta[slot, pos, 1])
-                    node.skeleton_rank = rank
-                    if rank:
-                        node.skeleton = skel[slot, pos, :rank].astype(np.intp)
-                        node.coeffs = coeff[slot, pos, :rank, :ncols].astype(config.dtype)
-                    else:
-                        # Match the batched backend's empty assignments
-                        # (default float64 zeros with the column count).
-                        node.skeleton = np.empty(0, dtype=np.intp)
-                        node.coeffs = np.zeros((0, ncols))
-                    pos += 1
-        matrix.entry_evaluations += int(evals_slab.array.sum())
-    finally:
-        _SHARD = None
-        meta_slab.close(unlink=True)
-        skel_slab.close(unlink=True)
-        coeff_slab.close(unlink=True)
-        evals_slab.close(unlink=True)
+        _SHARD = {
+            "tree": tree,
+            "matrix": matrix,
+            "config": config,
+            "neighbors": neighbors,
+            "base": base,
+            "shard_level": shard_level,
+            "meta": meta_slab,
+            "skel": skel_slab,
+            "coeff": coeff_slab,
+            "evals": evals_slab,
+        }
+        try:
+            supervised = stack.enter_context(
+                SupervisedPool(
+                    min(workers, num_subtrees),
+                    retries=config.shard_retries,
+                    task_timeout=config.shard_task_timeout_s,
+                    label="compression.sharded",
+                )
+            )
+            try:
+                supervised.map(_compression_shard_task, range(num_subtrees))
+            except WorkerCrashError as exc:
+                # Degrade to the batched backend's level sweep with the
+                # *already drawn* stream base — every node's sample depends
+                # only on (base, node_id), so the result is bit-identical
+                # to a healthy sharded (or batched) run.
+                _LOG.warning(
+                    "sharded compression exhausted its retry budget (%s); "
+                    "degrading to the single-process batched backend",
+                    exc,
+                )
+                _obs_counters.add("faults_degraded")
+                _SHARD = None
+                start_entries = matrix.entry_evaluations
+                for level in range(tree.depth, 0, -1):
+                    skeletonize_level(levels[level], tree.n, matrix, config, neighbors, base)
+                _obs_counters.add(
+                    "kernel_entries_evaluated", int(matrix.entry_evaluations - start_entries)
+                )
+                return collect_stats(tree)
+
+            # Unpack in the workers' packing order, then finish the top levels.
+            meta = meta_slab.array
+            skel = skel_slab.array
+            coeff = coeff_slab.array
+            for slot in range(num_subtrees):
+                root_id = num_subtrees - 1 + slot
+                pos = 0
+                for _level, lo, hi in _subtree_level_slices(root_id, shard_level, tree.depth):
+                    for node_id in range(lo, hi + 1):
+                        node = tree.nodes[node_id]
+                        rank = int(meta[slot, pos, 0])
+                        ncols = int(meta[slot, pos, 1])
+                        node.skeleton_rank = rank
+                        if rank:
+                            node.skeleton = skel[slot, pos, :rank].astype(np.intp)
+                            node.coeffs = coeff[slot, pos, :rank, :ncols].astype(config.dtype)
+                        else:
+                            # Match the batched backend's empty assignments
+                            # (default float64 zeros with the column count).
+                            node.skeleton = np.empty(0, dtype=np.intp)
+                            node.coeffs = np.zeros((0, ncols))
+                        pos += 1
+            matrix.entry_evaluations += int(evals_slab.array.sum())
+        finally:
+            _SHARD = None
 
     for level in range(shard_level - 1, 0, -1):
         skeletonize_level(levels[level], tree.n, matrix, config, neighbors, base)

@@ -57,7 +57,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..errors import EvaluationError
+from ..errors import EvaluationError, SpillCapacityError
 from ..obs import counters as _obs_counters
 from ..obs import get_logger
 from ..obs.trace import get_tracer
@@ -303,6 +303,7 @@ class StreamingPlan:
         matrix,
         chunk_bytes: int,
         stall_timeout: Optional[float],
+        spill_degrade_to_heap: bool = True,
     ) -> None:
         self.layout = layout
         self.s2s_chunks = s2s_chunks
@@ -312,6 +313,7 @@ class StreamingPlan:
         self.matrix = matrix
         self.chunk_bytes = chunk_bytes
         self.stall_timeout = stall_timeout
+        self.spill_degrade_to_heap = bool(spill_degrade_to_heap)
         chunks = s2s_chunks + l2l_chunks
         self.buffer_elems = max((c.total_elems for c in chunks), default=0)
         #: Decided at plan time: the cycling buffers only exceed the budget
@@ -556,7 +558,32 @@ class StreamingPlan:
         if not self.spills:
             return [np.empty(self.buffer_elems) for _ in range(num_buffers)]
         arena = self._spill_arena()
-        return [arena.allocate(self.buffer_elems) for _ in range(num_buffers)]
+        buffers: List[np.ndarray] = []
+        try:
+            for _ in range(num_buffers):
+                buffers.append(arena.allocate(self.buffer_elems))
+        except SpillCapacityError:
+            # The spill disk is full.  Undo the partial allocation, then
+            # either degrade to heap buffers for the rest of the plan's
+            # lifetime (spill_degrade_to_heap, the default — trading the
+            # bounded-workspace guarantee for a completed, still
+            # bit-identical matvec) or surface the typed error.
+            for buffer in buffers:
+                arena.release(buffer)
+            if not self.spill_degrade_to_heap:
+                raise
+            _LOG.warning(
+                "spill arena out of disk space; degrading %d chunk buffer(s) "
+                "(%d bytes each) to heap allocation — the streaming workspace "
+                "bound no longer holds for this plan",
+                num_buffers,
+                self.buffer_elems * 8,
+            )
+            _obs_counters.add("faults_degraded")
+            self.spills = False
+            self.close()
+            return [np.empty(self.buffer_elems) for _ in range(num_buffers)]
+        return buffers
 
     def _release_buffers(self, buffers: List[np.ndarray]) -> None:
         """Return spill-backed buffers to the arena (heap buffers just GC)."""
@@ -837,6 +864,7 @@ def build_streaming_plan(compressed) -> StreamingPlan:
         matrix=compressed.matrix,
         chunk_bytes=chunk_bytes,
         stall_timeout=getattr(config, "executor_stall_timeout", None),
+        spill_degrade_to_heap=bool(getattr(config, "spill_degrade_to_heap", True)),
     )
 
 

@@ -14,9 +14,13 @@ __all__ = [
     "CompressionError",
     "ArtifactMismatchError",
     "StorageError",
+    "StorageRetryExhaustedError",
+    "SpillCapacityError",
     "RankDeficiencyError",
     "EvaluationError",
     "SchedulingError",
+    "ExecutorStallError",
+    "WorkerCrashError",
     "MatrixDefinitionError",
     "ServingError",
     "ServingConfigError",
@@ -72,6 +76,32 @@ class StorageError(GOFMMError, RuntimeError):
     """
 
 
+class StorageRetryExhaustedError(StorageError):
+    """A transient storage read kept failing past the retry budget.
+
+    Raised by :func:`repro.storage.store.read_array_dir` once a manifest or
+    array read has failed with a *transient* ``OSError`` (EIO, EAGAIN,
+    ESTALE, ...) ``storage_read_retries + 1`` times in a row.  Distinct from
+    :class:`ArtifactMismatchError`: the artifact may be perfectly valid —
+    the device serving it is not.  ``attempts`` counts the reads performed.
+    """
+
+    def __init__(self, message: str, path: str = "", attempts: int = 0) -> None:
+        super().__init__(message)
+        self.path = str(path)
+        self.attempts = int(attempts)
+
+
+class SpillCapacityError(StorageError):
+    """The spill arena's backing device is out of space (ENOSPC).
+
+    Raised by :meth:`repro.storage.spill.SpillArena.allocate` (and the
+    eviction flush) when the filesystem refuses the write.  The streamed
+    engine catches it and — when ``spill_degrade_to_heap`` is set — falls
+    back to heap chunk buffers instead of dying mid-matvec.
+    """
+
+
 class RankDeficiencyError(CompressionError):
     """A skeletonization produced an empty or invalid skeleton.
 
@@ -86,6 +116,43 @@ class EvaluationError(GOFMMError, RuntimeError):
 
 class SchedulingError(GOFMMError, RuntimeError):
     """The task runtime was given an inconsistent DAG or machine model."""
+
+
+class ExecutorStallError(SchedulingError):
+    """The executor's stall watchdog abandoned a run.
+
+    Subclasses :class:`SchedulingError` (and therefore ``RuntimeError`` and
+    :class:`GOFMMError`), so existing handlers keep working, but carries
+    the identities of the tasks that were in flight when the watchdog
+    fired — the first one is exposed as :attr:`task_label` for log lines
+    and dashboards.
+    """
+
+    def __init__(self, message: str, stalled_tasks: tuple = ()) -> None:
+        super().__init__(message)
+        self.stalled_tasks = tuple(str(t) for t in stalled_tasks)
+
+    @property
+    def task_label(self) -> str:
+        """The first stalled task's id (empty when none were in flight)."""
+        return self.stalled_tasks[0] if self.stalled_tasks else ""
+
+
+class WorkerCrashError(GOFMMError, RuntimeError):
+    """A supervised fork-pool shard exhausted its retry budget.
+
+    Raised by :class:`repro.core.sharding.SupervisedPool` after a shard
+    task has died (killed worker), stalled past ``shard_task_timeout_s``,
+    or errored on every one of its ``shard_retries + 1`` attempts.  The
+    sharded backends catch it and degrade to their single-process
+    equivalents.  ``failed_tasks`` are the task keys still outstanding;
+    ``attempts`` is the attempt count the budget was measured against.
+    """
+
+    def __init__(self, message: str, failed_tasks: tuple = (), attempts: int = 0) -> None:
+        super().__init__(message)
+        self.failed_tasks = tuple(failed_tasks)
+        self.attempts = int(attempts)
 
 
 class MatrixDefinitionError(GOFMMError, ValueError):

@@ -24,6 +24,18 @@ re-exports these) sees where blocks, bytes and batches actually went:
 ``gemm_bytes_s2s`` /           operands + workspace traffic); recorded only
 ``gemm_bytes_s2n`` /           while tracing is enabled so the disabled
 ``gemm_bytes_l2l``             hot path stays untouched
+``faults_injected``            faults fired by an armed
+                               :class:`repro.faults.FaultPlan` (worker
+                               kills detected parent-side count here too)
+``faults_recovered``           faults survived without changing the
+                               execution strategy: a retried shard task
+                               that succeeded, a transient store read that
+                               went through on retry, a shard restarted in
+                               place
+``faults_degraded``            faults survived by *degrading*: a sharded
+                               backend falling back to its single-process
+                               equivalent, spill buffers falling back to
+                               heap, a shard routed around / breaker-opened
 =============================  =============================================
 
 Counters are monotone within a process; :func:`reset` (tests, benchmark
@@ -54,6 +66,9 @@ VOCABULARY = (
     "gemm_bytes_s2s",
     "gemm_bytes_s2n",
     "gemm_bytes_l2l",
+    "faults_injected",
+    "faults_recovered",
+    "faults_degraded",
 )
 
 

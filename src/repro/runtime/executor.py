@@ -55,7 +55,7 @@ import numpy as np
 
 from ..core.evaluate import EvaluationState, _as_matrix, task_l2l, task_n2s, task_s2n, task_s2s
 from ..core.hmatrix import CompressedMatrix
-from ..errors import SchedulingError
+from ..errors import ExecutorStallError, SchedulingError
 from ..obs import counters as _obs_counters
 from ..obs import get_logger
 from ..obs.trace import get_tracer
@@ -85,7 +85,7 @@ class _GraphRun:
     """Bookkeeping of one task graph being executed on a (shared) pool."""
 
     __slots__ = (
-        "graph", "payloads", "pending", "remaining", "in_flight",
+        "graph", "payloads", "pending", "remaining", "in_flight", "in_flight_tids",
         "ready_count", "executed", "errors", "finished",
     )
 
@@ -95,6 +95,7 @@ class _GraphRun:
         self.pending = {tid: len(graph.predecessors(tid)) for tid in graph.tasks}
         self.remaining = len(graph.tasks)
         self.in_flight = 0
+        self.in_flight_tids: set[str] = set()
         self.ready_count = 0
         self.executed = 0
         self.errors: list[BaseException] = []
@@ -219,19 +220,24 @@ class WorkerPool:
                     last_executed = run.executed
                     deadline = time.monotonic() + stall_timeout
                 elif time.monotonic() >= deadline:
+                    stalled = sorted(run.in_flight_tids)
                     _obs_counters.add("chunk_stalls")
                     _LOG.warning(
-                        "executor stall watchdog fired after %gs (%d in flight, %d pending); "
+                        "executor stall watchdog fired after %gs (%d in flight: %s; %d pending); "
                         "abandoning the run",
                         stall_timeout,
                         run.in_flight,
+                        ", ".join(stalled) or "<none>",
                         run.remaining,
                     )
                     run.errors.append(
-                        SchedulingError(
+                        ExecutorStallError(
                             f"no task completed within the stall timeout ({stall_timeout:g}s) "
-                            f"with {run.in_flight} in flight and {run.remaining} pending; "
-                            "raise GOFMMConfig.executor_stall_timeout for long-running evaluations"
+                            f"with {run.in_flight} in flight"
+                            + (f" ({', '.join(stalled)})" if stalled else "")
+                            + f" and {run.remaining} pending; "
+                            "raise GOFMMConfig.executor_stall_timeout for long-running evaluations",
+                            stalled_tasks=stalled,
                         )
                     )
                     # Abandon the run: queued tasks are dropped lazily by the
@@ -256,6 +262,7 @@ class WorkerPool:
                 if run.finished or run.errors:
                     continue  # failed/abandoned run: drop its queued tasks
                 run.in_flight += 1
+                run.in_flight_tids.add(tid)
             payload = run.payload_for(tid)
             exc: Optional[BaseException] = None
             try:
@@ -272,6 +279,7 @@ class WorkerPool:
                 exc = caught
             with cv:
                 run.in_flight -= 1
+                run.in_flight_tids.discard(tid)
                 if exc is not None:
                     run.errors.append(exc)
                 if run.errors or run.finished:

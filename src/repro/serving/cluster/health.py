@@ -17,6 +17,15 @@ Two recovery modes (:class:`HealthPolicy.mode`):
   onto the surviving shards (consistent hashing sends each operator to
   its next ring successor, so only the dead shard's operators move).
 
+A shard demoted after a restart storm is not gone forever: under
+``mode="restart"`` the demotion opens a **circuit breaker** for
+``breaker_cooldown_s`` seconds.  While the breaker is open the shard takes
+no traffic and burns no more rebuilds; once the cooldown elapses,
+``router.check_health()`` probes it *half-open* — one rebuild attempt.  A
+successful probe closes the breaker (the shard returns ``UP`` and its
+operators are re-placed onto it); a failed probe re-opens it for another
+cooldown.
+
 Either way, requests already queued on the dead shard are lost (their
 futures fail) — the guarantee is that *new* traffic keeps flowing and the
 cluster metrics record the event.
@@ -50,6 +59,20 @@ def log_recovery(shard_id: str, action: str, restarts: int) -> None:
             shard_id,
             restarts,
         )
+    elif action == "probe-recovered":
+        _LOG.warning(
+            "shard %s passed its half-open breaker probe and is UP again "
+            "(restart %d); its operators have been re-placed",
+            shard_id,
+            restarts,
+        )
+    elif action == "probe-failed":
+        _LOG.warning(
+            "shard %s failed its half-open breaker probe; breaker re-opened "
+            "for another cooldown (restart %d)",
+            shard_id,
+            restarts,
+        )
     else:
         _LOG.warning(
             "shard %s was dead and has been routed around (marked DOWN; "
@@ -64,11 +87,16 @@ class HealthPolicy:
 
     ``max_restarts`` is per shard, cumulative over the router's lifetime:
     once a shard has been rebuilt that many times, the next failure
-    demotes it to route-around even under ``mode="restart"``.
+    demotes it to route-around even under ``mode="restart"`` — but the
+    demotion opens a circuit breaker rather than being permanent:
+    ``breaker_cooldown_s`` seconds later a health check probes the shard
+    half-open (one rebuild; success closes the breaker, failure re-opens
+    it).  ``breaker_cooldown_s=0`` probes on the very next health check.
     """
 
     mode: str = RESTART
     max_restarts: int = 3
+    breaker_cooldown_s: float = 30.0
 
     def __post_init__(self) -> None:
         if self.mode not in (RESTART, ROUTE_AROUND):
@@ -78,6 +106,13 @@ class HealthPolicy:
         if not isinstance(self.max_restarts, int) or self.max_restarts < 0:
             raise ServingConfigError(
                 f"HealthPolicy.max_restarts must be a non-negative integer, got {self.max_restarts!r}"
+            )
+        if not isinstance(self.breaker_cooldown_s, (int, float)) or isinstance(
+            self.breaker_cooldown_s, bool
+        ) or self.breaker_cooldown_s < 0:
+            raise ServingConfigError(
+                "HealthPolicy.breaker_cooldown_s must be a non-negative number, "
+                f"got {self.breaker_cooldown_s!r}"
             )
 
     def should_restart(self, shard) -> bool:

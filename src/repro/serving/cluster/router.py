@@ -34,6 +34,7 @@ from __future__ import annotations
 import bisect
 import hashlib
 import threading
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -47,9 +48,11 @@ from ...errors import (
     ServingError,
     ShardUnavailableError,
 )
+from ...faults import injection as _faults
+from ...obs import counters as _obs_counters
 from ..batcher import MATVEC, SOLVE, THROUGHPUT, BatchPolicy
 from ..metrics import aggregate_metrics
-from .health import HealthPolicy, log_recovery
+from .health import RESTART, HealthPolicy, log_recovery
 from .shard import DOWN, UP, ClusterShard
 
 __all__ = ["ShardRouter", "HashRing"]
@@ -159,6 +162,8 @@ class ShardRouter:
         self._specs: Dict[str, _OperatorSpec] = {}
         self._placement: Dict[str, Tuple[str, ...]] = {}
         self._started = False
+        # Breaker clock; tests patch this to drive cooldowns without sleeping.
+        self._clock = time.monotonic
 
     # -- registry --------------------------------------------------------------
     def _alive_ids(self) -> List[str]:
@@ -312,6 +317,10 @@ class ShardRouter:
         for attempt in range(2):
             owners = self._owners(name)
             shard = self._pick(name, owners, lane_name)
+            if _faults.fire("serving.shard", shard=shard.shard_id, operator=name, attempt=attempt):
+                # Chaos seam: the plan asked for this shard to die right as
+                # it was picked — exactly the window the failover retry covers.
+                shard.kill()
             try:
                 return shard.server.submit(name, w, kind, lane=lane,
                                            deadline_ms=deadline_ms, **solve_params)
@@ -366,16 +375,59 @@ class ShardRouter:
                 shard.rebuild()
                 self._reregister_placed(shard)
                 log_recovery(shard.shard_id, "restarted", shard.restarts)
+                _obs_counters.add("faults_recovered")
                 return "restarted"
             self._route_around(shard)
+            if self.health.mode == RESTART:
+                # Demoted after a restart storm: open the circuit breaker so
+                # check_health() can probe the shard half-open after cooldown
+                # instead of leaving it DOWN forever.
+                shard.breaker_open_until = self._clock() + self.health.breaker_cooldown_s
             log_recovery(shard.shard_id, "routed-around", shard.restarts)
+            _obs_counters.add("faults_degraded")
             return "routed-around"
+
+    def _probe_half_open(self, shard: ClusterShard) -> Optional[str]:
+        """Probe a breaker-opened DOWN shard once its cooldown has elapsed.
+
+        One rebuild attempt: success closes the breaker (the shard returns
+        ``UP`` and placement is recomputed so its operators move back);
+        failure re-opens the breaker for another cooldown.  Shards marked
+        DOWN without a breaker (``mode="route-around"``) are never probed —
+        the operator chose not to restart them.
+        """
+        with self._lock:
+            if shard.state != DOWN or shard.breaker_open_until <= 0.0:
+                return None
+            if self._clock() < shard.breaker_open_until:
+                return None
+            shard.rebuild()
+            if shard.server.serving:
+                shard.state = UP
+                shard.breaker_open_until = 0.0
+                alive = self._alive_ids()
+                for name, spec in self._specs.items():
+                    placement = self._ring.place(name, spec.replicas, alive)
+                    for shard_id in placement:
+                        target = self._shards[shard_id]
+                        if name not in target.server:
+                            target.server.register(name, spec.operator, policy=spec.policy)
+                    self._placement[name] = placement
+                log_recovery(shard.shard_id, "probe-recovered", shard.restarts)
+                _obs_counters.add("faults_recovered")
+                return "probe-recovered"
+            shard.breaker_open_until = self._clock() + self.health.breaker_cooldown_s
+            log_recovery(shard.shard_id, "probe-failed", shard.restarts)
+            return "probe-failed"
 
     def check_health(self) -> Dict[str, dict]:
         """Probe every shard; recover dead ones per the health policy.
 
         Returns ``{shard_id: {"healthy": bool, "action": None | "restarted"
-        | "routed-around"}}`` where ``healthy`` is the *post-action* state.
+        | "routed-around" | "probe-recovered" | "probe-failed"}}`` where
+        ``healthy`` is the *post-action* state.  DOWN shards whose circuit
+        breaker cooldown has elapsed are probed half-open here (see
+        :meth:`_probe_half_open`).
         """
         report: Dict[str, dict] = {}
         with self._lock:
@@ -384,6 +436,8 @@ class ShardRouter:
             action = None
             if shard.state == UP and not shard.healthy:
                 action = self._handle_unhealthy(shard)
+            elif shard.state == DOWN:
+                action = self._probe_half_open(shard)
             report[shard.shard_id] = {"healthy": shard.healthy, "action": action}
         return report
 

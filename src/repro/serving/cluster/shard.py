@@ -21,8 +21,11 @@ from __future__ import annotations
 from typing import Optional
 
 from ...errors import ServingError
+from ...obs import get_logger
 from ..batcher import BatchPolicy
 from ..server import MatvecServer
+
+_LOG = get_logger("serving.cluster.shard")
 
 __all__ = ["ClusterShard", "UP", "DOWN"]
 
@@ -47,6 +50,10 @@ class ClusterShard:
         self.policy = policy
         self.state = UP
         self.restarts = 0
+        #: Circuit breaker: monotonic deadline before which a demoted shard
+        #: is not probed for recovery (0.0 = no breaker open).  Owned by the
+        #: router — the shard just carries the state.
+        self.breaker_open_until = 0.0
         self._num_workers = int(num_workers)
         self._started = False
         self.server = self._new_server()
@@ -81,8 +88,11 @@ class ClusterShard:
         """
         try:
             self.server.stop(drain=False)
-        except Exception:
-            pass  # a wedged server must not block its own replacement
+        except (ServingError, RuntimeError) as exc:
+            # A wedged server must not block its own replacement — but the
+            # failure should leave a trace (stop() only raises on serving /
+            # thread-state problems; anything else is a bug to surface).
+            _LOG.warning("shard %s: discarding wedged server failed: %s", self.shard_id, exc)
         self.server = self._new_server()
         self.restarts += 1
         if self._started:

@@ -31,6 +31,7 @@ adds the bookkeeping the kernel cannot do for us:
 
 from __future__ import annotations
 
+import errno
 import os
 import shutil
 import tempfile
@@ -41,11 +42,15 @@ from typing import Iterator, Tuple
 
 import numpy as np
 
-from ..errors import StorageError
+from ..errors import SpillCapacityError, StorageError
+from ..faults import injection as _faults
 from ..obs import counters as _obs_counters
+from ..obs import get_logger
 from ..obs.trace import get_tracer
 
 __all__ = ["SpillArena"]
+
+_LOG = get_logger("storage.spill")
 
 
 class _SpillSlot:
@@ -95,13 +100,30 @@ class SpillArena:
         return self._closed
 
     def allocate(self, shape: int | Tuple[int, ...], dtype: np.dtype | type = np.float64) -> np.memmap:
-        """Create a new zero-filled spill buffer backed by its own file."""
+        """Create a new zero-filled spill buffer backed by its own file.
+
+        A full disk (ENOSPC, or EDQUOT on quota'd filesystems) raises the
+        typed :class:`~repro.errors.SpillCapacityError` so the streaming
+        planner can fall back to heap buffers instead of crashing the run.
+        """
         with self._lock:
             if self._closed:
                 raise StorageError("spill arena is closed")
             self._seq += 1
             path = os.path.join(self._dir, f"spill-{self._seq:04d}.bin")
-        buf = np.memmap(path, dtype=np.dtype(dtype), mode="w+", shape=shape)
+        try:
+            _faults.fire("spill.write", path=path)
+            buf = np.memmap(path, dtype=np.dtype(dtype), mode="w+", shape=shape)
+        except OSError as exc:
+            if exc.errno in (errno.ENOSPC, errno.EDQUOT):
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+                raise SpillCapacityError(
+                    f"spill arena out of disk space at {path}: {exc}"
+                ) from exc
+            raise
         with self._lock:
             self._slots[id(buf)] = _SpillSlot(buf, buf.nbytes, path)
         return buf
@@ -187,8 +209,12 @@ class SpillArena:
     def __del__(self) -> None:  # pragma: no cover - GC timing dependent
         try:
             self.close()
-        except Exception:
-            pass
+        except (OSError, ValueError, StorageError) as exc:
+            # The only failures close() can hit: flush/unlink I/O errors and
+            # views over already-released buffers.  Log instead of swallowing
+            # blind — anything else escaping here is a genuine bug and should
+            # surface (the interpreter prints it, it cannot propagate).
+            _LOG.warning("spill arena cleanup failed in __del__: %s", exc)
 
     # ------------------------------------------------------------- internals
 
@@ -211,7 +237,14 @@ class SpillArena:
             if resident <= self.budget_bytes:
                 break
             if slot.resident and slot.pins == 0:
-                slot.array.flush()
+                try:
+                    slot.array.flush()
+                except OSError as exc:
+                    if exc.errno in (errno.ENOSPC, errno.EDQUOT):
+                        raise SpillCapacityError(
+                            f"spill arena out of disk space flushing {slot.path}: {exc}"
+                        ) from exc
+                    raise
                 slot.resident = False
                 slot.evicted = True
                 resident -= slot.nbytes

@@ -29,20 +29,32 @@ one step, so a crashed writer can never leave a half-valid store behind.
 from __future__ import annotations
 
 import dataclasses
+import errno
 import json
 import os
+import random
 import shutil
 import tempfile
-from typing import Dict, Iterator, Optional, Tuple
+import time
+from typing import Callable, Dict, Iterator, Optional, Tuple
 
 import numpy as np
 
 from ..config import DistanceMetric, GOFMMConfig
-from ..errors import ArtifactMismatchError, ConfigurationError, StorageError
+from ..errors import (
+    ArtifactMismatchError,
+    ConfigurationError,
+    StorageError,
+    StorageRetryExhaustedError,
+)
+from ..faults import injection as _faults
+from ..obs import counters as _obs_counters
+from ..obs import get_logger
 
 __all__ = [
     "MANIFEST_NAME",
     "STORE_SCHEMA_VERSION",
+    "DEFAULT_READ_RETRIES",
     "OperatorStore",
     "StoredBlockProvider",
     "write_array_dir",
@@ -57,6 +69,64 @@ MANIFEST_NAME = "manifest.json"
 #: Version of the directory layout.  v1 is the legacy single-``.npz``
 #: session format; v2 is the manifest + per-array ``.npy`` directory.
 STORE_SCHEMA_VERSION = 2
+
+_LOG = get_logger("storage.store")
+
+#: Module default for the transient-read retry budget; callers with a
+#: config pass ``GOFMMConfig.storage_read_retries`` instead.
+DEFAULT_READ_RETRIES = 2
+
+#: Base/backoff of the retry delay (exponential, jittered, capped).
+_READ_BACKOFF_S = 0.02
+_READ_BACKOFF_MAX_S = 0.5
+
+#: ``errno`` values treated as *transient* — a device hiccup worth
+#: retrying, as opposed to a missing or corrupt artifact.  ``ENOENT`` is
+#: deliberately absent (missing file → :class:`ArtifactMismatchError`).
+_TRANSIENT_ERRNOS = frozenset(
+    {errno.EIO, errno.EAGAIN, errno.EBUSY, errno.EINTR, errno.ETIMEDOUT, errno.ESTALE}
+)
+
+
+def _is_transient(exc: OSError) -> bool:
+    return not isinstance(exc, FileNotFoundError) and exc.errno in _TRANSIENT_ERRNOS
+
+
+def _read_with_retry(what: str, fn: Callable, retries: int):
+    """Run ``fn`` retrying transient ``OSError``\\ s with jittered backoff.
+
+    Non-transient errors propagate on the first occurrence; transient ones
+    are retried up to ``retries`` extra attempts (each survived retry
+    counts ``faults_recovered``) and then surface as a typed
+    :class:`~repro.errors.StorageRetryExhaustedError`.
+    """
+    attempt = 0
+    while True:
+        try:
+            result = fn()
+        except OSError as exc:
+            if not _is_transient(exc):
+                raise
+            if attempt >= retries:
+                raise StorageRetryExhaustedError(
+                    f"transient read error on {what} persisted past "
+                    f"{attempt + 1} attempt(s) (storage_read_retries={retries}): {exc}",
+                    path=what,
+                    attempts=attempt + 1,
+                ) from exc
+            delay = min(_READ_BACKOFF_MAX_S, _READ_BACKOFF_S * (2**attempt))
+            delay *= 1.0 + 0.25 * random.random()  # jitter: desynchronize cold-start herds
+            _LOG.warning(
+                "transient read error on %s (%s); retry %d/%d in %.0f ms",
+                what, exc, attempt + 1, retries, delay * 1e3,
+            )
+            time.sleep(delay)
+            attempt += 1
+            continue
+        if attempt:
+            _obs_counters.add("faults_recovered")
+            _LOG.warning("read of %s recovered after %d retry/retries", what, attempt)
+        return result
 
 
 # ---------------------------------------------------------------------------
@@ -102,24 +172,40 @@ def write_array_dir(path, manifest: dict, arrays: Dict[str, np.ndarray]) -> None
         raise
 
 
-def read_array_dir(path, mmap: bool = True) -> Tuple[dict, Dict[str, np.ndarray]]:
+def read_array_dir(
+    path, mmap: bool = True, retries: Optional[int] = None
+) -> Tuple[dict, Dict[str, np.ndarray]]:
     """Open a format-v2 directory; validate the inventory at the trust boundary.
 
     With ``mmap=True`` every array is an ``np.load(..., mmap_mode="r")``
     view — nothing is read until the pages are touched.  A missing /
     truncated / dtype-shifted file raises
     :class:`~repro.errors.ArtifactMismatchError` here rather than
-    surfacing as an IndexError deep inside evaluation.
+    surfacing as an IndexError deep inside evaluation.  *Transient*
+    ``OSError``\\ s (EIO, EAGAIN, ESTALE …) are retried with jittered
+    backoff up to ``retries`` extra attempts (default
+    :data:`DEFAULT_READ_RETRIES`; pass ``GOFMMConfig.storage_read_retries``
+    when a config is at hand) and then raise the typed
+    :class:`~repro.errors.StorageRetryExhaustedError`.
     """
     path = os.fspath(path)
+    if retries is None:
+        retries = DEFAULT_READ_RETRIES
     manifest_path = os.path.join(path, MANIFEST_NAME)
-    try:
+
+    def _load_manifest():
+        _faults.fire("storage.read", path=manifest_path, what="manifest")
         with open(manifest_path, "r", encoding="utf-8") as fh:
-            manifest = json.load(fh)
+            return json.load(fh)
+
+    try:
+        manifest = _read_with_retry(manifest_path, _load_manifest, retries)
     except FileNotFoundError as exc:
         raise ArtifactMismatchError(
             f"{path!r} is not an artifact directory (no {MANIFEST_NAME})"
         ) from exc
+    except StorageRetryExhaustedError:
+        raise
     except (OSError, json.JSONDecodeError) as exc:
         raise ArtifactMismatchError(f"corrupt manifest in {path!r}: {exc}") from exc
     if not isinstance(manifest, dict) or not isinstance(manifest.get("arrays"), dict):
@@ -131,10 +217,17 @@ def read_array_dir(path, mmap: bool = True) -> Tuple[dict, Dict[str, np.ndarray]
         if os.path.basename(filename) != filename or not filename:
             raise ArtifactMismatchError(f"manifest entry {name!r} names an invalid file {filename!r}")
         file_path = os.path.join(path, filename)
+
+        def _load_array(file_path=file_path):
+            _faults.fire("storage.read", path=file_path, what="array")
+            return np.load(file_path, mmap_mode="r" if mmap else None, allow_pickle=False)
+
         try:
-            array = np.load(file_path, mmap_mode="r" if mmap else None, allow_pickle=False)
+            array = _read_with_retry(file_path, _load_array, retries)
         except FileNotFoundError as exc:
             raise ArtifactMismatchError(f"artifact array {name!r} is missing ({filename})") from exc
+        except StorageRetryExhaustedError:
+            raise
         except (OSError, ValueError) as exc:
             raise ArtifactMismatchError(
                 f"artifact array {name!r} is truncated or corrupt ({filename}): {exc}"
@@ -287,11 +380,18 @@ class OperatorStore:
 
     KIND = "operator-store"
 
-    def __init__(self, path) -> None:
+    def __init__(self, path, retries: Optional[int] = None) -> None:
         self.path = os.path.abspath(os.fspath(path))
-        manifest, _ = read_array_dir(self.path, mmap=True)
+        manifest, _ = read_array_dir(self.path, mmap=True, retries=retries)
         self._validate_manifest(manifest)
         self.manifest = manifest
+        if retries is None:
+            # Adopt the store's own knob for subsequent reads: stores written
+            # with a tuned ``storage_read_retries`` open with it (older
+            # manifests without the field keep the module default).
+            stored = manifest.get("config", {}).get("storage_read_retries", DEFAULT_READ_RETRIES)
+            retries = stored if isinstance(stored, int) and stored >= 0 else DEFAULT_READ_RETRIES
+        self.retries = int(retries)
 
     @classmethod
     def _validate_manifest(cls, manifest: dict) -> None:
@@ -467,7 +567,7 @@ class OperatorStore:
         if resident not in ("mmap", "ram"):
             raise ConfigurationError(f"resident must be 'mmap' or 'ram', got {resident!r}")
         mmap = resident == "mmap"
-        manifest, arrays = read_array_dir(self.path, mmap=mmap)
+        manifest, arrays = read_array_dir(self.path, mmap=mmap, retries=self.retries)
         self._validate_manifest(manifest)
 
         config = config_from_jsonable(manifest["config"])
@@ -489,7 +589,16 @@ class OperatorStore:
             partition.tree.check_invariants(config.leaf_size)
         except ArtifactMismatchError:
             raise
-        except Exception as exc:
+        except (ValueError, TypeError, KeyError, IndexError) as exc:
+            # The specific shapes of a hand-edited / truncated partition:
+            # bad offsets (ValueError/IndexError), wrong dtypes (TypeError),
+            # missing arrays (KeyError).  Anything else — MemoryError, a
+            # transient OSError from the mmap — is a real failure and
+            # propagates instead of masquerading as a corrupt artifact.
+            _LOG.warning(
+                "store partition rejected at the trust boundary: %s: %s",
+                type(exc).__name__, exc,
+            )
             raise ArtifactMismatchError(f"store holds a malformed partition: {exc}") from exc
         tree = partition.tree
         if len(tree.nodes) != num_nodes:

@@ -328,7 +328,7 @@ class TestShardedEquivalence:
         c = c.replace(compression_backend="sharded", compression_workers=1)
         forked = []
         monkeypatch.setattr(
-            "repro.core.skeletonization_sharded.fork_pool",
+            "repro.core.sharding.fork_pool",
             lambda workers: forked.append(workers),
         )
         stats = skeletonize_tree_sharded(t, m, c, n, rng=np.random.default_rng(9))

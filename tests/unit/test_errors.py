@@ -45,3 +45,39 @@ class TestHierarchy:
 
     def test_rank_deficiency_is_compression_error(self):
         assert issubclass(RankDeficiencyError, CompressionError)
+
+
+class TestFaultToleranceErrors:
+    """The typed failures of the fault-tolerance layer."""
+
+    def test_storage_retry_exhausted_carries_path_and_attempts(self):
+        from repro.errors import StorageError, StorageRetryExhaustedError
+
+        exc = StorageRetryExhaustedError("gave up", path="/tmp/x", attempts=3)
+        assert issubclass(StorageRetryExhaustedError, StorageError)
+        assert issubclass(StorageRetryExhaustedError, GOFMMError)
+        assert exc.path == "/tmp/x" and exc.attempts == 3
+
+    def test_spill_capacity_is_storage_error(self):
+        from repro.errors import SpillCapacityError, StorageError
+
+        assert issubclass(SpillCapacityError, StorageError)
+        assert issubclass(SpillCapacityError, GOFMMError)
+
+    def test_executor_stall_carries_task_labels(self):
+        from repro.errors import ExecutorStallError
+
+        exc = ExecutorStallError("stalled", stalled_tasks=["b", "a"])
+        assert issubclass(ExecutorStallError, SchedulingError)
+        assert issubclass(ExecutorStallError, RuntimeError)
+        assert exc.stalled_tasks == ("b", "a")
+        assert exc.task_label == "b"
+        assert ExecutorStallError("stalled").task_label == ""
+
+    def test_worker_crash_carries_tasks_and_attempts(self):
+        from repro.errors import WorkerCrashError
+
+        exc = WorkerCrashError("dead", failed_tasks=(0, 2), attempts=3)
+        assert issubclass(WorkerCrashError, GOFMMError)
+        assert issubclass(WorkerCrashError, RuntimeError)
+        assert exc.failed_tasks == (0, 2) and exc.attempts == 3

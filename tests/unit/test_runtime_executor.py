@@ -272,6 +272,25 @@ class TestStallTimeout:
         payloads = {f"t{i}": (lambda: _time.sleep(0.005)) for i in range(30)}
         assert run_task_graph(graph, 2, payloads=payloads, stall_timeout=0.1) == 30
 
+    def test_watchdog_raises_typed_error_with_stalled_task_label(self):
+        # The stall error is typed and carries which task(s) were wedged,
+        # so callers (and their logs) can name the culprit payload.
+        import threading
+
+        from repro.errors import ExecutorStallError
+
+        release = threading.Event()
+        graph, payloads = self._hung_graph(release)
+        try:
+            with pytest.raises(ExecutorStallError) as info:
+                run_task_graph(graph, 2, payloads=payloads, stall_timeout=0.05)
+            assert info.value.stalled_tasks == ("hang",)
+            assert info.value.task_label == "hang"
+            assert "hang" in str(info.value)
+            assert isinstance(info.value, SchedulingError)  # back-compat catch sites
+        finally:
+            release.set()
+
     def test_config_validates_timeout(self):
         from repro import ConfigurationError
 

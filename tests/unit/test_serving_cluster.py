@@ -300,3 +300,105 @@ class TestClusterStats:
                 assert "kernel" not in router.shard(sid).server
             with pytest.raises(ServingError, match="unknown operator"):
                 router.matvec("kernel", np.zeros(N))
+
+
+class _DeadServer:
+    """A server replacement that never comes up — simulates a bad host."""
+
+    serving = False
+
+    def start(self):
+        pass
+
+    def stop(self, drain=True):
+        pass
+
+
+class TestCircuitBreaker:
+    """Breaker-gated half-open probing of shards demoted by a restart storm."""
+
+    def test_restart_storm_opens_breaker_then_probe_recovers(self, matrix, operator):
+        from repro.obs import counters
+
+        router = ShardRouter(num_shards=2, policy=make_policy(),
+                             health=HealthPolicy(max_restarts=1, breaker_cooldown_s=30.0))
+        fake_now = [1000.0]
+        router._clock = lambda: fake_now[0]
+        placement = router.register("kernel", operator, replicas=1)
+        with router:
+            victim = router.shard(placement[0])
+            victim.kill()
+            assert router.check_health()[victim.shard_id]["action"] == "restarted"
+            # second crash burns the restart budget: demote and open the breaker
+            victim.kill()
+            degraded_before = counters.get("faults_degraded")
+            report = router.check_health()[victim.shard_id]
+            assert report == {"healthy": False, "action": "routed-around"}
+            assert victim.state == DOWN
+            assert victim.breaker_open_until == pytest.approx(1030.0)
+            assert counters.get("faults_degraded") == degraded_before + 1
+            # while the breaker is open the shard is left alone — no rebuild burn
+            restarts = victim.restarts
+            assert router.check_health()[victim.shard_id]["action"] is None
+            assert victim.restarts == restarts
+            # and traffic flows around it in the meantime
+            assert router.matvec("kernel", np.zeros(N), timeout=30).shape == (N,)
+            # cooldown elapses: half-open probe rebuilds, closes the breaker,
+            # and moves the operator back onto its ring-preferred shard
+            fake_now[0] += 30.0
+            recovered_before = counters.get("faults_recovered")
+            report = router.check_health()[victim.shard_id]
+            assert report == {"healthy": True, "action": "probe-recovered"}
+            assert victim.state == UP
+            assert victim.breaker_open_until == 0.0
+            assert router.placement()["kernel"] == placement
+            assert counters.get("faults_recovered") == recovered_before + 1
+            assert router.matvec("kernel", np.zeros(N), timeout=30).shape == (N,)
+
+    def test_probe_failure_reopens_breaker(self, matrix, operator):
+        router = ShardRouter(num_shards=2, policy=make_policy(),
+                             health=HealthPolicy(max_restarts=0, breaker_cooldown_s=10.0))
+        fake_now = [50.0]
+        router._clock = lambda: fake_now[0]
+        placement = router.register("kernel", operator, replicas=1)
+        with router:
+            victim = router.shard(placement[0])
+            victim.kill()
+            assert router.check_health()[victim.shard_id]["action"] == "routed-around"
+            # the probe brings up a server that is still dead: breaker re-opens
+            real_factory = victim._new_server
+            victim._new_server = lambda: _DeadServer()
+            fake_now[0] += 10.0
+            report = router.check_health()[victim.shard_id]
+            assert report == {"healthy": False, "action": "probe-failed"}
+            assert victim.state == DOWN
+            assert victim.breaker_open_until == pytest.approx(70.0)
+            # a later probe against a healthy host recovers the shard
+            victim._new_server = real_factory
+            fake_now[0] += 10.0
+            assert router.check_health()[victim.shard_id]["action"] == "probe-recovered"
+            assert victim.healthy
+
+    def test_route_around_mode_is_never_probed(self, matrix, operator):
+        router = ShardRouter(num_shards=3, policy=make_policy(),
+                             health=HealthPolicy(mode=ROUTE_AROUND))
+        fake_now = [0.0]
+        router._clock = lambda: fake_now[0]
+        placement = router.register("kernel", operator, replicas=1)
+        with router:
+            victim = router.shard(placement[0])
+            victim.kill()
+            router.matvec("kernel", np.zeros(N), timeout=30)  # demotes the shard
+            assert victim.state == DOWN
+            assert victim.breaker_open_until == 0.0  # operator chose no restarts
+            fake_now[0] += 1e6
+            report = router.check_health()[victim.shard_id]
+            assert report == {"healthy": False, "action": None}
+            assert victim.restarts == 0
+
+    def test_breaker_cooldown_validation(self):
+        with pytest.raises(ServingConfigError):
+            HealthPolicy(breaker_cooldown_s=-1)
+        with pytest.raises(ServingConfigError):
+            HealthPolicy(breaker_cooldown_s=True)
+        assert HealthPolicy(breaker_cooldown_s=0).breaker_cooldown_s == 0.0

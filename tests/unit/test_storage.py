@@ -315,3 +315,104 @@ class TestServingColdStart:
 
         with pytest.raises(ServingError):
             MatvecServer().register("x", store=store_path, matrix=matrix)
+
+
+class TestStorageFaultTolerance:
+    """Hardened reads and the typed spill-capacity failure path."""
+
+    def test_transient_read_error_is_retried_and_recovered(self, store_path):
+        from repro.faults import FaultPlan, nth_call
+        from repro.obs import counters
+
+        clean_manifest, clean_arrays = read_array_dir(store_path, mmap=False)
+        plan = FaultPlan()
+        plan.inject("storage.read", trigger=nth_call(1))  # default: transient EIO
+        recovered_before = counters.get("faults_recovered")
+        with plan.armed():
+            manifest, arrays = read_array_dir(store_path, mmap=False)
+        assert manifest == clean_manifest
+        for key in clean_arrays:
+            assert np.array_equal(arrays[key], clean_arrays[key])
+        assert plan.injected == 1
+        assert counters.get("faults_recovered") == recovered_before + 1
+
+    def test_persistent_read_error_exhausts_typed(self, store_path):
+        from repro.errors import StorageRetryExhaustedError
+        from repro.faults import FaultPlan, always
+
+        plan = FaultPlan()
+        plan.inject("storage.read", trigger=always(), times=None)
+        with plan.armed():
+            with pytest.raises(StorageRetryExhaustedError) as info:
+                read_array_dir(store_path, mmap=False, retries=1)
+        assert info.value.attempts == 2
+        assert info.value.path  # names the read that kept failing
+
+    def test_missing_file_is_not_retried(self, tmp_path):
+        # FileNotFoundError means a wrong/corrupt artifact, not a flaky
+        # device: it must fail fast as ArtifactMismatchError, no backoff.
+        with pytest.raises(ArtifactMismatchError):
+            read_array_dir(tmp_path / "nope", retries=5)
+
+    def test_operator_store_opens_through_transient_faults(self, store_path, weights, reference):
+        from repro.faults import FaultPlan, nth_call
+
+        plan = FaultPlan()
+        plan.inject("storage.read", trigger=nth_call(1))
+        with plan.armed():
+            op = CompressedOperator.open(store_path, resident="mmap")
+        assert np.array_equal(op @ weights, reference)
+        assert plan.injected == 1
+
+    def test_enospc_raises_spill_capacity_error(self, tmp_path):
+        from repro.errors import SpillCapacityError
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan()
+        plan.inject("spill.write")  # default error: ENOSPC
+        with SpillArena(budget_bytes=1 << 20, directory=tmp_path) as arena:
+            with plan.armed():
+                with pytest.raises(SpillCapacityError):
+                    arena.allocate((16, 8))
+                buf = arena.allocate((16, 8))  # budget spent: next allocation works
+            assert buf.shape == (16, 8)
+
+    def test_streamed_matvec_degrades_to_heap_on_enospc(self, matrix):
+        from repro.faults import FaultPlan, always
+        from repro.obs import counters
+
+        op = Session(matrix, GOFMMConfig(**{
+            **CONFIG, "cache_near_blocks": False, "cache_far_blocks": False,
+            "streaming_chunk_bytes": 2048,
+        })).compress()
+        plan = op.compressed.streaming_plan()
+        assert plan.spills
+        w = np.random.default_rng(21).standard_normal((matrix.n, 3))
+        expected = op.compressed.matvec(w, engine="reference")
+
+        fault = FaultPlan()
+        fault.inject("spill.write", trigger=always(), times=None)
+        degraded_before = counters.get("faults_degraded")
+        with fault.armed():
+            got = op.compressed.matvec(w, engine="streamed")
+        assert np.array_equal(got, expected)  # heap fallback is bit-identical
+        assert not plan.spills  # degraded for the plan's lifetime
+        assert counters.get("faults_degraded") == degraded_before + 1
+        # and the degraded plan keeps serving without the arena
+        assert np.array_equal(op.compressed.matvec(w, engine="streamed"), expected)
+
+    def test_spill_degrade_disabled_surfaces_typed_error(self, matrix):
+        from repro.errors import SpillCapacityError
+        from repro.faults import FaultPlan, always
+
+        op = Session(matrix, GOFMMConfig(**{
+            **CONFIG, "cache_near_blocks": False, "cache_far_blocks": False,
+            "streaming_chunk_bytes": 2048, "spill_degrade_to_heap": False,
+        })).compress()
+        assert op.compressed.streaming_plan().spills
+        fault = FaultPlan()
+        fault.inject("spill.write", trigger=always(), times=None)
+        w = np.random.default_rng(22).standard_normal((matrix.n, 2))
+        with fault.armed():
+            with pytest.raises(SpillCapacityError):
+                op.compressed.matvec(w, engine="streamed")
